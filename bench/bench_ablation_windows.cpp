@@ -1,0 +1,80 @@
+// Ablation: "for I/O devices with higher maximum bandwidth, a larger
+// performance drop is observed if the placement is not aligned" ([5],
+// cited in §I). We build synthetic devices with growing ceilings and a
+// fixed DMA window, and measure the best-vs-worst binding drop; then the
+// converse: growing windows rescue a fast device from NUMA sensitivity.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+numaio::io::EngineSpec synth_engine(double cap, double window_bits) {
+  numaio::io::EngineSpec e;
+  e.name = "synth";
+  e.to_device = true;
+  e.device_cap = cap;
+  e.window_bits = window_bits;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  using namespace numaio;
+  bench::banner("Ablation: device ceiling vs NUMA drop (device write)");
+
+  std::printf("  %-14s %10s %10s %10s\n", "ceiling Gbps", "best bind",
+              "worst bind", "drop");
+  for (double cap : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0}) {
+    fabric::Machine machine{fabric::dl585_profile()};
+    nm::Host host{machine};
+    io::PcieDevice device(machine, "synth", 7, io::PcieLink{},
+                          {synth_engine(cap, 17100.0)});
+    io::FioRunner fio(host);
+    double best = 0.0, worst = 1e9;
+    for (topo::NodeId node = 0; node < 8; ++node) {
+      io::FioJob j;
+      j.devices = {&device};
+      j.engine = "synth";
+      j.cpu_node = node;
+      j.num_streams = 4;
+      const double agg = fio.run(j).aggregate;
+      best = std::max(best, agg);
+      worst = std::min(worst, agg);
+    }
+    std::printf("  %-14.1f %10.2f %10.2f %9.1f%%\n", cap, best, worst,
+                (best - worst) / best * 100.0);
+  }
+  bench::note("");
+  bench::note("slow devices hide the fabric: every binding reaches the");
+  bench::note("ceiling. fast devices expose the window-limited weak paths");
+  bench::note("-- reproducing [5]'s observation.");
+
+  bench::banner("Ablation: DMA window depth vs NUMA drop (25 Gbps device)");
+  std::printf("  %-14s %10s %10s %10s\n", "window bits", "best bind",
+              "worst bind", "drop");
+  for (double window : {8000.0, 12000.0, 17100.0, 26000.0, 40000.0}) {
+    fabric::Machine machine{fabric::dl585_profile()};
+    nm::Host host{machine};
+    io::PcieDevice device(machine, "synth", 7, io::PcieLink{},
+                          {synth_engine(25.0, window)});
+    io::FioRunner fio(host);
+    double best = 0.0, worst = 1e9;
+    for (topo::NodeId node = 0; node < 8; ++node) {
+      io::FioJob j;
+      j.devices = {&device};
+      j.engine = "synth";
+      j.cpu_node = node;
+      j.num_streams = 4;
+      const double agg = fio.run(j).aggregate;
+      best = std::max(best, agg);
+      worst = std::min(worst, agg);
+    }
+    std::printf("  %-14.0f %10.2f %10.2f %9.1f%%\n", window, best, worst,
+                (best - worst) / best * 100.0);
+  }
+  bench::note("deeper windows amortize path latency: the engineering lever");
+  bench::note("behind RDMA_READ's stability on {2,3} vs its 18.3 on {0,1,5}.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// cbench-style benchmark cross-validation ([18],[27], §IV-B): pairwise
+// rank agreement of all memory benchmarks' full binding matrices, with
+// agreement clusters. Within a cluster, one benchmark's model can stand in
+// for another's — but no memory-side cluster predicts the I/O engines
+// (see bench_hopdist_failure), which motivates the iomodel methodology.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "model/crossval.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+  bench::banner("Memory-benchmark cross-validation (Spearman agreement)");
+
+  const auto cv = model::cross_validate(tb.host());
+  std::printf("  %-14s", "");
+  for (const auto& name : cv.names) {
+    std::printf(" %9.9s", name.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t a = 0; a < cv.names.size(); ++a) {
+    std::printf("  %-14s", cv.names[a].c_str());
+    for (std::size_t b = 0; b < cv.names.size(); ++b) {
+      std::printf(" %9.2f", cv.agreement[a][b]);
+    }
+    std::printf("\n");
+  }
+
+  for (double threshold : {0.95, 0.85}) {
+    std::printf("\n  clusters at agreement >= %.2f:\n", threshold);
+    for (const auto& cluster : model::agreement_clusters(cv, threshold)) {
+      std::printf("   ");
+      for (int idx : cluster) {
+        std::printf(" %s", cv.names[static_cast<std::size_t>(idx)].c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  bench::note("");
+  bench::note("copy-family benchmarks validate each other (cbench's");
+  bench::note("premise); the latency family orders the nodes differently.");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 10: the proposed methodology's bandwidth model of node 7 —
+// Algorithm 1's device-write and device-read memcpy models, without
+// touching any I/O device. Published class values:
+//   write: {6,7} avg 51.2 / {0,1,4,5} avg 44.5 / {2,3} avg 26.6
+//   read:  {6,7} avg 49.1 / {2,3} avg 48.6 / {0,1,5} avg 40.4 / {4} 27.9
+#include <cstdio>
+
+#include "bench/common.h"
+#include "model/classify.h"
+#include "model/report.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+  bench::banner("Figure 10: proposed memcpy model of node 7 (Gbps)");
+
+  const auto write =
+      model::build_iomodel(tb.host(), 7, model::Direction::kDeviceWrite);
+  const auto read =
+      model::build_iomodel(tb.host(), 7, model::Direction::kDeviceRead);
+  bench::print_node_header(8);
+  bench::print_series("device write", write.bw);
+  bench::print_series("device read", read.bw);
+
+  for (const auto* m : {&write, &read}) {
+    const auto classes = model::classify(*m, tb.machine().topology());
+    std::printf("\n  %s classes:",
+                m->direction == model::Direction::kDeviceWrite ? "write"
+                                                               : "read");
+    for (int c = 0; c < classes.num_classes(); ++c) {
+      std::printf("  class%d {", c + 1);
+      for (topo::NodeId v : classes.classes[static_cast<std::size_t>(c)]) {
+        std::printf("%d", v);
+      }
+      std::printf("} avg %.1f", classes.class_avg[static_cast<std::size_t>(c)]);
+    }
+    std::printf("\n");
+  }
+  bench::note("");
+  bench::note("paper: write {67}/{0145}/{23}, read {67}/{23}/{015}/{4}");
+  return 0;
+}

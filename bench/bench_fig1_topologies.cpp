@@ -1,0 +1,30 @@
+// Figure 1: the four possible 4P Magny-Cours interconnect layouts.
+// For each variant: the wiring, node-7 hop distances (the paper's worked
+// example for layout (a)), diameter and mean remote hops.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "nm/hwloc_view.h"
+#include "topo/presets.h"
+#include "topo/routing.h"
+
+int main() {
+  using namespace numaio;
+  bench::banner("Figure 1: possible topologies of 4P Magny-Cours");
+  for (char variant : {'a', 'b', 'c', 'd'}) {
+    const topo::Topology t = topo::magny_cours_4p(variant);
+    const topo::Routing r(t, topo::Routing::Metric::kHops);
+    std::printf("\n-- variant (%c): %s --\n", variant, t.name().c_str());
+    std::printf("%s", nm::render_interconnect(t).c_str());
+    std::printf("  hop distances from node 7:");
+    for (topo::NodeId d = 0; d < t.num_nodes(); ++d) {
+      std::printf(" %d", r.hop_distance(7, d));
+    }
+    std::printf("\n  diameter %d, mean remote hops %.3f\n", r.diameter(),
+                r.mean_remote_hops());
+  }
+  bench::note("");
+  bench::note("paper example, layout (a): node 7 is neighbor to 6, one hop");
+  bench::note("from {0,2,4}, two hops from {1,3,5} -- see the first row.");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 7: SSD read/write aggregate bandwidth over both Nytro cards,
+// libaio kernel-bypass, 128 KB blocks, iodepth 16, vs process count
+// (minimum two: one per card). Published classes: write 28.8/28.5/18.0;
+// read 34.7/33.1/30.1/18.5.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+  const int procs[] = {2, 4, 8, 16};
+
+  for (const char* engine : {io::kSsdWrite, io::kSsdRead}) {
+    bench::banner(std::string("Figure 7: ") + engine +
+                  " aggregate bandwidth over 2 cards (Gbps)");
+    std::printf("  %-8s", "binding");
+    for (int p : procs) std::printf(" %3d proc", p);
+    std::printf("\n");
+    for (topo::NodeId node = 0; node < 8; ++node) {
+      std::printf("  node%-4d", node);
+      for (int p : procs) {
+        std::printf(" %8.2f", bench::run_engine(tb, engine, node, p));
+      }
+      std::printf("\n");
+    }
+  }
+  bench::note("");
+  bench::note("write rate tracks the TCP/RDMA send classes; read rate");
+  bench::note("tracks the receive classes; neither matches STREAM (Fig 3).");
+  return 0;
+}

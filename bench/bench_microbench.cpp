@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the toolkit itself: solver and
+// fluid-simulation cost, full-characterization cost, and the §V-A point
+// that the memcpy model is far cheaper than exhaustive I/O benchmarking.
+#include <benchmark/benchmark.h>
+
+#include "simcore/fluid_sim.h"
+
+#include "io/testbed.h"
+#include "mem/membench.h"
+#include "model/classify.h"
+#include "model/iomodel.h"
+
+namespace {
+
+using namespace numaio;
+
+void BM_FlowSolverSolve(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  sim::FlowSolver solver;
+  std::vector<sim::ResourceId> links;
+  for (int i = 0; i < 16; ++i) {
+    links.push_back(solver.add_resource("link", 40.0));
+  }
+  for (std::size_t f = 0; f < flows; ++f) {
+    solver.add_flow_over({links[f % 16], links[(f + 5) % 16]}, 9.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows));
+}
+BENCHMARK(BM_FlowSolverSolve)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FluidSimulationRun(benchmark::State& state) {
+  const int transfers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::FlowSolver solver;
+    const auto link = solver.add_resource("link", 40.0);
+    sim::FluidSimulation fluid(solver);
+    for (int i = 0; i < transfers; ++i) {
+      fluid.start_transfer({{link, 1.0}},
+                           sim::kMiB * static_cast<sim::Bytes>(i + 1));
+    }
+    benchmark::DoNotOptimize(fluid.run());
+  }
+}
+BENCHMARK(BM_FluidSimulationRun)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_IoModelAlgorithm1(benchmark::State& state) {
+  fabric::Machine machine{fabric::dl585_profile()};
+  nm::Host host{machine};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::build_iomodel(host, 7, model::Direction::kDeviceWrite));
+  }
+}
+BENCHMARK(BM_IoModelAlgorithm1);
+
+void BM_StreamMatrixFullCharacterization(benchmark::State& state) {
+  fabric::Machine machine{fabric::dl585_profile()};
+  nm::Host host{machine};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem::stream_matrix(host, mem::StreamConfig{}));
+  }
+}
+BENCHMARK(BM_StreamMatrixFullCharacterization);
+
+void BM_FioFourStreamRun(benchmark::State& state) {
+  io::Testbed tb = io::Testbed::dl585();
+  io::FioRunner fio(tb.host());
+  io::FioJob j;
+  j.devices = {&tb.nic()};
+  j.engine = io::kRdmaRead;
+  j.cpu_node = 0;
+  j.num_streams = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fio.run(j));
+  }
+}
+BENCHMARK(BM_FioFourStreamRun);
+
+void BM_ClassifyEightNodes(benchmark::State& state) {
+  fabric::Machine machine{fabric::dl585_profile()};
+  nm::Host host{machine};
+  const auto m = model::build_iomodel(host, 7, model::Direction::kDeviceRead);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::classify(m, machine.topology()));
+  }
+}
+BENCHMARK(BM_ClassifyEightNodes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

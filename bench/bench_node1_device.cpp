@@ -1,0 +1,69 @@
+// Generalization check (§V-B): "The methodology used to model the
+// performance of node 7 can also be generalized to other nodes in the
+// host." The DL585 carries a second I/O hub on node 1; this bench moves
+// the whole device complement there, re-runs Algorithm 1 and the fio
+// sweeps, and verifies the new model's classes track the new measurements.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "model/analysis.h"
+#include "model/classify.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585_with_devices_on(1);
+  bench::banner("Devices rehomed to node 1 (the second I/O hub)");
+
+  const auto wm =
+      model::build_iomodel(tb.host(), 1, model::Direction::kDeviceWrite);
+  const auto rm =
+      model::build_iomodel(tb.host(), 1, model::Direction::kDeviceRead);
+  bench::print_node_header(8);
+  bench::print_series("write model", wm.bw);
+  bench::print_series("read model", rm.bw);
+
+  for (const auto* m : {&wm, &rm}) {
+    const auto classes = model::classify(*m, tb.machine().topology());
+    std::printf("  %s classes:",
+                m->direction == model::Direction::kDeviceWrite ? "write"
+                                                               : "read ");
+    for (int c = 0; c < classes.num_classes(); ++c) {
+      std::printf("  {");
+      for (topo::NodeId v : classes.classes[static_cast<std::size_t>(c)]) {
+        std::printf("%d", v);
+      }
+      std::printf("} %.1f", classes.class_avg[static_cast<std::size_t>(c)]);
+    }
+    std::printf("\n");
+  }
+
+  bench::banner("fio sweeps against the node-1 devices (4 streams, Gbps)");
+  bench::print_node_header(8);
+  for (const char* engine :
+       {io::kRdmaWrite, io::kRdmaRead, io::kSsdRead}) {
+    bench::print_series(engine, bench::sweep_nodes(tb, engine, 4));
+  }
+
+  const auto rdma_read = bench::sweep_nodes(tb, io::kRdmaRead, 4);
+  const auto rdma_write = bench::sweep_nodes(tb, io::kRdmaWrite, 4);
+  std::printf("\n  model-vs-RDMA_WRITE Spearman: %.2f\n",
+              model::spearman(wm.bw, rdma_write));
+  std::printf("  model-vs-RDMA_READ  Spearman: %.2f (series is %s)\n",
+              model::spearman(rm.bw, rdma_read),
+              *std::max_element(rdma_read.begin(), rdma_read.end()) -
+                          *std::min_element(rdma_read.begin(),
+                                            rdma_read.end()) <
+                      0.5
+                  ? "flat: no visible NUMA penalty"
+                  : "structured");
+  bench::note("the class-1 pair is now {0,1}, with no node-7-specific");
+  bench::note("knowledge. node 1 sits in a benign fabric position: the");
+  bench::note("model's remote classes span only ~40-44 Gbps (vs 26-50 for");
+  bench::note("node 7), so most engines saturate at their ceilings from");
+  bench::note("every binding. the exception, RDMA_WRITE from {6,7}, is");
+  bench::note("window/latency-bound -- a caveat: the capacity-based memcpy");
+  bench::note("model cannot see pure latency classes, it flags only");
+  bench::note("capacity classes (on the paper's node 7 the two coincide).");
+  return 0;
+}

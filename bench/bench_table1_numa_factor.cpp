@@ -1,0 +1,25 @@
+// Table I: NUMA factor of different server configurations.
+// Paper values: Intel 4s/4n = 1.5, AMD 4s/8n = 2.7, AMD 8s/8n = 2.8,
+// HP 32-node blade = 5.5.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "topo/latency.h"
+#include "topo/presets.h"
+
+int main() {
+  using namespace numaio;
+  bench::banner("Table I: NUMA factor of different server configurations");
+  std::printf("  %-28s %10s %10s %10s\n", "Server type", "paper", "measured",
+              "max");
+  for (const auto& preset : topo::table1_presets()) {
+    const topo::Routing routing(preset.topo,
+                                topo::Routing::Metric::kLatency);
+    const topo::LatencyModel model(routing, preset.latency);
+    std::printf("  %-28s %10.2f %10.2f %10.2f\n", preset.label.c_str(),
+                preset.paper_numa_factor, model.numa_factor(),
+                model.max_numa_factor());
+  }
+  bench::note("factor = mean remote access latency / mean local latency");
+  return 0;
+}

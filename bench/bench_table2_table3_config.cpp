@@ -1,0 +1,56 @@
+// Tables II & III: testbed and network-test configuration. These tables
+// define the experimental setup rather than results; this bench prints
+// the paper's values next to what the simulated rig is actually built
+// with, so configuration drift is impossible to miss.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "nm/slit.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+  const auto& topo = tb.machine().topology();
+
+  bench::banner("Table II: configuration of the AMD 4P server");
+  double mem_gb = 0.0;
+  for (const auto& n : topo.nodes()) mem_gb += n.memory_gb;
+  std::printf("  %-28s %-26s %s\n", "item", "paper", "this rig");
+  std::printf("  %-28s %-26s %s\n", "Motherboard", "HP ProLiant DL585 Gen 7",
+              topo.name().c_str());
+  std::printf("  %-28s %-26s %d/%d\n", "CPU cores/NUMA nodes", "32/8",
+              topo.total_cores(), topo.num_nodes());
+  std::printf("  %-28s %-26s %.0f GB\n", "Memory", "32GB", mem_gb);
+  std::printf("  %-28s %-26s %.0f MB\n", "Last level cache", "5 MBytes",
+              tb.machine().profile().llc_mb);
+  std::printf("  %-28s %-26s gen%d x%d (%.0f Gbps data)\n", "I/O bus",
+              "PCIe Gen 2 x8", tb.nic().pcie().gen, tb.nic().pcie().lanes,
+              tb.nic().pcie().data_gbps());
+  std::printf("  %-28s %-26s %s on node %d\n", "Network interface",
+              "ConnectX-3 EN 40GbE", tb.nic().name().c_str(),
+              tb.nic().attach_node());
+  std::printf("  %-28s %-26s %zu cards on node %d\n", "SSD drive",
+              "2x LSI Nytro WLP4-200", tb.ssds().size(),
+              tb.ssds().front()->attach_node());
+
+  bench::banner("Table III: network I/O test parameters");
+  const io::FioJob defaults{};
+  std::printf("  %-38s %-12s %s\n", "parameter", "paper", "this rig");
+  std::printf("  %-38s %-12s %s\n", "Data size per test process",
+              "400 GBytes",
+              sim::format_bytes(defaults.bytes_per_stream).c_str());
+  std::printf("  %-38s %-12s %s\n", "I/O block size", "128 KBytes",
+              sim::format_bytes(defaults.block_size).c_str());
+  std::printf("  %-38s %-12s %.0f us network RTT\n",
+              "Round trip time (ping)", "0.005 ms",
+              tb.nic().engine(io::kTcpSend).stream_extra_rtt_ns / 1000.0);
+  std::printf("  %-38s %-12s iodepth %d, IRQs on node %d\n",
+              "libaio depth / IRQ steering", "16 / local", defaults.iodepth,
+              tb.nic().irq_node());
+
+  bench::banner("Firmware SLIT (what numactl --hardware would print)");
+  std::printf("%s", nm::render_slit(nm::slit_table(topo)).c_str());
+  bench::note("the SLIT is hop-derived and symmetric; §II-B/[18] call such");
+  bench::note("distances 'often inaccurate' -- see bench_hopdist_failure.");
+  return 0;
+}

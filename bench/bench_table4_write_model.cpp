@@ -1,0 +1,35 @@
+// Table IV: NUMA I/O bandwidth performance model for DEVICE WRITE (Gbps).
+// Classes from the proposed memcpy model, with the measured TCP-send,
+// RDMA_WRITE and SSD-write rows summarized per class.
+// Paper averages per class {6,7}/{0,1,4,5}/{2,3}:
+//   memcpy 51.2/44.5/26.6, TCP 20.3/20.4/16.2, RDMA_WRITE 23.3/23.2/17.1,
+//   SSD write 28.8/28.5/18.0.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "model/classify.h"
+#include "model/report.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+  bench::banner("Table IV: device-write performance model (Gbps)");
+
+  const auto m =
+      model::build_iomodel(tb.host(), 7, model::Direction::kDeviceWrite);
+  const auto classes = model::classify(m, tb.machine().topology());
+
+  std::vector<model::MeasuredRow> rows;
+  rows.push_back({"TCP sender", bench::sweep_nodes(tb, io::kTcpSend, 4)});
+  rows.push_back({"RDMA_WRITE", bench::sweep_nodes(tb, io::kRdmaWrite, 4)});
+  rows.push_back({"SSD write", bench::sweep_nodes(tb, io::kSsdWrite, 4)});
+
+  std::printf("%s",
+              model::format_class_table(classes, "Proposed memcpy", m.bw,
+                                        rows)
+                  .c_str());
+  bench::note("");
+  bench::note("paper avgs: memcpy 51.2/44.5/26.6  TCP 20.3/20.4/16.2");
+  bench::note("            RDMA_W 23.3/23.2/17.1  SSD_w 28.8/28.5/18.0");
+  return 0;
+}

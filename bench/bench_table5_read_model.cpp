@@ -1,0 +1,35 @@
+// Table V: NUMA I/O bandwidth performance model for DEVICE READ (Gbps).
+// Classes from the proposed memcpy model, with the measured TCP-receive,
+// RDMA_READ and SSD-read rows summarized per class.
+// Paper averages per class {6,7}/{2,3}/{0,1,5}/{4}:
+//   memcpy 49.1/48.6/40.4/27.9, TCP 21.2/20.0/20.6/14.4,
+//   RDMA_READ 22.0/22.0/18.3/16.1, SSD read 34.7/33.1/30.1/18.5.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "model/classify.h"
+#include "model/report.h"
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+  bench::banner("Table V: device-read performance model (Gbps)");
+
+  const auto m =
+      model::build_iomodel(tb.host(), 7, model::Direction::kDeviceRead);
+  const auto classes = model::classify(m, tb.machine().topology());
+
+  std::vector<model::MeasuredRow> rows;
+  rows.push_back({"TCP receiver", bench::sweep_nodes(tb, io::kTcpRecv, 4)});
+  rows.push_back({"RDMA_READ", bench::sweep_nodes(tb, io::kRdmaRead, 4)});
+  rows.push_back({"SSD read", bench::sweep_nodes(tb, io::kSsdRead, 4)});
+
+  std::printf("%s",
+              model::format_class_table(classes, "Proposed memcpy", m.bw,
+                                        rows)
+                  .c_str());
+  bench::note("");
+  bench::note("paper avgs: memcpy 49.1/48.6/40.4/27.9  TCP 21.2/20.0/20.6/14.4");
+  bench::note("            RDMA_R 22.0/22.0/18.3/16.1  SSD_r 34.7/33.1/30.1/18.5");
+  return 0;
+}

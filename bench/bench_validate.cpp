@@ -1,0 +1,29 @@
+// The validation suite as an acceptance bench: every claim the paper's
+// evidence chain rests on, re-derived through measurement on the
+// simulated testbed and reported with its margin.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "model/validate.h"
+
+int main() {
+  using namespace numaio;
+  bench::banner("Methodology validation: paper testbed (devices on node 7)");
+  {
+    io::Testbed tb = io::Testbed::dl585();
+    std::printf("%s", model::validate_methodology(tb).to_string().c_str());
+  }
+  bench::banner("Methodology validation: devices on node 1 (the caveat)");
+  {
+    io::Testbed tb = io::Testbed::dl585_with_devices_on(1);
+    model::ValidateConfig config;
+    config.min_offloaded_spearman = 0.0;  // little structure to rank here
+    std::printf("%s",
+                model::validate_methodology(tb, config).to_string().c_str());
+  }
+  bench::note("node 1's write coherence fails by design: the capacity-");
+  bench::note("based model cannot see pure latency classes. On the paper's");
+  bench::note("node 7 capacity and latency classes coincide, so the");
+  bench::note("published validation succeeds -- and so does ours.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// A data transfer node (DTN) scenario: the motivating deployment for this
+// line of work (the authors built wide-area data-movement services for
+// DOE; see [25]). Bulk transfer requests arrive continuously and must be
+// bound to NUMA nodes before their streams start.
+//
+// The demo characterizes the host once at "boot" (Algorithm 1 for both
+// directions), then services the same request trace under the naive
+// all-local policy and the model-driven adaptive policy, printing per-task
+// turnaround percentiles.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "io/testbed.h"
+#include "model/classify.h"
+#include "model/online.h"
+
+namespace {
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  const double idx = p * (static_cast<double>(values.size()) - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  using namespace numaio;
+  io::Testbed tb = io::Testbed::dl585();
+
+  // Boot-time characterization: no device involvement, a few seconds of
+  // memcpy on the device node.
+  const auto wm =
+      model::build_iomodel(tb.host(), 7, model::Direction::kDeviceWrite);
+  const auto rm =
+      model::build_iomodel(tb.host(), 7, model::Direction::kDeviceRead);
+  const auto wc = model::classify(wm, tb.machine().topology());
+  const auto rc = model::classify(rm, tb.machine().topology());
+  std::printf("characterized node 7: %d write classes, %d read classes\n",
+              wc.num_classes(), rc.num_classes());
+
+  // The request trace: 60 mixed ingest (recv/read) and egress (send/write)
+  // transfers arriving over ~2 minutes.
+  model::WorkloadConfig wl;
+  wl.num_tasks = 60;
+  wl.engine_mix = {io::kTcpSend, io::kTcpRecv, io::kRdmaWrite,
+                   io::kRdmaRead};
+  const auto tasks = model::generate_workload(wl);
+  std::printf("trace: %d transfers over %.1f s, %.1f GiB total\n\n",
+              wl.num_tasks, tasks.back().arrival / 1e9, [&] {
+                double total = 0;
+                for (const auto& t : tasks) {
+                  total += static_cast<double>(t.bytes) / sim::kGiB;
+                }
+                return total;
+              }());
+
+  std::printf("%-16s %10s %10s %10s %10s %11s\n", "policy", "p50 s",
+              "p90 s", "p99 s", "agg Gbps", "migrations");
+  for (model::OnlinePolicy policy :
+       {model::OnlinePolicy::kAllLocal, model::OnlinePolicy::kModelSpread,
+        model::OnlinePolicy::kModelAdaptive}) {
+    model::OnlineConfig config;
+    config.policy = policy;
+    model::OnlineScheduler scheduler(tb.host(), tb.nic(), wc, rc, config);
+    const auto report = scheduler.run(tasks);
+    std::vector<double> turnarounds;
+    for (const auto& t : report.tasks) {
+      turnarounds.push_back(t.turnaround() / 1e9);
+    }
+    std::printf("%-16s %10.2f %10.2f %10.2f %10.2f %11d\n",
+                model::to_string(policy).c_str(),
+                percentile(turnarounds, 0.5), percentile(turnarounds, 0.9),
+                percentile(turnarounds, 0.99), report.aggregate,
+                report.total_migrations);
+  }
+  std::printf(
+      "\nthe all-local DTN funnels every stream through node 7's CPUs and\n"
+      "engine queues; the model-driven policies spread load across the\n"
+      "equivalent classes the characterization discovered, cutting tail\n"
+      "latency without touching a single device during modelling.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "fabric/path_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace numaio::fabric {
+
+PathMatrix::PathMatrix(int num_nodes) : n_(num_nodes) {
+  assert(num_nodes > 0);
+  cells_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+}
+
+PathCharacter& PathMatrix::at(NodeId a, NodeId b) {
+  assert(a >= 0 && a < n_ && b >= 0 && b < n_);
+  return cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(b)];
+}
+
+const PathCharacter& PathMatrix::at(NodeId a, NodeId b) const {
+  return const_cast<PathMatrix*>(this)->at(a, b);
+}
+
+PathMatrix derive_from_topology(const topo::Topology& topo,
+                                const topo::Routing& routing,
+                                const DerivedFabricParams& params) {
+  const int n = topo.num_nodes();
+  PathMatrix m(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      PathCharacter& c = m.at(a, b);
+      if (a == b) {
+        c.dma_cap = params.local_copy_gbps;
+        c.dma_lat = params.dma_lat_local;
+        c.stream_bw = params.pio_window_bits / params.pio_base_ns;
+        continue;
+      }
+      // Streaming capacity: narrowest directed link width along the route.
+      const topo::Route& route = routing.route(a, b);
+      double min_width = 1e9;
+      for (std::size_t i = 0; i + 1 < route.nodes.size(); ++i) {
+        min_width = std::min(
+            min_width, topo.direction_width(route.nodes[i], route.nodes[i + 1]));
+      }
+      c.dma_cap = std::min(params.local_copy_gbps,
+                           min_width * params.gbps_per_width_bit);
+      const sim::Ns one_way = routing.path_latency(a, b);
+      c.dma_lat = params.dma_lat_base + params.dma_lat_rt_factor * one_way;
+      c.stream_bw = params.pio_window_bits /
+                    (params.pio_base_ns + params.pio_lat_factor * one_way);
+    }
+  }
+  return m;
+}
+
+}  // namespace numaio::fabric

@@ -1,0 +1,75 @@
+// Per-directed-node-pair fabric characteristics.
+//
+// The paper's central observation (§IV-C) is that a NUMA fabric presents
+// *different* paths to different kinds of traffic:
+//   - DMA/streaming traffic (device DMA engines, and the proposed
+//     methodology's offloaded bulk memcpy) sees a one-way streaming path
+//     with a capacity and an effective round-trip latency (which bounds
+//     window-limited engines), and
+//   - PIO traffic (CPU load/store loops, i.e. the STREAM benchmark) sees a
+//     request/response path whose throughput is limited by outstanding-
+//     request buffers, with its own — possibly very different — behaviour.
+// PathCharacter carries both, per ordered node pair.
+#pragma once
+
+#include <vector>
+
+#include "simcore/units.h"
+#include "topo/routing.h"
+
+namespace numaio::fabric {
+
+using topo::NodeId;
+
+struct PathCharacter {
+  /// One-way streaming (DMA-engine-style) capacity src -> dst. On the
+  /// diagonal this is the node's local copy limit (memory controller).
+  sim::Gbps dma_cap = 0.0;
+  /// Effective DMA round-trip latency src -> dst; a window-limited engine
+  /// with W bits outstanding sustains at most W / dma_lat Gbps.
+  sim::Ns dma_lat = 1.0;
+  /// Aggregate PIO bandwidth of a full node (all cores) running a
+  /// load/store copy loop: threads on node `a` (first index) touching
+  /// memory on node `b` (second index). This is exactly what a node-level
+  /// STREAM Copy measures.
+  sim::Gbps stream_bw = 0.0;
+};
+
+/// Dense n x n matrix of PathCharacter, ordered (from, to).
+/// For dma_* fields the indices mean (src, dst) of the data movement; for
+/// stream_bw they mean (cpu node, memory node).
+class PathMatrix {
+ public:
+  explicit PathMatrix(int num_nodes);
+
+  int num_nodes() const { return n_; }
+  PathCharacter& at(NodeId a, NodeId b);
+  const PathCharacter& at(NodeId a, NodeId b) const;
+
+ private:
+  int n_;
+  std::vector<PathCharacter> cells_;
+};
+
+/// Parameters for deriving a PathMatrix from a link-level topology, for
+/// machines without a measured calibration. Defaults approximate HT 3.0 at
+/// 6.4 GT/s (16-bit direction ~ 51.2 Gbps).
+struct DerivedFabricParams {
+  double gbps_per_width_bit = 3.2;   ///< Streaming Gbps per link width bit.
+  sim::Gbps local_copy_gbps = 52.0;  ///< On-node copy (MC) limit.
+  sim::Ns dma_lat_local = 300.0;
+  sim::Ns dma_lat_base = 220.0;      ///< Remote DMA latency floor.
+  double dma_lat_rt_factor = 2.0;    ///< Multiplier on one-way path latency.
+  double pio_window_bits = 12500.0;  ///< Outstanding PIO bits per node.
+  sim::Ns pio_base_ns = 430.0;       ///< Amortized local issue round trip.
+  double pio_lat_factor = 2.2;       ///< Multiplier on one-way path latency.
+};
+
+/// Computes a PathMatrix from shortest-path routing: streaming capacity is
+/// the min directed link width on the route times gbps_per_width_bit; DMA
+/// latency and PIO bandwidth follow the routed latency.
+PathMatrix derive_from_topology(const topo::Topology& topo,
+                                const topo::Routing& routing,
+                                const DerivedFabricParams& params);
+
+}  // namespace numaio::fabric

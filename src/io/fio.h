@@ -1,0 +1,157 @@
+// fio-style I/O benchmark runner (§III-B2).
+//
+// A FioJob mirrors the knobs of the paper's fio configuration: an engine
+// (TCP / RDMA / libaio-SSD personality), a NUMA binding for the worker
+// processes, a stream count, bytes per stream (400 GB in the paper, for
+// stable averages), block size (128 KB) and I/O depth (16). Buffers are
+// allocated in the workers' local memory, exactly as the paper configures
+// ("all test cases will allocate buffers in their local memory space"),
+// so the *binding node* determines the fabric path to the device.
+//
+// Streams of a job round-robin across the job's devices (the paper drives
+// two SSD cards simultaneously). run_concurrent() executes several jobs at
+// once for multi-user scenarios (the Eq. 1 validation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/device.h"
+#include "nm/host.h"
+
+namespace numaio::io {
+
+/// How the job submits I/O. The paper observed (§IV-B3) that "regular
+/// kernel-buffered read/write operations perform much worse than
+/// kernel-bypassed ones, and asynchronous I/O operations outperform
+/// synchronous ones" — so its SSD runs use libaio with kernel bypass,
+/// which is kAsyncDirect here.
+enum class IoMode {
+  kAsyncDirect,    ///< libaio + O_DIRECT (the paper's configuration).
+  kAsyncBuffered,  ///< async through the page cache (extra kernel copy).
+  kSyncDirect,     ///< synchronous O_DIRECT: one request in flight.
+  kSyncBuffered,   ///< synchronous buffered: both penalties.
+};
+
+struct FioJob {
+  std::vector<const PcieDevice*> devices;
+  std::string engine;
+  NodeId cpu_node = 0;
+  /// Placement policy for the worker buffers. The paper's default is the
+  /// kernel's local-preferred policy ("all test cases will allocate
+  /// buffers in their local memory space"); interleaving spreads each
+  /// buffer's pages — and hence the DMA traffic — across nodes, averaging
+  /// the per-class bandwidths (a mitigation knob §V-B's scheduler can
+  /// exploit when rebinding processes is not possible).
+  nm::Policy mem_policy{};
+  int num_streams = 1;
+  sim::Bytes bytes_per_stream = 400 * sim::kGiB;
+  sim::Bytes block_size = 128 * sim::kKiB;
+  int iodepth = 16;
+  IoMode io_mode = IoMode::kAsyncDirect;
+  /// For network engines: NUMA binding of the process on the *peer* host
+  /// (an identical machine). -1 means the peer side is optimally placed.
+  /// A bad peer binding caps the transfer just like a bad local one —
+  /// up to the ~30% TCP loss reported for remote-core placement at either
+  /// end ([3], cited in §I).
+  int peer_node = -1;
+  std::uint64_t seed = 20130407;
+};
+
+struct FioStreamStats {
+  NodeId mem_node = 0;             ///< Where the stream's buffer landed.
+  const PcieDevice* device = nullptr;
+  sim::Gbps avg_rate = 0.0;        ///< Bytes / lifetime of the stream.
+  /// Time-weighted coefficient of variation of the stream's rate. The
+  /// paper reports single long-transfer averages because "the bandwidth
+  /// performance is stable over the whole data transfer process" (§V-B);
+  /// this field lets callers check that stability claim.
+  double rate_cv = 0.0;
+};
+
+struct FioResult {
+  /// Average aggregate bandwidth: total bytes over the job's makespan —
+  /// the quantity the paper reports.
+  sim::Gbps aggregate = 0.0;
+  sim::Ns duration = 0.0;
+  std::vector<FioStreamStats> streams;
+};
+
+/// Total bytes over the overall makespan of several concurrently-run jobs
+/// (all jobs of run_concurrent start together). This is the "overall
+/// bandwidth" of the paper's Eq. 1 validation.
+sim::Gbps combined_aggregate(const std::vector<FioResult>& results);
+
+/// Low-level stream construction, shared by FioRunner and the online
+/// scheduler (model/online.h): the solver footprint and rate limits of one
+/// stream of `engine` issued from cpu_node against a buffer on mem_node.
+struct StreamOptions {
+  int iodepth = 16;
+  double rho_factor = 1.0;        ///< Extra engine-efficiency multiplier.
+  double stream_cap_factor = 1.0; ///< Extra per-stream cap multiplier.
+  double extra_cpu_app_per_gbps = 0.0;
+  bool synchronous = false;       ///< Queue devices: one request in flight.
+};
+
+struct StreamShape {
+  std::vector<sim::Usage> usages;  ///< Includes the engine occupancy term.
+  sim::Gbps rate_cap = sim::kUnlimited;
+  double tau = 0.0;                ///< Engine seconds-per-bit weight used.
+};
+
+StreamShape shape_stream(fabric::Machine& machine, const PcieDevice& device,
+                         const std::string& engine, NodeId cpu_node,
+                         NodeId mem_node, const StreamOptions& options = {});
+
+/// Placement-aware variant: the stream's buffer spans several nodes
+/// (interleaved policy); DMA traffic splits across the per-node paths in
+/// proportion to the page shares and the engine occupancy / window limits
+/// compose harmonically over them.
+StreamShape shape_stream(
+    fabric::Machine& machine, const PcieDevice& device,
+    const std::string& engine, NodeId cpu_node,
+    std::span<const std::pair<NodeId, sim::Bytes>> placements,
+    const StreamOptions& options = {});
+
+/// A job with an absolute start time, for open-loop arrival workloads.
+struct TimedJob {
+  FioJob job;
+  sim::Ns start = 0.0;
+};
+
+class FioRunner {
+ public:
+  explicit FioRunner(nm::Host& host) : host_(host) {}
+
+  /// Runs one job alone on the host.
+  FioResult run(const FioJob& job);
+
+  /// Runs several jobs concurrently (multi-user scenario); results are
+  /// indexed like `jobs`.
+  std::vector<FioResult> run_concurrent(const std::vector<FioJob>& jobs);
+
+  /// Runs jobs that start at the given absolute times (an open-loop
+  /// arrival process); results are indexed like `jobs`.
+  std::vector<FioResult> run_timed(const std::vector<TimedJob>& jobs);
+
+  /// One resource's steady-state load under a diagnosed job.
+  struct ResourceLoad {
+    std::string name;
+    double utilization = 0.0;  ///< Weighted load / capacity.
+    sim::Gbps capacity = 0.0;
+  };
+
+  /// Sets the job's steady-state flows up, solves once, and reports every
+  /// finite-capacity resource the job touches, most utilized first — the
+  /// answer to "what is actually limiting this transfer?" (§I-A: "the
+  /// performance bottleneck can reside in any of these"). No data moves;
+  /// the host is left unchanged.
+  std::vector<ResourceLoad> diagnose(const FioJob& job);
+
+ private:
+  nm::Host& host_;
+};
+
+}  // namespace numaio::io

@@ -1,0 +1,229 @@
+#include "io/jobfile.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/nic.h"
+#include "io/ssd.h"
+
+namespace numaio::io {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("job file line " + std::to_string(line) +
+                              ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Raw option bag for one section; engine resolution happens at the end so
+/// [global] defaults can be overridden per job in any order.
+struct Section {
+  std::string name;
+  std::string ioengine;
+  std::string rw;
+  sim::Bytes block_size = 0;
+  int iodepth = 0;
+  sim::Bytes size = 0;
+  int numjobs = 0;
+  int cpu_node = -1;
+  bool has_cpu_node = false;
+};
+
+void apply_key(Section& s, const std::string& key, const std::string& value,
+               int line) {
+  if (key == "ioengine") {
+    s.ioengine = lower(value);
+  } else if (key == "rw") {
+    s.rw = lower(value);
+  } else if (key == "bs" || key == "blocksize") {
+    s.block_size = parse_size(value);
+  } else if (key == "iodepth") {
+    s.iodepth = std::stoi(value);
+    if (s.iodepth <= 0) fail(line, "iodepth must be positive");
+  } else if (key == "size") {
+    s.size = parse_size(value);
+  } else if (key == "numjobs") {
+    s.numjobs = std::stoi(value);
+    if (s.numjobs <= 0) fail(line, "numjobs must be positive");
+  } else if (key == "cpunodebind" || key == "numa_cpu_nodes") {
+    s.cpu_node = std::stoi(value);
+    s.has_cpu_node = true;
+    if (s.cpu_node < 0) fail(line, "cpunodebind must be non-negative");
+  } else {
+    fail(line, "unknown option '" + key + "'");
+  }
+}
+
+void inherit(Section& job, const Section& global) {
+  if (job.ioengine.empty()) job.ioengine = global.ioengine;
+  if (job.rw.empty()) job.rw = global.rw;
+  if (job.block_size == 0) job.block_size = global.block_size;
+  if (job.iodepth == 0) job.iodepth = global.iodepth;
+  if (job.size == 0) job.size = global.size;
+  if (job.numjobs == 0) job.numjobs = global.numjobs;
+  if (!job.has_cpu_node && global.has_cpu_node) {
+    job.cpu_node = global.cpu_node;
+    job.has_cpu_node = true;
+  }
+}
+
+std::string engine_name(const Section& s) {
+  const bool write = s.rw == "write";
+  if (s.rw != "read" && s.rw != "write") {
+    throw std::invalid_argument("job '" + s.name +
+                                "': rw must be read or write, got '" +
+                                s.rw + "'");
+  }
+  if (s.ioengine == "net" || s.ioengine == "tcp") {
+    return write ? kTcpSend : kTcpRecv;
+  }
+  if (s.ioengine == "rdma") {
+    return write ? kRdmaWrite : kRdmaRead;
+  }
+  if (s.ioengine == "libaio") {
+    return write ? kSsdWrite : kSsdRead;
+  }
+  throw std::invalid_argument("job '" + s.name +
+                              "': unknown ioengine '" + s.ioengine + "'");
+}
+
+}  // namespace
+
+sim::Bytes parse_size(const std::string& text) {
+  const std::string t = trim(lower(text));
+  if (t.empty()) throw std::invalid_argument("empty size literal");
+  sim::Bytes multiplier = 1;
+  std::string digits = t;
+  const char suffix = t.back();
+  if (suffix == 'k') {
+    multiplier = sim::kKiB;
+    digits = t.substr(0, t.size() - 1);
+  } else if (suffix == 'm') {
+    multiplier = sim::kMiB;
+    digits = t.substr(0, t.size() - 1);
+  } else if (suffix == 'g') {
+    multiplier = sim::kGiB;
+    digits = t.substr(0, t.size() - 1);
+  }
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c); })) {
+    throw std::invalid_argument("bad size literal '" + text + "'");
+  }
+  return static_cast<sim::Bytes>(std::stoull(digits)) * multiplier;
+}
+
+JobFile parse_job_file(const std::string& text) {
+  Section global;
+  global.name = "global";
+  std::vector<Section> sections;
+  Section* current = nullptr;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments, then whitespace.
+    const auto comment = raw.find_first_of("#;");
+    std::string line = trim(comment == std::string::npos
+                                ? raw
+                                : raw.substr(0, comment));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        fail(line_no, "malformed section header");
+      }
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      if (lower(name) == "global") {
+        current = &global;
+      } else {
+        sections.push_back(Section{});
+        sections.back().name = name;
+        current = &sections.back();
+      }
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key=value");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+    if (current == nullptr) {
+      fail(line_no, "option before any section header");
+    }
+    try {
+      apply_key(*current, key, value, line_no);
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      fail(line_no, "bad value '" + value + "' for '" + key + "'");
+    }
+  }
+
+  if (sections.empty()) {
+    throw std::invalid_argument("job file defines no jobs");
+  }
+
+  JobFile file;
+  for (Section& s : sections) {
+    inherit(s, global);
+    if (s.ioengine.empty()) {
+      throw std::invalid_argument("job '" + s.name + "': missing ioengine");
+    }
+    if (!s.has_cpu_node) {
+      throw std::invalid_argument("job '" + s.name +
+                                  "': missing cpunodebind");
+    }
+    JobFileEntry entry;
+    entry.name = s.name;
+    entry.job.engine = engine_name(s);
+    entry.job.cpu_node = s.cpu_node;
+    if (s.numjobs > 0) entry.job.num_streams = s.numjobs;
+    if (s.block_size > 0) entry.job.block_size = s.block_size;
+    if (s.iodepth > 0) entry.job.iodepth = s.iodepth;
+    if (s.size > 0) entry.job.bytes_per_stream = s.size;
+    file.jobs.push_back(std::move(entry));
+  }
+  return file;
+}
+
+std::vector<FioJob> resolve_jobs(const JobFile& file, const DeviceSet& set) {
+  std::vector<FioJob> jobs;
+  for (const JobFileEntry& entry : file.jobs) {
+    FioJob job = entry.job;
+    const bool is_ssd = job.engine.rfind("ssd", 0) == 0;
+    if (is_ssd) {
+      if (set.ssds.empty()) {
+        throw std::invalid_argument("job '" + entry.name +
+                                    "' needs SSDs but the set has none");
+      }
+      job.devices = set.ssds;
+    } else {
+      if (set.nic == nullptr) {
+        throw std::invalid_argument("job '" + entry.name +
+                                    "' needs a NIC but the set has none");
+      }
+      job.devices = {set.nic};
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace numaio::io

@@ -1,0 +1,100 @@
+#include "io/nic.h"
+
+namespace numaio::io {
+
+const char* complementary_engine(const std::string& engine) {
+  if (engine == kTcpSend) return kTcpRecv;
+  if (engine == kTcpRecv) return kTcpSend;
+  if (engine == kRdmaWrite) return kRdmaRead;
+  if (engine == kRdmaRead) return kRdmaWrite;
+  return nullptr;
+}
+
+std::unique_ptr<PcieDevice> make_connectx3(fabric::Machine& machine,
+                                           NodeId node,
+                                           NodeId residual_origin) {
+  const NodeId shift = residual_origin - 7;
+  std::vector<EngineSpec> engines;
+
+  // TCP send: device-cap-bound on good paths (~20.9), engine-window-bound
+  // on the weak {2,3}->7 paths (16200/1000 ns = 16.2 Gbps, the Table IV
+  // class-3 value). One stream is window-limited to ~6.5 Gbps
+  // (34450 bits over 5 us network RTT + host path latency), so aggregate
+  // grows until ~4 parallel streams (Fig 5).
+  {
+    EngineSpec e;
+    e.name = kTcpSend;
+    e.to_device = true;
+    e.device_cap = 20.9;
+    e.window_bits = 16200.0;
+    e.stream_window_bits = 34450.0;
+    e.stream_extra_rtt_ns = 5000.0;  // 0.005 ms ping RTT (§III-A)
+    e.cpu_app_per_gbps = 1.0;
+    e.cpu_irq_per_gbps = 0.4;
+    e.jitter_stddev = 0.05;
+    e.jitter_threshold = 4;
+    engines.push_back(std::move(e));
+  }
+
+  // TCP receive: slightly higher ceiling (receive path has no congestion
+  // control stall), window 18750 bits. Residuals: the paper's own Table V
+  // shows {2,3} and especially {4} falling below what the NUMA paths
+  // explain — "the I/O bandwidth bottleneck is not related [to] the NUMA
+  // penalties" (§V-A) — so those cells carry measured residuals.
+  {
+    EngineSpec e;
+    e.name = kTcpRecv;
+    e.to_device = false;
+    e.device_cap = 21.8;
+    e.window_bits = 18750.0;
+    e.stream_window_bits = 34450.0;
+    e.stream_extra_rtt_ns = 5000.0;
+    e.cpu_app_per_gbps = 1.0;
+    e.cpu_irq_per_gbps = 0.4;
+    e.jitter_stddev = 0.05;
+    e.jitter_threshold = 4;
+    if (node == residual_origin) {
+      // Measured residuals of the paper's testbed; they belong to the
+      // node-7 device placement specifically (§V-A: some I/O differences
+      // are "not related [to] the NUMA penalties").
+      e.residual = {{2 + shift, 0.92}, {3 + shift, 0.92},
+                    {4 + shift, 0.795}};
+    }
+    engines.push_back(std::move(e));
+  }
+
+  // RDMA write: fully offloaded (negligible CPU), 23.3 Gbps ceiling,
+  // window 17100 bits -> 17.1 Gbps on the {2,3}->7 paths (Table IV).
+  {
+    EngineSpec e;
+    e.name = kRdmaWrite;
+    e.to_device = true;
+    e.device_cap = 23.3;
+    e.window_bits = 17100.0;
+    e.per_stream_cap = 11.8;  // one QP's issue rate
+    e.cpu_app_per_gbps = 0.05;
+    e.cpu_irq_per_gbps = 0.08;
+    engines.push_back(std::move(e));
+  }
+
+  // RDMA read: 22.0 Gbps ceiling, window 16650 bits. Over the calibrated
+  // 7->{0,1,5} (910 ns) and 7->4 (1035 ns) paths this gives 18.3 and
+  // 16.1 Gbps — the Table V classes that *invert* the STREAM ordering of
+  // {0,1} vs {2,3}.
+  {
+    EngineSpec e;
+    e.name = kRdmaRead;
+    e.to_device = false;
+    e.device_cap = 22.0;
+    e.window_bits = 16650.0;
+    e.per_stream_cap = 11.8;
+    e.cpu_app_per_gbps = 0.05;
+    e.cpu_irq_per_gbps = 0.08;
+    engines.push_back(std::move(e));
+  }
+
+  return std::make_unique<PcieDevice>(machine, "mlx4_0", node, PcieLink{},
+                                      std::move(engines));
+}
+
+}  // namespace numaio::io

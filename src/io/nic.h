@@ -1,0 +1,42 @@
+// The 40 GbE RDMA-capable network adapter of the paper's testbed
+// (Mellanox ConnectX-3 EN dual-port, RoCE, Table II), with four transfer
+// personalities:
+//   tcp_send / tcp_recv   — kernel TCP (cubic, 128 KB blocks, MTU 9000)
+//   rdma_write / rdma_read — offloaded one-sided RDMA
+//
+// Calibration targets (per-binding aggregates at >= 4 streams):
+//   Table IV (send side):  TCP 20.3/20.4/16.2, RDMA_WRITE 23.3/23.2/17.1
+//   Table V  (recv side):  TCP 21.2/20.0/20.6/14.4, RDMA_READ
+//                          22.0/22.0/18.3/16.1
+// TCP burns ~1 CPU unit per Gbps on the application node plus interrupt
+// work on the device-local node, which is what makes binding on node 7
+// *worse* than its neighbor node 6 (§IV-B1); RDMA offloads protocol work
+// and stays stable.
+#pragma once
+
+#include <memory>
+
+#include "io/device.h"
+
+namespace numaio::io {
+
+inline constexpr char kTcpSend[] = "tcp_send";
+inline constexpr char kTcpRecv[] = "tcp_recv";
+inline constexpr char kRdmaWrite[] = "rdma_write";
+inline constexpr char kRdmaRead[] = "rdma_read";
+
+/// Builds the ConnectX-3 model attached to `node` (node 7 in the paper).
+/// The measured placement residuals of the paper's testbed apply when the
+/// NIC sits in that placement; `residual_origin` names the node playing
+/// the role of the paper's node 7 (for host B of a pair, its own node 7 in
+/// pair numbering), shifting the residual keys accordingly. Any other
+/// placement gets no residuals.
+std::unique_ptr<PcieDevice> make_connectx3(fabric::Machine& machine,
+                                           NodeId node,
+                                           NodeId residual_origin = 7);
+
+/// The personality the *other* end of a connection runs: our send is the
+/// peer's receive and vice versa. Returns nullptr for non-network engines.
+const char* complementary_engine(const std::string& engine);
+
+}  // namespace numaio::io

@@ -1,0 +1,40 @@
+// PCI Express link model.
+//
+// The paper's devices sit on PCIe Gen 2 x8: 5 GT/s per lane with 8b/10b
+// encoding, so 40 Gbps raw becomes 32 Gbps of data bandwidth per direction
+// (§IV-B1) — which is why 25 Gbps of application throughput is "very close
+// to the theoretical performance limit".
+#pragma once
+
+#include "simcore/units.h"
+
+namespace numaio::io {
+
+struct PcieLink {
+  int gen = 2;
+  int lanes = 8;
+
+  /// Raw signalling rate per lane, Gbps.
+  double raw_per_lane() const {
+    switch (gen) {
+      case 1:
+        return 2.5;
+      case 2:
+        return 5.0;
+      case 3:
+        return 8.0;  // (128b/130b encoding; see data_gbps)
+      default:
+        return 5.0;
+    }
+  }
+
+  /// Encoding efficiency: Gen 1/2 use 8b/10b, Gen 3+ 128b/130b.
+  double encoding_efficiency() const { return gen <= 2 ? 0.8 : 128.0 / 130.0; }
+
+  /// Usable data bandwidth per direction, Gbps.
+  sim::Gbps data_gbps() const {
+    return raw_per_lane() * lanes * encoding_efficiency();
+  }
+};
+
+}  // namespace numaio::io

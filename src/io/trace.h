@@ -1,0 +1,42 @@
+// Transfer-trace import/export. A production data-mover's request log
+// replays against the simulated host, so placement policies can be
+// evaluated on *real* arrival patterns rather than synthetic ones
+// (the workflow the paper's DOE data-transfer deployments [25] imply).
+//
+// CSV format, one request per line, '#' comments allowed:
+//
+//   # time_s,engine,cpu_node,gib
+//   0.000,rdma_write,7,32
+//   1.250,tcp_recv,2,8
+//
+// time_s is the arrival time in seconds; gib the payload in GiB.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/fio.h"
+
+namespace numaio::io {
+
+struct TraceEntry {
+  sim::Ns arrival = 0.0;
+  std::string engine;
+  NodeId cpu_node = 0;
+  sim::Bytes bytes = 0;
+};
+
+/// Parses the CSV text; throws std::invalid_argument with line numbers.
+std::vector<TraceEntry> parse_trace(const std::string& text);
+
+/// Renders entries back to CSV (header comment included). Round-trips
+/// through parse_trace().
+std::string format_trace(const std::vector<TraceEntry>& entries);
+
+/// Builds timed single-stream jobs for the entries against a device set
+/// (SSD engines get the SSD cards, network engines the NIC).
+std::vector<TimedJob> trace_to_jobs(const std::vector<TraceEntry>& entries,
+                                    const PcieDevice* nic,
+                                    const std::vector<const PcieDevice*>& ssds);
+
+}  // namespace numaio::io

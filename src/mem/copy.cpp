@@ -1,0 +1,75 @@
+#include "mem/copy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace numaio::mem {
+
+namespace {
+
+int effective_threads(const fabric::Machine& machine, const CopyTask& task) {
+  const int cores = machine.cores_per_node(task.threads_node);
+  const int t = task.threads == 0 ? cores : task.threads;
+  assert(t > 0);
+  return std::min(t, cores);
+}
+
+/// Per-node-aggregate PIO bandwidth of a pure load stream from `threads` on
+/// node t against memory on node m. Derived from the calibrated STREAM
+/// matrix: a STREAM Copy against a single node m drives both a load leg and
+/// a (discounted) store leg at the same rate, so
+///   stream_bw = leg / (1 + kPioStoreFactor).
+double pio_leg_bw(const fabric::Machine& machine, NodeId t, NodeId m) {
+  return machine.path(t, m).stream_bw * (1.0 + kPioStoreFactor);
+}
+
+}  // namespace
+
+sim::Gbps copy_rate_cap(const fabric::Machine& machine, const CopyTask& task) {
+  const int threads = effective_threads(machine, task);
+  const int cores = machine.cores_per_node(task.threads_node);
+  const double thread_scale =
+      static_cast<double>(threads) / static_cast<double>(cores);
+
+  switch (task.engine) {
+    case CopyEngine::kPio: {
+      // A PIO copy splits each thread's issue budget between loads from
+      // src and posted stores to dst; the two legs run at the same byte
+      // rate R, so R * (1/leg_src + kappa/leg_dst) = 1 at saturation.
+      const double leg_src = pio_leg_bw(machine, task.threads_node,
+                                        task.src_node);
+      const double leg_dst = pio_leg_bw(machine, task.threads_node,
+                                        task.dst_node);
+      const double rate =
+          1.0 / (1.0 / leg_src + kPioStoreFactor / leg_dst);
+      return rate * thread_scale;
+    }
+    case CopyEngine::kStreaming: {
+      // Window-limited per path leg; both legs carry the full rate.
+      const auto& machine_paths = machine.profile().paths;
+      double cap = kStreamingWindowBits /
+                   machine_paths.at(task.src_node, task.threads_node).dma_lat;
+      cap = std::min(cap, kStreamingWindowBits /
+                              machine_paths.at(task.threads_node,
+                                               task.dst_node).dma_lat);
+      return cap * thread_scale;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<sim::Usage> copy_usages(const fabric::Machine& machine,
+                                    const CopyTask& task) {
+  return machine.copy_usages(task.threads_node, task.src_node, task.dst_node);
+}
+
+sim::Gbps run_copy_alone(fabric::Machine& machine, const CopyTask& task) {
+  auto& solver = machine.solver();
+  const sim::FlowId flow =
+      solver.add_flow(copy_usages(machine, task), copy_rate_cap(machine, task));
+  const sim::Gbps rate = solver.solve()[flow];
+  solver.remove_flow(flow);
+  return rate;
+}
+
+}  // namespace numaio::mem

@@ -1,0 +1,58 @@
+// Bulk memory-copy engines over the simulated fabric.
+//
+// The paper distinguishes two ways bytes move through a NUMA host (§IV-C):
+//  - kPio: a CPU load/store loop (what STREAM does). Throughput is bounded
+//    by the issuing node's outstanding-request budget over its PIO path,
+//    and every byte makes a round trip: loaded src -> threads, stored
+//    threads -> dst.
+//  - kStreaming: offloaded bulk transfer (a device DMA engine, or the
+//    non-temporal/streaming copy the proposed methodology uses to *imitate*
+//    a DMA engine). Throughput is bounded by the streaming path capacity.
+// The same CopyTask can be run on either engine, which is exactly the
+// comparison the paper draws.
+#pragma once
+
+#include <vector>
+
+#include "fabric/machine.h"
+#include "simcore/flow_solver.h"
+
+namespace numaio::mem {
+
+using topo::NodeId;
+
+enum class CopyEngine {
+  kPio,
+  kStreaming,
+};
+
+struct CopyTask {
+  NodeId threads_node = 0;  ///< Node the copy threads are pinned to.
+  NodeId src_node = 0;      ///< Memory node of the source buffer.
+  NodeId dst_node = 0;      ///< Memory node of the destination buffer.
+  int threads = 0;          ///< 0 = all cores of threads_node.
+  CopyEngine engine = CopyEngine::kStreaming;
+};
+
+/// Fraction of a PIO thread's issue budget a (posted) store consumes
+/// relative to a load. Loads wait for data; stores post and continue.
+inline constexpr double kPioStoreFactor = 0.35;
+
+/// Outstanding bits of a streaming copy engine. Large enough that streaming
+/// copies are fabric-capacity-bound, not window-bound, on every path of the
+/// calibrated host — the property that lets them stand in for device DMA.
+inline constexpr double kStreamingWindowBits = 60000.0;
+
+/// The task's own aggregate rate cap (its engine/window limit), before any
+/// sharing with concurrent tasks.
+sim::Gbps copy_rate_cap(const fabric::Machine& machine, const CopyTask& task);
+
+/// The fabric resources the task occupies (both legs of the copy).
+std::vector<sim::Usage> copy_usages(const fabric::Machine& machine,
+                                    const CopyTask& task);
+
+/// Steady-state bandwidth of the task run alone on the machine: its rate
+/// cap subject to fabric/memory-controller capacities.
+sim::Gbps run_copy_alone(fabric::Machine& machine, const CopyTask& task);
+
+}  // namespace numaio::mem

@@ -1,0 +1,60 @@
+// The STREAM benchmark (McCalpin [15]) over the simulated host, following
+// the paper's protocol exactly (§III-B1, §IV-A):
+//  - four kernels (Copy/Scale/Add/Triad) on large arrays,
+//  - arrays at least 4x the LLC, or the run is cache-contaminated,
+//  - multi-threaded (one thread per core of the executing node),
+//  - each configuration run 100 times, reporting the *maximum*,
+//  - CPU and memory nodes pinned externally (numactl-style),
+//  - Copy is the kernel used for characterization (no computation, closest
+//    to I/O transfer behaviour).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nm/host.h"
+#include "simcore/rng.h"
+
+namespace numaio::mem {
+
+using topo::NodeId;
+
+enum class StreamKind { kCopy, kScale, kAdd, kTriad };
+
+std::string to_string(StreamKind kind);
+
+struct StreamConfig {
+  StreamKind kind = StreamKind::kCopy;
+  /// Array length in 8-byte elements. Default follows the paper: the LLC is
+  /// 5 MB, so arrays must hold at least 2,621,440 "long integers" (20 MB).
+  std::uint64_t array_elems = 2'621'440;
+  int threads = 0;          ///< 0 = all cores of the executing node.
+  int repetitions = 100;
+  std::uint64_t seed = 20130213;  ///< Master seed for run-to-run noise.
+};
+
+struct StreamResult {
+  sim::Gbps best = 0.0;   ///< Max over repetitions (what the paper reports).
+  sim::Gbps mean = 0.0;
+  sim::Gbps worst = 0.0;
+  /// True when the arrays were too small relative to the LLC, so results
+  /// are inflated by cache reuse and untrustworthy for characterization.
+  bool cache_contaminated = false;
+};
+
+class StreamBenchmark {
+ public:
+  StreamBenchmark(nm::Host& host, StreamConfig config);
+
+  /// Runs the benchmark with threads pinned to cpu_node and all arrays
+  /// allocated on mem_node (the numactl binding of §IV-A).
+  StreamResult run(NodeId cpu_node, NodeId mem_node);
+
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  nm::Host& host_;
+  StreamConfig config_;
+};
+
+}  // namespace numaio::mem

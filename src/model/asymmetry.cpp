@@ -1,0 +1,80 @@
+#include "model/asymmetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace numaio::model {
+
+std::vector<AsymmetricPair> find_asymmetric_pairs(
+    const mem::BandwidthMatrix& bw, double min_ratio) {
+  std::vector<AsymmetricPair> pairs;
+  const int n = bw.num_nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double fwd = bw.at(a, b);
+      const double bwd = bw.at(b, a);
+      if (fwd <= 0.0 || bwd <= 0.0) continue;  // unmeasured cell
+      AsymmetricPair p;
+      if (fwd >= bwd) {
+        p.strong_src = a;
+        p.strong_dst = b;
+        p.forward = fwd;
+        p.backward = bwd;
+      } else {
+        p.strong_src = b;
+        p.strong_dst = a;
+        p.forward = bwd;
+        p.backward = fwd;
+      }
+      p.ratio = p.forward / p.backward;
+      if (p.ratio >= min_ratio) pairs.push_back(p);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const AsymmetricPair& x, const AsymmetricPair& y) {
+              if (x.ratio != y.ratio) return x.ratio > y.ratio;
+              if (x.strong_src != y.strong_src) {
+                return x.strong_src < y.strong_src;
+              }
+              return x.strong_dst < y.strong_dst;
+            });
+  return pairs;
+}
+
+mem::BandwidthMatrix iomodel_matrix(nm::Host& host, NodeId target,
+                                    const IoModelConfig& config) {
+  const int n = host.num_configured_nodes();
+  mem::BandwidthMatrix m;
+  m.bw.assign(static_cast<std::size_t>(n),
+              std::vector<sim::Gbps>(static_cast<std::size_t>(n), 0.0));
+  const auto write =
+      build_iomodel(host, target, Direction::kDeviceWrite, config);
+  const auto read =
+      build_iomodel(host, target, Direction::kDeviceRead, config);
+  for (NodeId i = 0; i < n; ++i) {
+    // Write model: data streams i -> target; read model: target -> i.
+    m.bw[static_cast<std::size_t>(i)][static_cast<std::size_t>(target)] =
+        write.bw[static_cast<std::size_t>(i)];
+    m.bw[static_cast<std::size_t>(target)][static_cast<std::size_t>(i)] =
+        read.bw[static_cast<std::size_t>(i)];
+  }
+  return m;
+}
+
+std::vector<std::string> describe(
+    const std::vector<AsymmetricPair>& pairs) {
+  std::vector<std::string> lines;
+  char buf[160];
+  for (const AsymmetricPair& p : pairs) {
+    std::snprintf(buf, sizeof(buf),
+                  "%d->%d runs %.1fx faster than %d->%d (%.1f vs %.1f "
+                  "Gbps): suspect unganged link or starved response "
+                  "buffers on the return direction",
+                  p.strong_src, p.strong_dst, p.ratio, p.strong_dst,
+                  p.strong_src, p.forward, p.backward);
+    lines.emplace_back(buf);
+  }
+  return lines;
+}
+
+}  // namespace numaio::model

@@ -1,0 +1,45 @@
+// Asymmetry diagnosis — the paper's second future-work direction (§VI):
+// "we will study more delicate issues such as architectural details
+// leading to performance asymmetry".
+//
+// Given a measured bandwidth matrix, find the directed node pairs whose
+// two directions disagree beyond a threshold — the fingerprints of
+// unganged link directions, starved response buffers, or asymmetric
+// routing (§IV-A attributes the STREAM asymmetry to "the number of
+// request and response buffers, and link width configuration"). On the
+// calibrated host this pinpoints {2,3}<->{6,7} and {6,7}->4; on an
+// idealized derived host it finds nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/membench.h"
+#include "model/iomodel.h"
+
+namespace numaio::model {
+
+struct AsymmetricPair {
+  NodeId strong_src = 0;  ///< Direction with the higher bandwidth.
+  NodeId strong_dst = 0;
+  sim::Gbps forward = 0.0;   ///< strong_src -> strong_dst.
+  sim::Gbps backward = 0.0;  ///< strong_dst -> strong_src.
+  double ratio = 1.0;        ///< forward / backward (>= 1).
+};
+
+/// Scans an (a, b) bandwidth matrix for pairs where one direction exceeds
+/// the other by more than `min_ratio`. Sorted by descending ratio.
+std::vector<AsymmetricPair> find_asymmetric_pairs(
+    const mem::BandwidthMatrix& bw, double min_ratio = 1.15);
+
+/// Builds a DMA-path bandwidth matrix from the two iomodel sweeps of one
+/// target (write model fills column `target`, read model fills the row),
+/// restricted to those anchored cells — the paper's methodology applied
+/// to asymmetry hunting without any I/O device.
+mem::BandwidthMatrix iomodel_matrix(nm::Host& host, NodeId target,
+                                    const IoModelConfig& config = {});
+
+/// One-line descriptions of the findings for reports.
+std::vector<std::string> describe(const std::vector<AsymmetricPair>& pairs);
+
+}  // namespace numaio::model

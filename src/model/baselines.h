@@ -1,0 +1,56 @@
+// Baseline models the paper compares (and finds wanting):
+//
+//  - Hop-distance model (§I-A): "most of current performance models and
+//    resource assignment algorithms for NUMA architecture are based on
+//    hop-distance, directly or indirectly". We implement it honestly: fit
+//    one bandwidth level per hop count from a measured matrix, then
+//    predict per-binding I/O bandwidth and classes from hops alone.
+//  - STREAM-derived models (Fig 4) are in mem/membench.h.
+//
+// The benches score these against the iomodel on the same footing
+// (rank agreement, class accuracy), which is the paper's §IV argument
+// made quantitative.
+#pragma once
+
+#include <vector>
+
+#include "mem/membench.h"
+#include "model/classify.h"
+#include "topo/routing.h"
+
+namespace numaio::model {
+
+/// A fitted hop-distance bandwidth model: one level per hop count.
+struct HopModel {
+  /// level[h] = mean measured bandwidth over all pairs at h hops.
+  std::vector<sim::Gbps> level;
+
+  sim::Gbps predict(int hops) const {
+    const auto h = static_cast<std::size_t>(hops);
+    return h < level.size() ? level[h] : level.back();
+  }
+};
+
+/// Fits the hop model from a measured (cpu x mem) bandwidth matrix and
+/// the host's nominal wiring.
+HopModel fit_hop_model(const mem::BandwidthMatrix& bw,
+                       const topo::Topology& topo);
+
+/// Per-node bandwidth prediction for bindings against `target`
+/// (prediction for node i = level[hops(i, target)]).
+std::vector<sim::Gbps> predict_for_target(const HopModel& model,
+                                          const topo::Topology& topo,
+                                          NodeId target);
+
+/// Classes implied by hop distance from `target`: one class per hop count
+/// (hop 0 and the package neighbor share class 1, mirroring the paper's
+/// local+neighbor convention).
+Classification classify_by_hops(const topo::Topology& topo, NodeId target);
+
+/// Fraction of nodes two classifications place in the same relative class
+/// order: for every node pair ordered by `reference` class, does `other`
+/// agree? (1.0 = identical orderings, skips same-class pairs.)
+double class_agreement(const Classification& reference,
+                       const Classification& other);
+
+}  // namespace numaio::model

@@ -1,0 +1,232 @@
+#include "model/characterize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace numaio::model {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("host model line " + std::to_string(line) +
+                              ": " + what);
+}
+
+const char* dir_name(Direction dir) {
+  return dir == Direction::kDeviceWrite ? "write" : "read";
+}
+
+/// Rebuilds class statistics (avg/range/class_of) from memberships plus
+/// the model's bandwidth vector.
+Classification rebuild_classification(
+    const std::vector<std::vector<NodeId>>& members,
+    const std::vector<sim::Gbps>& bw) {
+  Classification c;
+  c.classes = members;
+  c.class_of.assign(bw.size(), 0);
+  for (std::size_t cls = 0; cls < members.size(); ++cls) {
+    double sum = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = 0.0;
+    for (NodeId v : members[cls]) {
+      const double value = bw[static_cast<std::size_t>(v)];
+      sum += value;
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+      c.class_of[static_cast<std::size_t>(v)] = static_cast<int>(cls);
+    }
+    c.class_avg.push_back(sum / static_cast<double>(members[cls].size()));
+    c.class_range.emplace_back(lo, hi);
+  }
+  return c;
+}
+
+}  // namespace
+
+HostModel characterize_host(nm::Host& host,
+                            const CharacterizeConfig& config) {
+  HostModel model;
+  model.host_name = host.machine().profile().name;
+  model.num_nodes = host.num_configured_nodes();
+  const topo::Topology& topo = host.machine().topology();
+  for (NodeId target = 0; target < model.num_nodes; ++target) {
+    model.write_models.push_back(build_iomodel(
+        host, target, Direction::kDeviceWrite, config.iomodel));
+    model.read_models.push_back(build_iomodel(
+        host, target, Direction::kDeviceRead, config.iomodel));
+    model.write_classes.push_back(
+        classify(model.write_models.back(), topo, config.classify));
+    model.read_classes.push_back(
+        classify(model.read_models.back(), topo, config.classify));
+  }
+  return model;
+}
+
+int best_remote_class(const HostModel& model, NodeId device_node,
+                      Direction dir) {
+  const Classification& c = model.classes_for(device_node, dir);
+  assert(c.num_classes() >= 1);
+  int best = -1;
+  for (int cls = 1; cls < c.num_classes(); ++cls) {
+    if (best < 0 || c.class_avg[static_cast<std::size_t>(cls)] >
+                        c.class_avg[static_cast<std::size_t>(best)]) {
+      best = cls;
+    }
+  }
+  return best < 0 ? 0 : best;
+}
+
+std::string serialize(const HostModel& model) {
+  std::ostringstream out;
+  out << "numaio-model v1\n";
+  out << "host " << model.host_name << " nodes " << model.num_nodes << '\n';
+  auto emit = [&](const IoModelResult& m, const Classification& c,
+                  Direction dir) {
+    out << "model " << m.target << ' ' << dir_name(dir);
+    out << std::setprecision(17);
+    for (double v : m.bw) out << ' ' << v;
+    out << '\n';
+    out << "classes " << m.target << ' ' << dir_name(dir) << ' '
+        << c.num_classes();
+    for (const auto& cls : c.classes) {
+      out << " {";
+      for (NodeId v : cls) out << ' ' << v;
+      out << " }";
+    }
+    out << '\n';
+  };
+  for (int t = 0; t < model.num_nodes; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    emit(model.write_models[ti], model.write_classes[ti],
+         Direction::kDeviceWrite);
+    emit(model.read_models[ti], model.read_classes[ti],
+         Direction::kDeviceRead);
+  }
+  out << "end\n";
+  return out.str();
+}
+
+HostModel parse_host_model(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "numaio-model v1") {
+    fail(line_no, "expected header 'numaio-model v1'");
+  }
+  if (!next_line()) fail(line_no, "missing host line");
+  HostModel model;
+  {
+    std::istringstream ls(line);
+    std::string kw, nodes_kw;
+    if (!(ls >> kw >> model.host_name >> nodes_kw >> model.num_nodes) ||
+        kw != "host" || nodes_kw != "nodes" || model.num_nodes <= 0) {
+      fail(line_no, "malformed host line");
+    }
+  }
+  const auto n = static_cast<std::size_t>(model.num_nodes);
+  model.write_models.resize(n);
+  model.read_models.resize(n);
+  model.write_classes.resize(n);
+  model.read_classes.resize(n);
+  std::vector<bool> seen_model(2 * n, false);
+  std::vector<bool> seen_classes(2 * n, false);
+
+  while (next_line() && line != "end") {
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    int target = -1;
+    std::string dir;
+    if (!(ls >> target >> dir) || target < 0 || target >= model.num_nodes ||
+        (dir != "write" && dir != "read")) {
+      fail(line_no, "malformed record header");
+    }
+    const bool write = dir == "write";
+    const std::size_t slot =
+        static_cast<std::size_t>(target) * 2 + (write ? 0 : 1);
+    if (kw == "model") {
+      IoModelResult m;
+      m.target = target;
+      m.direction = write ? Direction::kDeviceWrite : Direction::kDeviceRead;
+      double v = 0.0;
+      while (ls >> v) {
+        if (v <= 0.0) fail(line_no, "non-positive bandwidth");
+        m.bw.push_back(v);
+      }
+      if (static_cast<int>(m.bw.size()) != model.num_nodes) {
+        fail(line_no, "bandwidth count mismatch");
+      }
+      (write ? model.write_models : model.read_models)[static_cast<std::size_t>(target)] =
+          std::move(m);
+      seen_model[slot] = true;
+    } else if (kw == "classes") {
+      if (!seen_model[slot]) {
+        fail(line_no, "classes before their model record");
+      }
+      int k = 0;
+      if (!(ls >> k) || k <= 0) fail(line_no, "bad class count");
+      std::vector<std::vector<NodeId>> members;
+      std::string tok;
+      while (ls >> tok) {
+        if (tok == "{") {
+          members.emplace_back();
+        } else if (tok == "}") {
+          if (members.empty() || members.back().empty()) {
+            fail(line_no, "empty class");
+          }
+        } else {
+          if (members.empty()) fail(line_no, "node outside class braces");
+          try {
+            members.back().push_back(std::stoi(tok));
+          } catch (const std::exception&) {
+            fail(line_no, "bad node id '" + tok + "'");
+          }
+          if (members.back().back() < 0 ||
+              members.back().back() >= model.num_nodes) {
+            fail(line_no, "node id out of range");
+          }
+        }
+      }
+      if (static_cast<int>(members.size()) != k) {
+        fail(line_no, "class count mismatch");
+      }
+      // Every node appears exactly once.
+      std::vector<int> count(n, 0);
+      for (const auto& cls : members) {
+        for (NodeId v : cls) ++count[static_cast<std::size_t>(v)];
+      }
+      for (int c : count) {
+        if (c != 1) fail(line_no, "classes must partition the nodes");
+      }
+      const auto& bw =
+          (write ? model.write_models : model.read_models)[static_cast<std::size_t>(target)].bw;
+      (write ? model.write_classes
+             : model.read_classes)[static_cast<std::size_t>(target)] =
+          rebuild_classification(members, bw);
+      seen_classes[slot] = true;
+    } else {
+      fail(line_no, "unknown record '" + kw + "'");
+    }
+  }
+  if (line != "end") fail(line_no, "missing 'end'");
+  for (std::size_t s = 0; s < 2 * n; ++s) {
+    if (!seen_model[s] || !seen_classes[s]) {
+      fail(line_no, "incomplete model: missing records");
+    }
+  }
+  return model;
+}
+
+}  // namespace numaio::model

@@ -1,0 +1,68 @@
+// Whole-host characterization and persistence.
+//
+// §V-B: "The methodology used to model the performance of node 7 can also
+// be generalized to other nodes in the host and other NUMA systems."
+// characterize_host() runs Algorithm 1 for *every* node in both
+// directions and classifies each result — the complete I/O character of a
+// host, computed once (milliseconds of memcpy per node) and cached.
+//
+// The text format is versioned and round-trips exactly:
+//
+//   numaio-model v1
+//   host <name> nodes <n>
+//   model <target> write|read <bw0> <bw1> ... <bwN-1>
+//   classes <target> write|read <k> { <ids> } { <ids> } ...
+//   end
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/classify.h"
+
+namespace numaio::model {
+
+struct HostModel {
+  std::string host_name;
+  int num_nodes = 0;
+  /// Indexed by target node.
+  std::vector<IoModelResult> write_models;
+  std::vector<IoModelResult> read_models;
+  std::vector<Classification> write_classes;
+  std::vector<Classification> read_classes;
+
+  const IoModelResult& model_for(NodeId target, Direction dir) const {
+    return dir == Direction::kDeviceWrite
+               ? write_models[static_cast<std::size_t>(target)]
+               : read_models[static_cast<std::size_t>(target)];
+  }
+  const Classification& classes_for(NodeId target, Direction dir) const {
+    return dir == Direction::kDeviceWrite
+               ? write_classes[static_cast<std::size_t>(target)]
+               : read_classes[static_cast<std::size_t>(target)];
+  }
+};
+
+struct CharacterizeConfig {
+  IoModelConfig iomodel{};
+  ClassifyConfig classify{};
+};
+
+/// Runs Algorithm 1 for every node in both directions and classifies.
+HostModel characterize_host(nm::Host& host,
+                            const CharacterizeConfig& config = {});
+
+/// Best non-local binding class for a device attached to `device_node`:
+/// the highest-average class beyond class 1 (useful when the local nodes
+/// are contended and the scheduler needs the best remote alternative).
+int best_remote_class(const HostModel& model, NodeId device_node,
+                      Direction dir);
+
+/// Serializes to the versioned text format above.
+std::string serialize(const HostModel& model);
+
+/// Parses the text format; throws std::invalid_argument with a line
+/// number on malformed input.
+HostModel parse_host_model(const std::string& text);
+
+}  // namespace numaio::model

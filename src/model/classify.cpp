@@ -1,0 +1,91 @@
+#include "model/classify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace numaio::model {
+
+Classification classify(const IoModelResult& model,
+                        const topo::Topology& topo,
+                        const ClassifyConfig& config) {
+  return classify_values(model.bw, model.target, topo, config);
+}
+
+Classification classify_values(std::span<const sim::Gbps> bw, NodeId target,
+                               const topo::Topology& topo,
+                               const ClassifyConfig& config) {
+  const int n = static_cast<int>(bw.size());
+  assert(n == topo.num_nodes());
+  assert(target >= 0 && target < n);
+
+  Classification result;
+
+  // Class 1: the target and its package neighbors, unconditionally.
+  std::vector<NodeId> first{target};
+  for (NodeId peer : topo.package_peers(target)) first.push_back(peer);
+  std::sort(first.begin(), first.end());
+  std::vector<bool> in_first(static_cast<std::size_t>(n), false);
+  for (NodeId v : first) in_first[static_cast<std::size_t>(v)] = true;
+
+  // Remote nodes, sorted by descending model bandwidth (ties: lower id).
+  std::vector<NodeId> remote;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in_first[static_cast<std::size_t>(v)]) remote.push_back(v);
+  }
+  std::sort(remote.begin(), remote.end(), [&](NodeId a, NodeId b) {
+    const double ba = bw[static_cast<std::size_t>(a)];
+    const double bb = bw[static_cast<std::size_t>(b)];
+    if (ba != bb) return ba > bb;
+    return a < b;
+  });
+
+  result.classes.push_back(std::move(first));
+  std::vector<NodeId> current;
+  double prev = std::numeric_limits<double>::infinity();
+  for (NodeId v : remote) {
+    const double value = bw[static_cast<std::size_t>(v)];
+    if (!current.empty() && value < prev * (1.0 - config.rel_gap)) {
+      std::sort(current.begin(), current.end());
+      result.classes.push_back(std::move(current));
+      current = {};
+    }
+    current.push_back(v);
+    prev = value;
+  }
+  if (!current.empty()) {
+    std::sort(current.begin(), current.end());
+    result.classes.push_back(std::move(current));
+  }
+
+  result.class_of.assign(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < result.num_classes(); ++c) {
+    double sum = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = 0.0;
+    for (NodeId v : result.classes[static_cast<std::size_t>(c)]) {
+      result.class_of[static_cast<std::size_t>(v)] = c;
+      const double value = bw[static_cast<std::size_t>(v)];
+      sum += value;
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+    result.class_avg.push_back(
+        sum / static_cast<double>(
+                  result.classes[static_cast<std::size_t>(c)].size()));
+    result.class_range.emplace_back(lo, hi);
+  }
+  return result;
+}
+
+std::vector<NodeId> representative_nodes(const Classification& c) {
+  std::vector<NodeId> reps;
+  reps.reserve(c.classes.size());
+  for (const auto& cls : c.classes) {
+    assert(!cls.empty());
+    reps.push_back(cls.front());
+  }
+  return reps;
+}
+
+}  // namespace numaio::model

@@ -1,0 +1,38 @@
+// Benchmark cross-validation — the cbench approach ([18], [27], discussed
+// in §IV-B): build a memory cost model from one benchmark, then confirm it
+// against others. cross_validate() runs every memory benchmark in the
+// toolkit over the full (cpu node x memory node) space and computes the
+// pairwise rank agreement of the resulting matrices. Benchmarks in the
+// same agreement cluster can stand in for each other; the paper's point is
+// that *no* memory-side cluster covers the I/O engines — which is why the
+// iomodel methodology exists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nm/host.h"
+
+namespace numaio::model {
+
+using topo::NodeId;
+
+struct CrossValidation {
+  /// Benchmark names, in matrix order.
+  std::vector<std::string> names;
+  /// Flattened (cpu, mem) bandwidth matrix per benchmark.
+  std::vector<std::vector<double>> cells;
+  /// Pairwise Spearman rank agreement of the flattened matrices.
+  std::vector<std::vector<double>> agreement;
+};
+
+/// Runs the seven numademo modules plus STREAM Copy over every binding.
+CrossValidation cross_validate(nm::Host& host);
+
+/// Greedy agreement clustering: benchmarks join a cluster when their
+/// agreement with the cluster's seed is at least `threshold`. Returns
+/// index groups ordered by seed appearance.
+std::vector<std::vector<int>> agreement_clusters(const CrossValidation& cv,
+                                                 double threshold);
+
+}  // namespace numaio::model

@@ -1,0 +1,92 @@
+#include "model/inference.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "topo/presets.h"
+
+namespace numaio::model {
+
+double hop_explanation_score(const mem::BandwidthMatrix& bw,
+                             const topo::Topology& topo) {
+  assert(bw.num_nodes() == topo.num_nodes());
+  const topo::Routing routing(topo, topo::Routing::Metric::kHops);
+  const int n = bw.num_nodes();
+  long long agree = 0, comparable = 0;
+  for (topo::NodeId src = 0; src < n; ++src) {
+    for (topo::NodeId a = 0; a < n; ++a) {
+      for (topo::NodeId b = a + 1; b < n; ++b) {
+        const int ha = routing.hop_distance(src, a);
+        const int hb = routing.hop_distance(src, b);
+        if (ha == hb) continue;
+        const double ba = bw.at(src, a);
+        const double bb = bw.at(src, b);
+        if (ba == bb) continue;
+        ++comparable;
+        // Fewer hops should mean more bandwidth.
+        if ((ha < hb) == (ba > bb)) ++agree;
+      }
+    }
+  }
+  if (comparable == 0) return 0.5;
+  return static_cast<double>(agree) / static_cast<double>(comparable);
+}
+
+std::vector<TopologyFit> fit_magny_cours_variants(
+    const mem::BandwidthMatrix& bw) {
+  std::vector<TopologyFit> fits;
+  for (char variant : {'a', 'b', 'c', 'd'}) {
+    const topo::Topology layout = topo::magny_cours_4p(variant);
+    fits.push_back(TopologyFit{layout.name(),
+                               hop_explanation_score(bw, layout)});
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const TopologyFit& x, const TopologyFit& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.variant_name < y.variant_name;
+            });
+  return fits;
+}
+
+double asymmetry_index(const mem::BandwidthMatrix& bw) {
+  const int n = bw.num_nodes();
+  double sum = 0.0;
+  int count = 0;
+  for (topo::NodeId i = 0; i < n; ++i) {
+    for (topo::NodeId j = i + 1; j < n; ++j) {
+      const double forward = bw.at(i, j);
+      const double backward = bw.at(j, i);
+      const double mean = (forward + backward) / 2.0;
+      if (mean <= 0.0) continue;
+      sum += std::abs(forward - backward) / mean;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::vector<std::pair<topo::NodeId, topo::NodeId>> infer_adjacency(
+    const mem::BandwidthMatrix& bw) {
+  const int n = bw.num_nodes();
+  std::vector<std::pair<topo::NodeId, topo::NodeId>> edges;
+  for (topo::NodeId src = 0; src < n; ++src) {
+    topo::NodeId best = -1;
+    double best_bw = -1.0;
+    for (topo::NodeId dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      if (bw.at(src, dst) > best_bw) {
+        best_bw = bw.at(src, dst);
+        best = dst;
+      }
+    }
+    const auto edge = std::minmax(src, best);
+    const std::pair<topo::NodeId, topo::NodeId> e{edge.first, edge.second};
+    if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+      edges.push_back(e);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace numaio::model

@@ -1,0 +1,49 @@
+// Topology inference from bandwidth measurements — and why it fails.
+//
+// §IV-A tries to reverse-engineer the host's wiring from the STREAM
+// matrix: if hop distance governed cost, the per-source bandwidth ranking
+// would reveal neighbors (fastest), one-hop, and two-hop nodes, and the
+// resulting graph would match one of the Figure-1 layouts. On the real
+// host it matches none of them, and the matrix is not even symmetric —
+// the paper's first argument that hop distance is the wrong metric.
+// This module implements that analysis so the failure is demonstrable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/membench.h"
+#include "topo/routing.h"
+
+namespace numaio::model {
+
+/// How well hop distances under `topo` explain `bw`: the fraction of
+/// comparable destination pairs (same source, different hop counts) where
+/// fewer hops coincides with higher bandwidth.
+double hop_explanation_score(const mem::BandwidthMatrix& bw,
+                             const topo::Topology& topo);
+
+struct TopologyFit {
+  std::string variant_name;
+  double score = 0.0;  ///< hop_explanation_score against that layout.
+};
+
+/// Scores the measured matrix against each Figure-1 Magny-Cours layout
+/// (a-d), best first.
+std::vector<TopologyFit> fit_magny_cours_variants(
+    const mem::BandwidthMatrix& bw);
+
+/// Mean relative asymmetry: avg over i<j of |bw(i,j) - bw(j,i)| /
+/// mean(bw(i,j), bw(j,i)). Any undirected-topology explanation of the
+/// matrix requires this to be ~0; the paper's host (and our calibrated
+/// fabric) violate it.
+double asymmetry_index(const mem::BandwidthMatrix& bw);
+
+/// Greedy neighbor inference: for each source, the highest-bandwidth
+/// remote destination is declared a directly-linked neighbor. Returns the
+/// inferred adjacency (pairs), which on the calibrated host contradicts
+/// the nominal wiring.
+std::vector<std::pair<topo::NodeId, topo::NodeId>> infer_adjacency(
+    const mem::BandwidthMatrix& bw);
+
+}  // namespace numaio::model

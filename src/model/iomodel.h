@@ -1,0 +1,53 @@
+// The paper's proposed methodology (§V, Algorithm 1): model a device-
+// attached ("target") node's I/O bandwidth character *without touching the
+// device*, by imitating its DMA engine with memcpy threads pinned to the
+// target node.
+//
+//   write model: data sinks on the target node, sources vary  (Fig 9a)
+//   read model:  data sources on the target node, sinks vary  (Fig 9b)
+//
+// Per Algorithm 1: m = cores-per-node threads, each copying its own
+// src/snk buffer pair 100 times; the *average* aggregate bandwidth is
+// recorded per candidate node. Because the copy threads run on the target
+// node and stream one way, they traverse exactly the fabric path a device
+// DMA engine would — unlike STREAM, whose PIO round trip takes a different
+// path (§IV-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nm/host.h"
+#include "simcore/units.h"
+
+namespace numaio::model {
+
+using topo::NodeId;
+
+enum class Direction {
+  kDeviceWrite,  ///< Host memory -> device: DMA engine reads host memory.
+  kDeviceRead,   ///< Device -> host memory: DMA engine writes host memory.
+};
+
+struct IoModelConfig {
+  int repetitions = 100;
+  /// Per-thread buffer size. Must dwarf the LLC like STREAM's arrays; the
+  /// default moves 64 MiB per copy.
+  sim::Bytes buffer_bytes = 64 * sim::kMiB;
+  std::uint64_t seed = 20130777;
+};
+
+struct IoModelResult {
+  NodeId target = 0;
+  Direction direction = Direction::kDeviceWrite;
+  /// bw[i]: average aggregate bandwidth with the varied end on node i
+  /// (source node for the write model, sink node for the read model).
+  std::vector<sim::Gbps> bw;
+};
+
+/// Runs Algorithm 1 for one target node and direction.
+IoModelResult build_iomodel(nm::Host& host, NodeId target,
+                            Direction direction,
+                            const IoModelConfig& config = {});
+
+}  // namespace numaio::model

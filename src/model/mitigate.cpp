@@ -1,0 +1,58 @@
+#include "model/mitigate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace numaio::model {
+
+MitigationPlan plan_buffer_policies(const Classification& classes,
+                                    std::span<const sim::Gbps> class_values,
+                                    std::span<const NodeId> process_nodes) {
+  assert(static_cast<int>(class_values.size()) == classes.num_classes());
+  assert(!process_nodes.empty());
+
+  // The class every re-homed buffer should target.
+  int best_class = 0;
+  for (int c = 1; c < classes.num_classes(); ++c) {
+    if (class_values[static_cast<std::size_t>(c)] >
+        class_values[static_cast<std::size_t>(best_class)]) {
+      best_class = c;
+    }
+  }
+  const NodeId best_node =
+      classes.classes[static_cast<std::size_t>(best_class)].front();
+
+  MitigationPlan plan;
+  double planned_sum = 0.0;
+  double baseline_sum = 0.0;
+  for (const NodeId p : process_nodes) {
+    const int own_class = classes.class_of[static_cast<std::size_t>(p)];
+    const double own_value =
+        class_values[static_cast<std::size_t>(own_class)];
+    const double best_value =
+        class_values[static_cast<std::size_t>(best_class)];
+
+    ProcessPlan proc;
+    proc.cpu_node = p;
+    if (best_value > own_value) {
+      proc.policy = nm::parse_numactl("--membind=" +
+                                      std::to_string(best_node));
+      proc.buffer_class = best_class;
+      proc.predicted = best_value;
+    } else {
+      proc.policy = nm::Policy{};  // local preferred
+      proc.buffer_class = own_class;
+      proc.predicted = own_value;
+    }
+    planned_sum += proc.predicted;
+    baseline_sum += own_value;
+    plan.processes.push_back(std::move(proc));
+  }
+  // Eq. 1 with equal traffic shares per process.
+  const double n = static_cast<double>(process_nodes.size());
+  plan.predicted_aggregate = planned_sum / n;
+  plan.baseline_aggregate = baseline_sum / n;
+  return plan;
+}
+
+}  // namespace numaio::model

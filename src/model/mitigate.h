@@ -1,0 +1,49 @@
+// Buffer-policy mitigation: applying the performance model when the
+// *processes cannot move*.
+//
+// §V-B's scheduler rebinds processes to better classes. In practice a
+// data-intensive service is often pinned (license, cache warmth, operator
+// policy). But the paper's own observation — buffers allocate in the
+// process's local memory, and the *buffer's* node determines the DMA path
+// — yields a second lever: re-home the buffers with membind/interleave
+// while the process stays put. plan_buffer_policies() picks, per process,
+// the policy with the best predicted class value; the prediction follows
+// Eq. 1 over the resulting buffer classes.
+//
+// First-order approximation: the probed class values fold in CPU effects
+// at the binding node; after a membind the CPU work stays on the original
+// node while the DMA path moves, so predictions are exact for offloaded
+// engines (RDMA, SSD) and slightly optimistic for TCP.
+#pragma once
+
+#include <span>
+
+#include "model/classify.h"
+#include "nm/policy.h"
+
+namespace numaio::model {
+
+struct ProcessPlan {
+  NodeId cpu_node = 0;           ///< Fixed process binding.
+  nm::Policy policy{};           ///< Recommended buffer policy.
+  int buffer_class = 0;          ///< Class the buffers land in.
+  sim::Gbps predicted = 0.0;     ///< Predicted per-binding rate.
+};
+
+struct MitigationPlan {
+  std::vector<ProcessPlan> processes;
+  /// Eq.-1 aggregate over the planned buffer classes.
+  sim::Gbps predicted_aggregate = 0.0;
+  /// Eq.-1 aggregate if every process kept local buffers (the baseline).
+  sim::Gbps baseline_aggregate = 0.0;
+};
+
+/// Plans buffer policies for processes pinned at `process_nodes`, using
+/// the device-node classification and the probed per-class I/O values.
+/// A process already in the best class keeps --localalloc; others get
+/// --membind to the lowest-id node of the best class.
+MitigationPlan plan_buffer_policies(const Classification& classes,
+                                    std::span<const sim::Gbps> class_values,
+                                    std::span<const NodeId> process_nodes);
+
+}  // namespace numaio::model

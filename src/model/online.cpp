@@ -1,0 +1,198 @@
+#include "model/online.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "io/fio.h"
+#include "simcore/fluid_sim.h"
+
+namespace numaio::model {
+
+std::string to_string(OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::kAllLocal:
+      return "all-local";
+    case OnlinePolicy::kRoundRobin:
+      return "round-robin";
+    case OnlinePolicy::kModelSpread:
+      return "model-spread";
+    case OnlinePolicy::kModelAdaptive:
+      return "model-adaptive";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Pool of nodes from the classes whose model average is within
+/// `tolerance` of the best class average.
+std::vector<NodeId> build_pool(const Classification& classes,
+                               double tolerance) {
+  double best = 0.0;
+  for (double v : classes.class_avg) best = std::max(best, v);
+  std::vector<NodeId> pool;
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    if (classes.class_avg[static_cast<std::size_t>(c)] >=
+        best * (1.0 - tolerance)) {
+      const auto& members = classes.classes[static_cast<std::size_t>(c)];
+      pool.insert(pool.end(), members.begin(), members.end());
+    }
+  }
+  std::sort(pool.begin(), pool.end());
+  assert(!pool.empty());
+  return pool;
+}
+
+}  // namespace
+
+OnlineScheduler::OnlineScheduler(nm::Host& host,
+                                 const io::PcieDevice& device,
+                                 Classification write_classes,
+                                 Classification read_classes,
+                                 OnlineConfig config)
+    : host_(host),
+      device_(device),
+      write_classes_(std::move(write_classes)),
+      read_classes_(std::move(read_classes)),
+      config_(config),
+      active_(static_cast<std::size_t>(host.num_configured_nodes()), 0) {
+  assert(config_.chunks_per_task > 0);
+  write_pool_ = build_pool(write_classes_, config_.class_tolerance);
+  read_pool_ = build_pool(read_classes_, config_.class_tolerance);
+}
+
+const std::vector<NodeId>& OnlineScheduler::pool_for(
+    const std::string& engine) const {
+  return device_.engine(engine).to_device ? write_pool_ : read_pool_;
+}
+
+NodeId OnlineScheduler::choose_node(const std::string& engine,
+                                    int task_index) {
+  switch (config_.policy) {
+    case OnlinePolicy::kAllLocal:
+      return device_.attach_node();
+    case OnlinePolicy::kRoundRobin:
+      return (rr_cursor_++) % host_.num_configured_nodes();
+    case OnlinePolicy::kModelSpread: {
+      const auto& pool = pool_for(engine);
+      return pool[static_cast<std::size_t>(task_index) % pool.size()];
+    }
+    case OnlinePolicy::kModelAdaptive: {
+      // Least-loaded node of the pool (ties: lowest id).
+      const auto& pool = pool_for(engine);
+      NodeId best = pool.front();
+      for (NodeId node : pool) {
+        if (active_[static_cast<std::size_t>(node)] <
+            active_[static_cast<std::size_t>(best)]) {
+          best = node;
+        }
+      }
+      return best;
+    }
+  }
+  return device_.attach_node();
+}
+
+OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
+  fabric::Machine& machine = host_.machine();
+  sim::FluidSimulation fluid(machine.solver());
+
+  struct TaskState {
+    const IoTask* task = nullptr;
+    int index = 0;
+    int chunks_left = 0;
+    sim::Bytes chunk_bytes = 0;
+    sim::Bytes last_chunk_bytes = 0;  // absorbs rounding
+    NodeId node = 0;
+    nm::Buffer buffer;
+    TaskOutcome outcome;
+  };
+  std::vector<TaskState> states(tasks.size());
+  std::fill(active_.begin(), active_.end(), 0);
+  rr_cursor_ = 0;
+
+  sim::Bytes total_bytes = 0;
+
+  // Chunk launcher; defined as a std::function so completion callbacks can
+  // recurse into it.
+  std::function<void(TaskState&, sim::Ns)> launch_chunk =
+      [&](TaskState& state, sim::Ns at) {
+        const sim::Bytes bytes = state.chunks_left == 1
+                                     ? state.last_chunk_bytes
+                                     : state.chunk_bytes;
+        const auto shape =
+            io::shape_stream(machine, device_, state.task->engine,
+                             state.node, state.buffer.home());
+        ++active_[static_cast<std::size_t>(state.node)];
+        fluid.start_transfer_at(
+            at, shape.usages, bytes, shape.rate_cap,
+            [&, bytes](sim::FluidSimulation::TransferId, sim::Ns now) {
+              --active_[static_cast<std::size_t>(state.node)];
+              --state.chunks_left;
+              (void)bytes;
+              if (state.chunks_left == 0) {
+                state.outcome.completion = now;
+                host_.free(state.buffer);
+                return;
+              }
+              sim::Ns next_start = now;
+              if (config_.policy == OnlinePolicy::kModelAdaptive) {
+                const NodeId better =
+                    choose_node(state.task->engine, state.index);
+                if (better != state.node) {
+                  // Migrate: re-home the buffer, pay the pause.
+                  host_.free(state.buffer);
+                  state.buffer = host_.alloc_local(
+                      128 * sim::kKiB * 16, better);
+                  state.node = better;
+                  ++state.outcome.migrations;
+                  next_start = now + config_.migration_cost;
+                }
+              }
+              launch_chunk(state, next_start);
+            });
+      };
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskState& state = states[i];
+    state.task = &tasks[i];
+    state.index = static_cast<int>(i);
+    // Tiny tasks run as one chunk; others split for migration points.
+    const int chunks =
+        tasks[i].bytes < static_cast<sim::Bytes>(config_.chunks_per_task)
+            ? 1
+            : config_.chunks_per_task;
+    state.chunks_left = chunks;
+    state.chunk_bytes = tasks[i].bytes / static_cast<sim::Bytes>(chunks);
+    state.last_chunk_bytes =
+        tasks[i].bytes -
+        state.chunk_bytes * static_cast<sim::Bytes>(chunks - 1);
+    state.node = choose_node(tasks[i].engine, state.index);
+    state.outcome.arrival = tasks[i].arrival;
+    state.outcome.first_node = state.node;
+    state.buffer = host_.alloc_local(128 * sim::kKiB * 16, state.node);
+    total_bytes += tasks[i].bytes;
+    launch_chunk(state, tasks[i].arrival);
+  }
+
+  fluid.run();
+
+  OnlineReport report;
+  sim::Ns turnaround_sum = 0.0;
+  for (TaskState& state : states) {
+    report.tasks.push_back(state.outcome);
+    report.makespan = std::max(report.makespan, state.outcome.completion);
+    report.total_migrations += state.outcome.migrations;
+    turnaround_sum += state.outcome.turnaround();
+  }
+  if (!states.empty()) {
+    report.mean_turnaround = turnaround_sum / static_cast<double>(states.size());
+  }
+  if (report.makespan > 0.0) {
+    report.aggregate = sim::gbps(total_bytes, report.makespan);
+  }
+  return report;
+}
+
+}  // namespace numaio::model

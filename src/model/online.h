@@ -1,0 +1,93 @@
+// Online placement and migration of I/O tasks — the paper's first
+// future-work direction (§VI): "placing and migrating parallel I/O
+// threads for data-intensive applications based on the result of our
+// characterization methodology".
+//
+// Tasks arrive over time (model/workload.h) and must be bound to a NUMA
+// node before they start. Policies:
+//   kAllLocal       everything on the device node (the naive baseline the
+//                   paper argues against),
+//   kRoundRobin     cycle all nodes, model-blind,
+//   kModelSpread    cycle only the near-best model classes (static),
+//   kModelAdaptive  pick the least-loaded pooled node at every chunk
+//                   boundary, migrating the task when a better node opens
+//                   up (each move costs a pause).
+// Tasks are split into chunks; a migration re-homes the task's buffers and
+// continues on the new node after `migration_cost`.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/device.h"
+#include "model/classify.h"
+#include "model/workload.h"
+#include "nm/host.h"
+
+namespace numaio::model {
+
+enum class OnlinePolicy {
+  kAllLocal,
+  kRoundRobin,
+  kModelSpread,
+  kModelAdaptive,
+};
+
+std::string to_string(OnlinePolicy policy);
+
+struct OnlineConfig {
+  OnlinePolicy policy = OnlinePolicy::kModelAdaptive;
+  /// Migration granularity: a task re-evaluates placement this many times.
+  int chunks_per_task = 8;
+  /// Pause per migration (buffer re-registration, page moves).
+  sim::Ns migration_cost = 2.0e6;  // 2 ms
+  /// Classes whose model average is within this fraction of the best
+  /// remote-aware class join the placement pool.
+  double class_tolerance = 0.25;
+};
+
+struct TaskOutcome {
+  sim::Ns arrival = 0.0;
+  sim::Ns completion = 0.0;
+  NodeId first_node = 0;
+  int migrations = 0;
+  sim::Ns turnaround() const { return completion - arrival; }
+};
+
+struct OnlineReport {
+  std::vector<TaskOutcome> tasks;
+  sim::Ns makespan = 0.0;        ///< Last completion time.
+  sim::Gbps aggregate = 0.0;     ///< Total bytes / makespan.
+  sim::Ns mean_turnaround = 0.0;
+  int total_migrations = 0;
+};
+
+/// Executes the workload against a single NIC-style device under the given
+/// policy. `write_classes`/`read_classes` are the iomodel classifications
+/// of the device's node for the two directions.
+class OnlineScheduler {
+ public:
+  OnlineScheduler(nm::Host& host, const io::PcieDevice& device,
+                  Classification write_classes, Classification read_classes,
+                  OnlineConfig config = {});
+
+  OnlineReport run(std::span<const IoTask> tasks);
+
+ private:
+  NodeId choose_node(const std::string& engine, int task_index);
+
+  const std::vector<NodeId>& pool_for(const std::string& engine) const;
+
+  nm::Host& host_;
+  const io::PcieDevice& device_;
+  Classification write_classes_;
+  Classification read_classes_;
+  OnlineConfig config_;
+  std::vector<NodeId> write_pool_;
+  std::vector<NodeId> read_pool_;
+  std::vector<int> active_;  ///< Running chunks per node.
+  int rr_cursor_ = 0;
+};
+
+}  // namespace numaio::model

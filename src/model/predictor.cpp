@@ -1,0 +1,49 @@
+#include "model/predictor.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numaio::model {
+
+sim::Gbps predict_aggregate(std::span<const sim::Gbps> class_values,
+                            std::span<const ClassShare> shares) {
+  double total_fraction = 0.0;
+  double sum = 0.0;
+  for (const ClassShare& s : shares) {
+    assert(s.class_index >= 0 &&
+           s.class_index < static_cast<int>(class_values.size()));
+    assert(s.fraction >= 0.0);
+    sum += s.fraction * class_values[static_cast<std::size_t>(s.class_index)];
+    total_fraction += s.fraction;
+  }
+  assert(std::abs(total_fraction - 1.0) < 1e-9 &&
+         "traffic shares must sum to 1");
+  return sum;
+}
+
+sim::Gbps predict_for_bindings(
+    const Classification& classes, std::span<const sim::Gbps> class_values,
+    std::span<const std::pair<NodeId, int>> bindings) {
+  int total = 0;
+  for (const auto& [node, count] : bindings) {
+    assert(count > 0);
+    (void)node;
+    total += count;
+  }
+  assert(total > 0);
+  std::vector<ClassShare> shares;
+  shares.reserve(bindings.size());
+  for (const auto& [node, count] : bindings) {
+    shares.push_back(ClassShare{
+        classes.class_of[static_cast<std::size_t>(node)],
+        static_cast<double>(count) / static_cast<double>(total)});
+  }
+  return predict_aggregate(class_values, shares);
+}
+
+double relative_error(sim::Gbps predicted, sim::Gbps measured) {
+  assert(measured > 0.0);
+  return std::abs(predicted - measured) / measured;
+}
+
+}  // namespace numaio::model

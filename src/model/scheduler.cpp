@@ -1,0 +1,43 @@
+#include "model/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace numaio::model {
+
+Placement schedule_spread(const Classification& classes,
+                          std::span<const sim::Gbps> class_values,
+                          int num_processes, const SpreadConfig& config) {
+  assert(num_processes > 0);
+  assert(static_cast<int>(class_values.size()) == classes.num_classes());
+
+  const double best =
+      *std::max_element(class_values.begin(), class_values.end());
+
+  std::vector<NodeId> pool;
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    if (class_values[static_cast<std::size_t>(c)] >=
+        best * (1.0 - config.class_tolerance)) {
+      const auto& members = classes.classes[static_cast<std::size_t>(c)];
+      pool.insert(pool.end(), members.begin(), members.end());
+    }
+  }
+  assert(!pool.empty());
+  std::sort(pool.begin(), pool.end());
+
+  Placement p;
+  p.nodes.reserve(static_cast<std::size_t>(num_processes));
+  for (int i = 0; i < num_processes; ++i) {
+    p.nodes.push_back(pool[static_cast<std::size_t>(i) % pool.size()]);
+  }
+  return p;
+}
+
+Placement schedule_all_local(NodeId device_node, int num_processes) {
+  assert(num_processes > 0);
+  Placement p;
+  p.nodes.assign(static_cast<std::size_t>(num_processes), device_node);
+  return p;
+}
+
+}  // namespace numaio::model

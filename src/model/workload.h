@@ -1,0 +1,39 @@
+// Synthetic data-intensive workloads: open-loop arrivals of bulk I/O
+// tasks, the setting the paper's future work targets ("mechanisms of
+// placing and migrating parallel I/O threads for data-intensive
+// applications", §VI). Deterministic: all randomness derives from the
+// config seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/units.h"
+
+namespace numaio::model {
+
+/// One bulk transfer request against a device.
+struct IoTask {
+  std::string engine;      ///< Device personality (io:: engine name).
+  sim::Bytes bytes = 0;    ///< Total payload.
+  sim::Ns arrival = 0.0;   ///< Absolute arrival time.
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 20130601;
+  int num_tasks = 40;
+  /// Mean of the exponential interarrival distribution.
+  sim::Ns mean_interarrival = 2.0e9;  // 2 seconds
+  sim::Bytes min_bytes = 4 * sim::kGiB;
+  sim::Bytes max_bytes = 64 * sim::kGiB;
+  /// Engines drawn uniformly per task.
+  std::vector<std::string> engine_mix;
+};
+
+/// Generates `num_tasks` tasks with exponential interarrivals and
+/// log-uniform sizes, cycling deterministically through the engine mix
+/// weights via the seeded RNG.
+std::vector<IoTask> generate_workload(const WorkloadConfig& config);
+
+}  // namespace numaio::model

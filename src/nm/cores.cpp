@@ -1,0 +1,65 @@
+#include "nm/cores.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace numaio::nm {
+
+topo::NodeId node_of_core(const topo::Topology& topo, int core) {
+  if (core < 0) throw std::out_of_range("core id must be non-negative");
+  int base = 0;
+  for (topo::NodeId node = 0; node < topo.num_nodes(); ++node) {
+    const int cores = topo.node(node).cores;
+    if (core < base + cores) return node;
+    base += cores;
+  }
+  throw std::out_of_range("core id " + std::to_string(core) +
+                          " beyond the host's " + std::to_string(base) +
+                          " cores");
+}
+
+int first_core_of(const topo::Topology& topo, topo::NodeId node) {
+  int base = 0;
+  for (topo::NodeId v = 0; v < node; ++v) base += topo.node(v).cores;
+  return base;
+}
+
+std::vector<topo::NodeId> nodes_of_core_list(const topo::Topology& topo,
+                                             const std::string& list) {
+  std::vector<topo::NodeId> nodes;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) {
+      throw std::invalid_argument("empty entry in core list '" + list + "'");
+    }
+    const auto dash = item.find('-');
+    int lo = 0, hi = 0;
+    try {
+      if (dash != std::string::npos) {
+        lo = std::stoi(item.substr(0, dash));
+        hi = std::stoi(item.substr(dash + 1));
+      } else {
+        lo = hi = std::stoi(item);
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad core list '" + list + "'");
+    }
+    if (lo > hi) {
+      throw std::invalid_argument("descending range in core list '" + list +
+                                  "'");
+    }
+    for (int core = lo; core <= hi; ++core) {
+      nodes.push_back(node_of_core(topo, core));
+    }
+  }
+  if (nodes.empty()) {
+    throw std::invalid_argument("core list '" + list + "' is empty");
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace numaio::nm

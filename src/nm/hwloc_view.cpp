@@ -1,0 +1,42 @@
+#include "nm/hwloc_view.h"
+
+#include <sstream>
+
+namespace numaio::nm {
+
+std::string render_hwloc(const topo::Topology& topo) {
+  std::ostringstream out;
+  double total_gb = 0.0;
+  for (const auto& n : topo.nodes()) total_gb += n.memory_gb;
+  out << "Machine (" << total_gb << "GB total) \"" << topo.name() << "\"\n";
+  int core_index = 0;
+  for (int pkg = 0; pkg < topo.num_packages(); ++pkg) {
+    out << "  Package P#" << pkg << '\n';
+    for (topo::NodeId i = 0; i < topo.num_nodes(); ++i) {
+      const auto& node = topo.node(i);
+      if (node.package != pkg) continue;
+      out << "    NUMANode N#" << i << " (" << node.memory_gb << "GB)\n";
+      out << "      Cores:";
+      for (int c = 0; c < node.cores; ++c) out << " PU#" << core_index++;
+      out << '\n';
+      if (node.io_hub) {
+        out << "      HostBridge (PCIe root / I/O hub)\n";
+      }
+    }
+  }
+  out << "(note: node interconnect wiring is not part of this view)\n";
+  return out.str();
+}
+
+std::string render_interconnect(const topo::Topology& topo) {
+  std::ostringstream out;
+  out << "Interconnect links of \"" << topo.name() << "\":\n";
+  for (const auto& l : topo.links()) {
+    out << "  " << l.a << " <-> " << l.b << "  width "
+        << l.width_bits_ab << "/" << l.width_bits_ba << " bits, "
+        << l.latency_ns << " ns\n";
+  }
+  return out.str();
+}
+
+}  // namespace numaio::nm

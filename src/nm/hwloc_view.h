@@ -1,0 +1,24 @@
+// hwloc-style rendering of a host topology (§II-B).
+//
+// The Portable Hardware Locality tool prints the hierarchy
+// Machine -> Package -> NUMANode -> Cores (+ PCI devices) but — as the
+// paper points out — says nothing about how the NUMA nodes are
+// interconnected. render_hwloc() reproduces exactly that view;
+// render_interconnect() prints the part hwloc cannot show, which is why a
+// characterization methodology is needed in the first place.
+#pragma once
+
+#include <string>
+
+#include "topo/topology.h"
+
+namespace numaio::nm {
+
+/// The hierarchy view hwloc's lstopo would print.
+std::string render_hwloc(const topo::Topology& topo);
+
+/// The link-level wiring (adjacency with per-direction widths) that hwloc
+/// does not expose.
+std::string render_interconnect(const topo::Topology& topo);
+
+}  // namespace numaio::nm

@@ -1,0 +1,29 @@
+#include "nm/numastat.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace numaio::nm {
+
+std::string AllocStats::report() const {
+  std::ostringstream out;
+  out << std::left << std::setw(16) << "";
+  for (int i = 0; i < num_nodes(); ++i) {
+    out << std::right << std::setw(10) << ("node" + std::to_string(i));
+  }
+  out << '\n';
+  auto row = [&](const char* label, auto member) {
+    out << std::left << std::setw(16) << label;
+    for (int i = 0; i < num_nodes(); ++i) {
+      out << std::right << std::setw(10) << per_node_[static_cast<std::size_t>(i)].*member;
+    }
+    out << '\n';
+  };
+  row("numa_hit", &NodeStats::numa_hit);
+  row("numa_miss", &NodeStats::numa_miss);
+  row("numa_foreign", &NodeStats::numa_foreign);
+  row("interleave_hit", &NodeStats::interleave_hit);
+  return out.str();
+}
+
+}  // namespace numaio::nm

@@ -1,0 +1,127 @@
+#include "nm/policy.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace numaio::nm {
+
+namespace {
+
+std::vector<NodeId> parse_node_list(const std::string& list) {
+  std::vector<NodeId> nodes;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) {
+      throw std::invalid_argument("parse_numactl: empty node in list '" +
+                                  list + "'");
+    }
+    const auto dash = item.find('-');
+    try {
+      if (dash != std::string::npos) {
+        const int lo = std::stoi(item.substr(0, dash));
+        const int hi = std::stoi(item.substr(dash + 1));
+        if (lo > hi) throw std::invalid_argument("range");
+        for (int v = lo; v <= hi; ++v) nodes.push_back(v);
+      } else {
+        nodes.push_back(std::stoi(item));
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_numactl: bad node list '" + list +
+                                  "'");
+    }
+  }
+  if (nodes.empty()) {
+    throw std::invalid_argument("parse_numactl: empty node list");
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Policy parse_numactl(const std::string& spec) {
+  Policy policy;
+  std::stringstream ss(spec);
+  std::string token;
+  while (ss >> token) {
+    const auto eq = token.find('=');
+    const std::string opt = token.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : token.substr(eq + 1);
+    auto need_val = [&]() {
+      if (val.empty()) {
+        throw std::invalid_argument("parse_numactl: option '" + opt +
+                                    "' requires a value");
+      }
+    };
+    if (opt == "--cpunodebind" || opt == "-N") {
+      need_val();
+      const auto nodes = parse_node_list(val);
+      if (nodes.size() != 1) {
+        throw std::invalid_argument(
+            "parse_numactl: --cpunodebind takes exactly one node here");
+      }
+      policy.cpu_node = nodes.front();
+    } else if (opt == "--membind" || opt == "-m") {
+      need_val();
+      policy.mode = MemMode::kBind;
+      policy.mem_nodes = parse_node_list(val);
+    } else if (opt == "--preferred" || opt == "-p") {
+      need_val();
+      const auto nodes = parse_node_list(val);
+      if (nodes.size() != 1) {
+        throw std::invalid_argument(
+            "parse_numactl: --preferred takes exactly one node");
+      }
+      policy.mode = MemMode::kPreferred;
+      policy.mem_nodes = nodes;
+    } else if (opt == "--interleave" || opt == "-i") {
+      need_val();
+      policy.mode = MemMode::kInterleave;
+      policy.mem_nodes = parse_node_list(val);
+    } else if (opt == "--localalloc" || opt == "-l") {
+      policy.mode = MemMode::kLocalPreferred;
+      policy.mem_nodes.clear();
+    } else {
+      throw std::invalid_argument("parse_numactl: unknown option '" + opt +
+                                  "'");
+    }
+  }
+  return policy;
+}
+
+std::string to_numactl_string(const Policy& policy) {
+  std::string out;
+  auto join = [](const std::vector<NodeId>& nodes) {
+    std::string s;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) s += ',';
+      s += std::to_string(nodes[i]);
+    }
+    return s;
+  };
+  if (policy.cpu_node) {
+    out += "--cpunodebind=" + std::to_string(*policy.cpu_node);
+  }
+  auto append = [&out](const std::string& part) {
+    if (!out.empty()) out += ' ';
+    out += part;
+  };
+  switch (policy.mode) {
+    case MemMode::kLocalPreferred:
+      append("--localalloc");
+      break;
+    case MemMode::kBind:
+      append("--membind=" + join(policy.mem_nodes));
+      break;
+    case MemMode::kPreferred:
+      append("--preferred=" + join(policy.mem_nodes));
+      break;
+    case MemMode::kInterleave:
+      append("--interleave=" + join(policy.mem_nodes));
+      break;
+  }
+  return out;
+}
+
+}  // namespace numaio::nm

@@ -1,0 +1,47 @@
+// NUMA placement policies, mirroring the Linux NUMA API (§II-B).
+//
+// The Linux default since kernel 2.6 is "local preferred": allocate on the
+// node of the running CPU, fall back elsewhere when it is full. numactl(8)
+// overrides this per task; libnuma does so per allocation. Our Policy
+// covers the same space and parse_numactl() accepts the familiar
+// command-line spellings so experiment configs read like the paper's.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace numaio::nm {
+
+using topo::NodeId;
+
+enum class MemMode {
+  kLocalPreferred,  ///< Default: node of the running CPU, with fallback.
+  kBind,            ///< --membind: only the given nodes (hard failure).
+  kPreferred,       ///< --preferred: given node first, fall back anywhere.
+  kInterleave,      ///< --interleave: round-robin pages over given nodes.
+};
+
+struct Policy {
+  MemMode mode = MemMode::kLocalPreferred;
+  /// Memory nodes the mode refers to (empty = all nodes for interleave).
+  std::vector<NodeId> mem_nodes;
+  /// --cpunodebind: pin execution to this node's cores.
+  std::optional<NodeId> cpu_node;
+
+  bool operator==(const Policy&) const = default;
+};
+
+/// Parses a numactl-style option string, e.g.
+///   "--cpunodebind=7 --membind=3"
+///   "--cpunodebind=4 --interleave=0,1,2"
+///   "--preferred=2"
+/// Unrecognized options or malformed node lists throw std::invalid_argument.
+Policy parse_numactl(const std::string& spec);
+
+/// Renders a Policy back to its numactl-style spelling.
+std::string to_numactl_string(const Policy& policy);
+
+}  // namespace numaio::nm

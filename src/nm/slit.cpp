@@ -1,0 +1,64 @@
+#include "nm/slit.h"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace numaio::nm {
+
+std::vector<std::vector<int>> slit_table(const topo::Topology& topo) {
+  const topo::Routing routing(topo, topo::Routing::Metric::kHops);
+  const int n = topo.num_nodes();
+  std::vector<std::vector<int>> slit(
+      static_cast<std::size_t>(n),
+      std::vector<int>(static_cast<std::size_t>(n), 10));
+  for (topo::NodeId a = 0; a < n; ++a) {
+    for (topo::NodeId b = 0; b < n; ++b) {
+      slit[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          10 + 10 * routing.hop_distance(a, b);
+    }
+  }
+  return slit;
+}
+
+std::string render_slit(const std::vector<std::vector<int>>& slit) {
+  std::ostringstream out;
+  const std::size_t n = slit.size();
+  out << "node distances:\n" << "node ";
+  for (std::size_t b = 0; b < n; ++b) out << std::setw(4) << b;
+  out << '\n';
+  for (std::size_t a = 0; a < n; ++a) {
+    out << std::setw(4) << a << ':';
+    for (std::size_t b = 0; b < n; ++b) out << std::setw(4) << slit[a][b];
+    out << '\n';
+  }
+  return out.str();
+}
+
+double slit_accuracy(const std::vector<std::vector<int>>& slit,
+                     const mem::BandwidthMatrix& bw) {
+  const int n = bw.num_nodes();
+  assert(static_cast<int>(slit.size()) == n);
+  long long agree = 0, comparable = 0;
+  for (topo::NodeId src = 0; src < n; ++src) {
+    for (topo::NodeId a = 0; a < n; ++a) {
+      for (topo::NodeId b = a + 1; b < n; ++b) {
+        const int da = slit[static_cast<std::size_t>(src)]
+                           [static_cast<std::size_t>(a)];
+        const int db = slit[static_cast<std::size_t>(src)]
+                           [static_cast<std::size_t>(b)];
+        if (da == db) continue;
+        const double ba = bw.at(src, a);
+        const double bb = bw.at(src, b);
+        if (ba == bb) continue;
+        ++comparable;
+        if ((da < db) == (ba > bb)) ++agree;
+      }
+    }
+  }
+  return comparable > 0
+             ? static_cast<double>(agree) / static_cast<double>(comparable)
+             : 0.5;
+}
+
+}  // namespace numaio::nm

@@ -1,0 +1,54 @@
+#include "simcore/event_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace numaio::sim {
+
+namespace {
+// std::push_heap/pop_heap build a max-heap; invert the order for a min-heap.
+struct Later {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+void EventEngine::schedule_at(Ns at, Callback fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventEngine::schedule_in(Ns delay, Callback fn) {
+  assert(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+Ns EventEngine::next_event_time() const {
+  return heap_.empty() ? kUnlimited : heap_.front().at;
+}
+
+void EventEngine::pop_and_run() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.at;
+  ev.fn();
+}
+
+Ns EventEngine::run() {
+  while (!heap_.empty()) pop_and_run();
+  return now_;
+}
+
+Ns EventEngine::run_until(Ns until) {
+  while (!heap_.empty() && heap_.front().at <= until) pop_and_run();
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+}  // namespace numaio::sim

@@ -1,0 +1,58 @@
+// Discrete-event simulation core: a clock plus a time-ordered event queue.
+//
+// Events scheduled for the same timestamp fire in scheduling order
+// (FIFO tie-break via a monotone sequence number), which keeps runs
+// deterministic regardless of container internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simcore/units.h"
+
+namespace numaio::sim {
+
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  Ns now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now()).
+  void schedule_at(Ns at, Callback fn);
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  void schedule_in(Ns delay, Callback fn);
+
+  /// Runs events until the queue drains. Returns the final clock value.
+  Ns run();
+
+  /// Runs events with timestamp <= `until`, then advances the clock to
+  /// `until` if it has not passed it. Returns the final clock value.
+  Ns run_until(Ns until);
+
+  /// Pending event count (for tests and loop guards).
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kUnlimited when empty.
+  Ns next_event_time() const;
+
+ private:
+  struct Event {
+    Ns at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+
+  void pop_and_run();
+
+  Ns now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  // Min-heap on (at, seq), managed with std::push_heap/std::pop_heap so
+  // events (which hold move-only state) can be moved out when fired.
+  std::vector<Event> heap_;
+};
+
+}  // namespace numaio::sim

@@ -1,0 +1,196 @@
+#include "simcore/flow_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace numaio::sim {
+
+ResourceId FlowSolver::add_resource(std::string name, Gbps capacity) {
+  assert(capacity >= 0.0);
+  resources_.push_back(Resource{std::move(name), capacity});
+  return resources_.size() - 1;
+}
+
+void FlowSolver::set_capacity(ResourceId id, Gbps capacity) {
+  assert(id < resources_.size());
+  assert(capacity >= 0.0);
+  resources_[id].capacity = capacity;
+}
+
+Gbps FlowSolver::capacity(ResourceId id) const {
+  assert(id < resources_.size());
+  return resources_[id].capacity;
+}
+
+const std::string& FlowSolver::resource_name(ResourceId id) const {
+  assert(id < resources_.size());
+  return resources_[id].name;
+}
+
+FlowId FlowSolver::add_flow(std::vector<Usage> usages, Gbps rate_cap) {
+  for (const Usage& u : usages) {
+    assert(u.resource < resources_.size());
+    assert(u.weight > 0.0);
+    (void)u;
+  }
+  assert(rate_cap >= 0.0);
+  flows_.push_back(Flow{std::move(usages), rate_cap, true});
+  ++live_flows_;
+  return flows_.size() - 1;
+}
+
+FlowId FlowSolver::add_flow_over(const std::vector<ResourceId>& path,
+                                 Gbps rate_cap) {
+  std::vector<Usage> usages;
+  usages.reserve(path.size());
+  for (ResourceId r : path) usages.push_back(Usage{r, 1.0});
+  return add_flow(std::move(usages), rate_cap);
+}
+
+void FlowSolver::remove_flow(FlowId id) {
+  assert(id < flows_.size());
+  assert(flows_[id].alive);
+  flows_[id].alive = false;
+  --live_flows_;
+}
+
+void FlowSolver::set_flow_cap(FlowId id, Gbps rate_cap) {
+  assert(id < flows_.size());
+  assert(rate_cap >= 0.0);
+  flows_[id].cap = rate_cap;
+}
+
+Gbps FlowSolver::flow_cap(FlowId id) const {
+  assert(id < flows_.size());
+  return flows_[id].cap;
+}
+
+bool FlowSolver::flow_alive(FlowId id) const {
+  assert(id < flows_.size());
+  return flows_[id].alive;
+}
+
+std::vector<Gbps> FlowSolver::solve() const {
+  std::vector<Gbps> rate(flows_.size(), 0.0);
+  if (live_flows_ == 0) return rate;
+
+  // Weights accumulate and are later subtracted flow by flow; treat
+  // anything below this as zero so floating-point residue from frozen
+  // flows cannot resurrect a saturated resource with a bogus
+  // residual/weight ratio.
+  constexpr double kWeightEps = 1e-9;
+
+  std::vector<bool> frozen(flows_.size(), true);
+  for (FlowId f = 0; f < flows_.size(); ++f) frozen[f] = !flows_[f].alive;
+
+  // residual[r]: capacity left on resource r; weight[r]: total usage weight
+  // of unfrozen flows on r.
+  std::vector<Gbps> residual(resources_.size());
+  for (ResourceId r = 0; r < resources_.size(); ++r) {
+    residual[r] = resources_[r].capacity;
+  }
+  std::vector<double> weight(resources_.size(), 0.0);
+  for (FlowId f = 0; f < flows_.size(); ++f) {
+    if (frozen[f]) continue;
+    for (const Usage& u : flows_[f].usages) weight[u.resource] += u.weight;
+  }
+
+  std::size_t unfrozen = live_flows_;
+  while (unfrozen > 0) {
+    // Largest uniform rate increment delta all unfrozen flows can take.
+    double delta = std::numeric_limits<double>::infinity();
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      if (weight[r] > kWeightEps && std::isfinite(residual[r])) {
+        delta = std::min(delta, std::max(residual[r], 0.0) / weight[r]);
+      }
+    }
+    for (FlowId f = 0; f < flows_.size(); ++f) {
+      if (!frozen[f] && std::isfinite(flows_[f].cap)) {
+        delta = std::min(delta, flows_[f].cap - rate[f]);
+      }
+    }
+    assert(std::isfinite(delta) &&
+           "every flow needs a finite cap or a finite resource in its usages");
+    delta = std::max(delta, 0.0);
+
+    for (FlowId f = 0; f < flows_.size(); ++f) {
+      if (frozen[f]) continue;
+      rate[f] += delta;
+      for (const Usage& u : flows_[f].usages) {
+        residual[u.resource] -= delta * u.weight;
+      }
+    }
+
+    // Freeze flows that hit their own cap, then flows crossing any
+    // saturated resource.
+    constexpr double kEps = 1e-12;
+    std::vector<bool> saturated(resources_.size(), false);
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      if (weight[r] > kWeightEps && std::isfinite(residual[r]) &&
+          residual[r] <= kEps * std::max(1.0, resources_[r].capacity)) {
+        saturated[r] = true;
+      }
+    }
+    bool any_frozen_this_round = false;
+    for (FlowId f = 0; f < flows_.size(); ++f) {
+      if (frozen[f]) continue;
+      bool freeze =
+          std::isfinite(flows_[f].cap) && rate[f] >= flows_[f].cap - kEps;
+      if (!freeze) {
+        for (const Usage& u : flows_[f].usages) {
+          if (saturated[u.resource]) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[f] = true;
+        --unfrozen;
+        any_frozen_this_round = true;
+        for (const Usage& u : flows_[f].usages) {
+          weight[u.resource] -= u.weight;
+          if (weight[u.resource] < kWeightEps) weight[u.resource] = 0.0;
+        }
+      }
+    }
+    // Progress guarantee: a positive delta saturates something; a zero
+    // delta means a cap/resource was already tight and those flows froze.
+    if (!any_frozen_this_round) {
+      assert(false && "flow solver failed to make progress");
+      break;
+    }
+  }
+  return rate;
+}
+
+Gbps FlowSolver::aggregate_rate() const {
+  const auto rates = solve();
+  Gbps sum = 0.0;
+  for (FlowId f = 0; f < flows_.size(); ++f) {
+    if (flows_[f].alive) sum += rates[f];
+  }
+  return sum;
+}
+
+double FlowSolver::utilization(ResourceId id) const {
+  assert(id < resources_.size());
+  if (!std::isfinite(resources_[id].capacity) ||
+      resources_[id].capacity <= 0.0) {
+    return 0.0;
+  }
+  const auto rates = solve();
+  double used = 0.0;
+  for (FlowId f = 0; f < flows_.size(); ++f) {
+    if (!flows_[f].alive) continue;
+    for (const Usage& u : flows_[f].usages) {
+      if (u.resource == id) used += rates[f] * u.weight;
+    }
+  }
+  return used / resources_[id].capacity;
+}
+
+}  // namespace numaio::sim

@@ -1,0 +1,91 @@
+// Max-min-fair bandwidth allocation over a network of directed resources.
+//
+// A Resource is any capacity-limited element on a data path: an HT link
+// direction, a node's memory controller, a PCIe link, a device engine, a
+// node's CPU budget. A Flow occupies a multiset of weighted resource usages
+// (weight w means the flow consumes w units of the resource per Gbps of
+// flow rate — e.g. a TCP flow consumes ~1 unit of NIC bandwidth but only a
+// fraction of a CPU budget per Gbps) and may carry its own rate cap (a
+// DMA-window or TCP-window limit).
+//
+// solve() runs progressive filling: all unfrozen flows grow at the same
+// rate; a flow freezes when it reaches its own cap or when a resource it
+// uses saturates. This is the classical water-filling construction of the
+// (weighted-usage) max-min-fair allocation and terminates after at most
+// (#resources + #flows) rounds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "simcore/units.h"
+
+namespace numaio::sim {
+
+using ResourceId = std::size_t;
+using FlowId = std::size_t;
+
+/// One weighted traversal of a resource by a flow.
+struct Usage {
+  ResourceId resource = 0;
+  double weight = 1.0;  ///< Units consumed per Gbps of flow rate.
+};
+
+class FlowSolver {
+ public:
+  /// Registers a resource. `capacity` may be kUnlimited.
+  ResourceId add_resource(std::string name, Gbps capacity);
+
+  /// Adjusts a resource's capacity (e.g. CPU budget shrinking under
+  /// interrupt load). Takes effect at the next solve().
+  void set_capacity(ResourceId id, Gbps capacity);
+
+  Gbps capacity(ResourceId id) const;
+  const std::string& resource_name(ResourceId id) const;
+  std::size_t resource_count() const { return resources_.size(); }
+
+  /// Adds a flow with weighted resource usages (a resource may appear more
+  /// than once; weights accumulate) and an optional private rate cap.
+  FlowId add_flow(std::vector<Usage> usages, Gbps rate_cap = kUnlimited);
+
+  /// Convenience: unit-weight usage of each resource on `path`.
+  FlowId add_flow_over(const std::vector<ResourceId>& path,
+                       Gbps rate_cap = kUnlimited);
+
+  /// Removes a flow; its id is never reused.
+  void remove_flow(FlowId id);
+
+  void set_flow_cap(FlowId id, Gbps rate_cap);
+  Gbps flow_cap(FlowId id) const;
+  bool flow_alive(FlowId id) const;
+  std::size_t live_flow_count() const { return live_flows_; }
+
+  /// Computes the max-min-fair allocation for all live flows.
+  /// The returned vector is indexed by FlowId; removed flows report 0.
+  std::vector<Gbps> solve() const;
+
+  /// Sum of the allocation over all live flows.
+  Gbps aggregate_rate() const;
+
+  /// Utilization (weighted usage / capacity) of one resource under the
+  /// current allocation; 0 for unlimited resources.
+  double utilization(ResourceId id) const;
+
+ private:
+  struct Resource {
+    std::string name;
+    Gbps capacity = kUnlimited;
+  };
+  struct Flow {
+    std::vector<Usage> usages;
+    Gbps cap = kUnlimited;
+    bool alive = false;
+  };
+
+  std::vector<Resource> resources_;
+  std::vector<Flow> flows_;
+  std::size_t live_flows_ = 0;
+};
+
+}  // namespace numaio::sim

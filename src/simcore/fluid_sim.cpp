@@ -1,0 +1,170 @@
+#include "simcore/fluid_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace numaio::sim {
+
+namespace {
+constexpr double kBitEps = 1e-6;  // bits of slack treated as "finished"
+}
+
+FluidSimulation::TransferId FluidSimulation::start_transfer(
+    std::vector<Usage> usages, Bytes bytes, Gbps rate_cap,
+    CompletionFn on_complete) {
+  return start_transfer_at(now_, std::move(usages), bytes, rate_cap,
+                           std::move(on_complete));
+}
+
+FluidSimulation::TransferId FluidSimulation::start_transfer_at(
+    Ns at, std::vector<Usage> usages, Bytes bytes, Gbps rate_cap,
+    CompletionFn on_complete) {
+  assert(at >= now_ && "cannot start a transfer in the past");
+  assert(bytes > 0);
+  Transfer t;
+  t.usages = std::move(usages);
+  t.rate_cap = rate_cap;
+  t.remaining_bits = static_cast<double>(bytes) * 8.0;
+  t.on_complete = std::move(on_complete);
+  t.stats.bytes = bytes;
+  transfers_.push_back(std::move(t));
+  const TransferId id = transfers_.size() - 1;
+  if (at <= now_) {
+    activate(id);
+  } else {
+    pending_.push_back(Pending{at, id});
+    // Descending by time (ties: later id last) so the soonest start is at
+    // the back and pops cheaply.
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Pending& a, const Pending& b) {
+                if (a.at != b.at) return a.at > b.at;
+                return a.id > b.id;
+              });
+  }
+  return id;
+}
+
+void FluidSimulation::activate(TransferId id) {
+  Transfer& t = transfers_[id];
+  assert(!t.active && !t.stats.done);
+  t.flow = solver_.add_flow(t.usages, t.rate_cap);
+  t.active = true;
+  t.stats.start = now_;
+  ++active_count_;
+}
+
+void FluidSimulation::complete(TransferId id) {
+  Transfer& t = transfers_[id];
+  assert(t.active);
+  solver_.remove_flow(t.flow);
+  t.active = false;
+  t.stats.done = true;
+  t.stats.end = now_;
+  --active_count_;
+  if (t.on_complete) t.on_complete(id, now_);
+}
+
+Ns FluidSimulation::run() {
+  while (active_count_ > 0 || !pending_.empty()) {
+    if (active_count_ == 0) {
+      // Jump to the next scheduled start.
+      now_ = pending_.back().at;
+    }
+    // Activate all starts due now.
+    while (!pending_.empty() && pending_.back().at <= now_) {
+      const TransferId id = pending_.back().id;
+      pending_.pop_back();
+      activate(id);
+    }
+
+    const std::vector<Gbps> rates = solver_.solve();
+
+    // Next completion among active transfers.
+    Ns dt = std::numeric_limits<double>::infinity();
+    for (TransferId id = 0; id < transfers_.size(); ++id) {
+      const Transfer& t = transfers_[id];
+      if (!t.active) continue;
+      const Gbps r = rates[t.flow];
+      if (r > 0.0) dt = std::min(dt, t.remaining_bits / r);
+    }
+    // Next arrival may preempt the completion.
+    if (!pending_.empty()) dt = std::min(dt, pending_.back().at - now_);
+    assert(std::isfinite(dt) &&
+           "all active transfers are rate-starved with no pending arrivals");
+
+    // Advance the fluid state.
+    now_ += dt;
+    for (TransferId id = 0; id < transfers_.size(); ++id) {
+      Transfer& t = transfers_[id];
+      if (!t.active) continue;
+      t.remaining_bits -= rates[t.flow] * dt;
+      if (trace_ && dt > 0.0) {
+        // Merge with the previous segment when the rate is unchanged so
+        // traces stay proportional to rate *changes*, not solver calls.
+        if (!t.trace.empty() && t.trace.back().rate == rates[t.flow]) {
+          t.trace.back().duration += dt;
+        } else {
+          t.trace.push_back(RateSegment{dt, rates[t.flow]});
+        }
+      }
+    }
+    // Complete in id order for determinism. complete() may start new
+    // transfers via callbacks; they begin at the current time.
+    for (TransferId id = 0; id < transfers_.size(); ++id) {
+      if (transfers_[id].active && transfers_[id].remaining_bits <= kBitEps) {
+        complete(id);
+      }
+    }
+  }
+  return now_;
+}
+
+const FluidSimulation::TransferStats& FluidSimulation::stats(
+    TransferId id) const {
+  assert(id < transfers_.size());
+  return transfers_[id].stats;
+}
+
+const std::vector<FluidSimulation::RateSegment>& FluidSimulation::trace(
+    TransferId id) const {
+  assert(id < transfers_.size());
+  return transfers_[id].trace;
+}
+
+FluidSimulation::RateStability FluidSimulation::rate_stability(
+    TransferId id) const {
+  assert(id < transfers_.size());
+  RateStability out;
+  const auto& segments = transfers_[id].trace;
+  Ns total = 0.0;
+  for (const RateSegment& s : segments) total += s.duration;
+  if (total <= 0.0) return out;
+  for (const RateSegment& s : segments) {
+    out.mean += s.rate * (s.duration / total);
+  }
+  double var = 0.0;
+  for (const RateSegment& s : segments) {
+    var += (s.rate - out.mean) * (s.rate - out.mean) * (s.duration / total);
+  }
+  if (out.mean > 0.0) out.cv = std::sqrt(var) / out.mean;
+  return out;
+}
+
+Gbps FluidSimulation::aggregate_rate() const {
+  if (transfers_.empty()) return 0.0;
+  Ns first_start = std::numeric_limits<double>::infinity();
+  Ns last_end = 0.0;
+  Bytes total = 0;
+  for (const Transfer& t : transfers_) {
+    assert(t.stats.done && "aggregate_rate() is meaningful after run()");
+    first_start = std::min(first_start, t.stats.start);
+    last_end = std::max(last_end, t.stats.end);
+    total += t.stats.bytes;
+  }
+  return last_end > first_start ? gbps(total, last_end - first_start) : 0.0;
+}
+
+}  // namespace numaio::sim

@@ -1,0 +1,116 @@
+// Hybrid fluid-flow simulation.
+//
+// Transfers carry a byte count over a path of FlowSolver resources. While a
+// set of transfers is active, each progresses at its max-min-fair rate; the
+// rate allocation is recomputed whenever a transfer starts or completes
+// (the classical fluid approximation used in bandwidth studies). This gives
+// exact completion times under piecewise-constant fair sharing without
+// per-packet events, which is the right granularity for the paper's
+// steady-state bandwidth experiments.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "simcore/flow_solver.h"
+#include "simcore/units.h"
+
+namespace numaio::sim {
+
+class FluidSimulation {
+ public:
+  using TransferId = std::size_t;
+  /// Called when a transfer finishes; receives the id and completion time.
+  /// The callback may start new transfers.
+  using CompletionFn = std::function<void(TransferId, Ns)>;
+
+  /// The solver holds the resource network; the simulation owns the flows it
+  /// creates on it. The solver must outlive the simulation.
+  explicit FluidSimulation(FlowSolver& solver) : solver_(solver) {}
+
+  /// Starts a transfer immediately (at the current simulated time).
+  TransferId start_transfer(std::vector<Usage> usages, Bytes bytes,
+                            Gbps rate_cap = kUnlimited,
+                            CompletionFn on_complete = {});
+
+  /// Schedules a transfer to start at absolute time `at` (>= now()).
+  TransferId start_transfer_at(Ns at, std::vector<Usage> usages,
+                               Bytes bytes, Gbps rate_cap = kUnlimited,
+                               CompletionFn on_complete = {});
+
+  /// Runs until every transfer (including ones spawned by completion
+  /// callbacks) has finished. Returns the makespan end time.
+  Ns run();
+
+  Ns now() const { return now_; }
+
+  struct TransferStats {
+    Ns start = 0.0;
+    Ns end = 0.0;
+    Bytes bytes = 0;
+    bool done = false;
+    /// Average rate over the transfer's lifetime.
+    Gbps avg_rate() const {
+      return end > start ? gbps(bytes, end - start) : 0.0;
+    }
+  };
+  const TransferStats& stats(TransferId id) const;
+  std::size_t transfer_count() const { return transfers_.size(); }
+
+  /// One constant-rate phase of a transfer's lifetime.
+  struct RateSegment {
+    Ns duration = 0.0;
+    Gbps rate = 0.0;
+  };
+
+  /// Enables per-transfer rate tracing (must be called before run()).
+  /// The paper leans on rate stability to justify single long transfers
+  /// ("the bandwidth performance is stable over the whole data transfer
+  /// process", §V-B); traces let callers verify it.
+  void enable_rate_trace() { trace_ = true; }
+
+  /// The traced constant-rate segments of a finished transfer (empty when
+  /// tracing was off).
+  const std::vector<RateSegment>& trace(TransferId id) const;
+
+  /// Time-weighted mean rate and the time-weighted coefficient of
+  /// variation of the traced rate; cv == 0 for perfectly steady flows.
+  struct RateStability {
+    Gbps mean = 0.0;
+    double cv = 0.0;
+  };
+  RateStability rate_stability(TransferId id) const;
+
+  /// Total bytes moved divided by the time from the first start to the last
+  /// completion — the "average aggregate performance" the paper reports.
+  Gbps aggregate_rate() const;
+
+ private:
+  struct Transfer {
+    std::vector<Usage> usages;
+    Gbps rate_cap = kUnlimited;
+    double remaining_bits = 0.0;
+    FlowId flow = 0;
+    bool active = false;
+    CompletionFn on_complete;
+    TransferStats stats;
+    std::vector<RateSegment> trace;
+  };
+  struct Pending {
+    Ns at;
+    TransferId id;
+  };
+
+  void activate(TransferId id);
+  void complete(TransferId id);
+
+  FlowSolver& solver_;
+  bool trace_ = false;
+  Ns now_ = 0.0;
+  std::vector<Transfer> transfers_;
+  std::vector<Pending> pending_;  // kept sorted descending by time
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace numaio::sim

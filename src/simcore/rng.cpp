@@ -1,0 +1,88 @@
+#include "simcore/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace numaio::sim {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64(sm);
+  // xoshiro must not start in the all-zero state; splitmix64 of any seed
+  // cannot produce four zero outputs in a row, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * mul;
+  have_spare_normal_ = true;
+  return u * mul;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  assert(n > 0);
+  // Debiased modulo via rejection on the top range.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return x % n;
+}
+
+Rng Rng::fork(std::uint64_t key) const {
+  std::uint64_t sm = seed_ ^ (0xA0761D6478BD642FULL + key);
+  const std::uint64_t mixed = splitmix64(sm);
+  return Rng(mixed);
+}
+
+Rng Rng::fork(std::uint64_t key1, std::uint64_t key2) const {
+  return fork(key1).fork(key2);
+}
+
+}  // namespace numaio::sim

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Every stochastic effect in the toolkit (STREAM run-to-run noise, TCP
+// contention jitter) draws from an Rng forked from a master seed with
+// experiment-specific keys, so any benchmark or test run is exactly
+// reproducible. The core generator is xoshiro256**; seeding and key
+// derivation use splitmix64, per the generators' authors' recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace numaio::sim {
+
+/// One splitmix64 step; used for seeding and key mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with deterministic key-derived substreams.
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Deterministic substream: a new Rng whose seed mixes this generator's
+  /// original seed with `key` (the generator's own state is not consumed, so
+  /// forks with different keys are order-independent).
+  Rng fork(std::uint64_t key) const;
+
+  /// Convenience two-key fork for (experiment, node)-style derivations.
+  Rng fork(std::uint64_t key1, std::uint64_t key2) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_;
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace numaio::sim

@@ -1,0 +1,28 @@
+// Small descriptive-statistics helpers used by benches, reports and the
+// stability analyses (the paper reports averages over 400 GB transfers,
+// max-of-100 STREAM repetitions, and relies on rate stability §V-B).
+#pragma once
+
+#include <span>
+
+namespace numaio::sim {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  std::size_t count = 0;
+
+  /// Coefficient of variation (stddev / mean); 0 for a zero mean.
+  double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Summary of a series. An empty span yields a zero Summary.
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 1]. Requires non-empty input;
+/// the input need not be sorted.
+double percentile(std::span<const double> values, double p);
+
+}  // namespace numaio::sim

@@ -1,0 +1,85 @@
+#include "model/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace numaio::model {
+namespace {
+
+const std::vector<double> kAscending{1, 2, 3, 4, 5};
+const std::vector<double> kDescending{5, 4, 3, 2, 1};
+
+TEST(Analysis, SpearmanPerfectAgreement) {
+  const std::vector<double> scaled{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(spearman(kAscending, scaled), 1.0);
+}
+
+TEST(Analysis, SpearmanPerfectInversion) {
+  EXPECT_DOUBLE_EQ(spearman(kAscending, kDescending), -1.0);
+}
+
+TEST(Analysis, SpearmanIsRankBasedNotLinear) {
+  // A monotone nonlinear map preserves Spearman exactly.
+  const std::vector<double> exp{2.7, 7.4, 20.1, 54.6, 148.4};
+  EXPECT_DOUBLE_EQ(spearman(kAscending, exp), 1.0);
+}
+
+TEST(Analysis, SpearmanHandlesTies) {
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(a, b), 1.0);
+}
+
+TEST(Analysis, SpearmanConstantSeriesIsZero) {
+  const std::vector<double> flat{3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(spearman(kAscending, flat), 0.0);
+}
+
+TEST(Analysis, KendallPerfectAgreementAndInversion) {
+  EXPECT_DOUBLE_EQ(kendall_tau(kAscending, kAscending), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(kAscending, kDescending), -1.0);
+}
+
+TEST(Analysis, KendallSingleSwap) {
+  const std::vector<double> swapped{1, 2, 3, 5, 4};
+  // 9 of 10 pairs concordant, 1 discordant -> tau = 0.8.
+  EXPECT_DOUBLE_EQ(kendall_tau(kAscending, swapped), 0.8);
+}
+
+TEST(Analysis, KendallTieCorrection) {
+  const std::vector<double> a{1, 1, 2, 3};
+  const std::vector<double> b{1, 2, 3, 4};
+  const double tau = kendall_tau(a, b);
+  EXPECT_GT(tau, 0.9);
+  EXPECT_LE(tau, 1.0);
+}
+
+TEST(Analysis, PairwiseAgreementBounds) {
+  EXPECT_DOUBLE_EQ(pairwise_agreement(kAscending, kAscending), 1.0);
+  EXPECT_DOUBLE_EQ(pairwise_agreement(kAscending, kDescending), 0.0);
+}
+
+TEST(Analysis, PairwiseAgreementSkipsTies) {
+  const std::vector<double> a{1, 1, 2};
+  const std::vector<double> b{5, 9, 10};
+  // Only pairs (0,2) and (1,2) comparable, both concordant.
+  EXPECT_DOUBLE_EQ(pairwise_agreement(a, b), 1.0);
+}
+
+TEST(Analysis, PairwiseAgreementAllTiedIsHalf) {
+  const std::vector<double> flat{1, 1, 1};
+  EXPECT_DOUBLE_EQ(pairwise_agreement(flat, kAscending.size() == 5
+                                                ? std::vector<double>{2, 2, 2}
+                                                : std::vector<double>{}),
+                   0.5);
+}
+
+TEST(Analysis, ShortSeriesReturnZero) {
+  const std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(spearman(one, one), 0.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(one, one), 0.0);
+}
+
+}  // namespace
+}  // namespace numaio::model

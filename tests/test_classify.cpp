@@ -1,0 +1,127 @@
+#include "model/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/calibration.h"
+
+namespace numaio::model {
+namespace {
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  fabric::Machine machine_{fabric::dl585_profile()};
+  nm::Host host_{machine_};
+};
+
+TEST_F(ClassifyTest, WriteModelMatchesTableIV) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceWrite);
+  const auto c = classify(model, machine_.topology());
+  ASSERT_EQ(c.num_classes(), 3);
+  EXPECT_EQ(c.classes[0], (std::vector<NodeId>{6, 7}));
+  EXPECT_EQ(c.classes[1], (std::vector<NodeId>{0, 1, 4, 5}));
+  EXPECT_EQ(c.classes[2], (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(ClassifyTest, ReadModelMatchesTableV) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceRead);
+  const auto c = classify(model, machine_.topology());
+  ASSERT_EQ(c.num_classes(), 4);
+  EXPECT_EQ(c.classes[0], (std::vector<NodeId>{6, 7}));
+  EXPECT_EQ(c.classes[1], (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(c.classes[2], (std::vector<NodeId>{0, 1, 5}));
+  EXPECT_EQ(c.classes[3], (std::vector<NodeId>{4}));
+}
+
+TEST_F(ClassifyTest, ClassAveragesMatchTableIV) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceWrite);
+  const auto c = classify(model, machine_.topology());
+  // Paper: 51.2 / 44.5 / 26.6 (we sit within a Gbps of each).
+  EXPECT_NEAR(c.class_avg[0], 49.8, 1.5);
+  EXPECT_NEAR(c.class_avg[1], 44.5, 1.0);
+  EXPECT_NEAR(c.class_avg[2], 26.6, 1.0);
+}
+
+TEST_F(ClassifyTest, ClassOfIsConsistent) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceRead);
+  const auto c = classify(model, machine_.topology());
+  for (int cls = 0; cls < c.num_classes(); ++cls) {
+    for (NodeId v : c.classes[static_cast<std::size_t>(cls)]) {
+      EXPECT_EQ(c.class_of[static_cast<std::size_t>(v)], cls);
+    }
+  }
+}
+
+TEST_F(ClassifyTest, PartitionCoversEveryNodeOnce) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceRead);
+  const auto c = classify(model, machine_.topology());
+  std::vector<int> seen(8, 0);
+  for (const auto& cls : c.classes) {
+    for (NodeId v : cls) ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST_F(ClassifyTest, RangesBracketAverages) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceWrite);
+  const auto c = classify(model, machine_.topology());
+  for (int cls = 0; cls < c.num_classes(); ++cls) {
+    const auto [lo, hi] = c.class_range[static_cast<std::size_t>(cls)];
+    EXPECT_LE(lo, c.class_avg[static_cast<std::size_t>(cls)]);
+    EXPECT_GE(hi, c.class_avg[static_cast<std::size_t>(cls)]);
+  }
+}
+
+TEST_F(ClassifyTest, RemoteClassesAreDescending) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceRead);
+  const auto c = classify(model, machine_.topology());
+  for (int cls = 2; cls < c.num_classes(); ++cls) {
+    EXPECT_GT(c.class_avg[static_cast<std::size_t>(cls - 1)],
+              c.class_avg[static_cast<std::size_t>(cls)]);
+  }
+}
+
+TEST_F(ClassifyTest, LocalAndNeighborForcedIntoClassOne) {
+  // Even if a remote value beats the neighbor's, class 1 stays
+  // {target, neighbor} (§V-A).
+  std::vector<sim::Gbps> bw{50.0, 10.0, 10.0, 10.0, 10.0, 10.0, 30.0, 52.0};
+  const auto c = classify_values(bw, 7, machine_.topology());
+  EXPECT_EQ(c.classes[0], (std::vector<NodeId>{6, 7}));
+  EXPECT_EQ(c.classes[1], (std::vector<NodeId>{0}));
+}
+
+TEST_F(ClassifyTest, SingleValueLevelsCollapseToOneRemoteClass) {
+  std::vector<sim::Gbps> bw(8, 40.0);
+  const auto c = classify_values(bw, 7, machine_.topology());
+  EXPECT_EQ(c.num_classes(), 2);
+  EXPECT_EQ(c.classes[1].size(), 6u);
+}
+
+TEST_F(ClassifyTest, TighterGapSplitsMore) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceRead);
+  ClassifyConfig tight;
+  tight.rel_gap = 0.005;
+  const auto c = classify(model, machine_.topology(), tight);
+  EXPECT_GT(c.num_classes(), 4);
+}
+
+TEST_F(ClassifyTest, RepresentativesOnePerClass) {
+  const auto model = build_iomodel(host_, 7, Direction::kDeviceRead);
+  const auto c = classify(model, machine_.topology());
+  const auto reps = representative_nodes(c);
+  ASSERT_EQ(reps.size(), 4u);
+  // §V-A: 4 representative tests instead of 8 -> evaluation cost halves.
+  EXPECT_EQ(reps[0], 6);
+  EXPECT_EQ(reps[1], 2);
+  EXPECT_EQ(reps[2], 0);
+  EXPECT_EQ(reps[3], 4);
+}
+
+TEST_F(ClassifyTest, WorksForOtherTargets) {
+  const auto model = build_iomodel(host_, 0, Direction::kDeviceWrite);
+  const auto c = classify(model, machine_.topology());
+  EXPECT_EQ(c.classes[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_GE(c.num_classes(), 2);
+}
+
+}  // namespace
+}  // namespace numaio::model

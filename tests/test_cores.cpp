@@ -1,0 +1,68 @@
+#include "nm/cores.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fabric/calibration.h"
+#include "mem/stream.h"
+#include "topo/presets.h"
+
+namespace numaio::nm {
+namespace {
+
+TEST(Cores, NodeMajorMapping) {
+  const auto topo = topo::dl585_g7();
+  EXPECT_EQ(node_of_core(topo, 0), 0);
+  EXPECT_EQ(node_of_core(topo, 3), 0);
+  EXPECT_EQ(node_of_core(topo, 4), 1);
+  EXPECT_EQ(node_of_core(topo, 31), 7);
+  EXPECT_EQ(first_core_of(topo, 7), 28);
+  EXPECT_EQ(first_core_of(topo, 0), 0);
+}
+
+TEST(Cores, OutOfRangeThrows) {
+  const auto topo = topo::dl585_g7();
+  EXPECT_THROW(node_of_core(topo, 32), std::out_of_range);
+  EXPECT_THROW(node_of_core(topo, -1), std::out_of_range);
+}
+
+TEST(Cores, CoreListParsing) {
+  const auto topo = topo::dl585_g7();
+  EXPECT_EQ(nodes_of_core_list(topo, "0,3-5"),
+            (std::vector<topo::NodeId>{0, 1}));
+  EXPECT_EQ(nodes_of_core_list(topo, "28-31"),
+            (std::vector<topo::NodeId>{7}));
+  EXPECT_EQ(nodes_of_core_list(topo, "31,0"),
+            (std::vector<topo::NodeId>{0, 7}));
+}
+
+TEST(Cores, CoreListErrors) {
+  const auto topo = topo::dl585_g7();
+  EXPECT_THROW(nodes_of_core_list(topo, ""), std::invalid_argument);
+  EXPECT_THROW(nodes_of_core_list(topo, "5-2"), std::invalid_argument);
+  EXPECT_THROW(nodes_of_core_list(topo, "a"), std::invalid_argument);
+  EXPECT_THROW(nodes_of_core_list(topo, "30-40"), std::out_of_range);
+}
+
+TEST(Cores, CoresOfANodeShowIdenticalStreamBandwidth) {
+  // §IV-A's justification for node-level characterization, made explicit:
+  // single-thread STREAM from any core of node 5 against node 7 measures
+  // the same bandwidth (cores differ only in identity, not fabric path).
+  fabric::Machine machine{fabric::dl585_profile()};
+  Host host{machine};
+  mem::StreamConfig config;
+  config.threads = 1;  // one core at a time
+  mem::StreamBenchmark bench(host, config);
+  const auto topo = machine.topology();
+  const double reference = bench.run(5, 7).best;
+  for (int core = first_core_of(topo, 5);
+       core < first_core_of(topo, 5) + topo.node(5).cores; ++core) {
+    EXPECT_EQ(node_of_core(topo, core), 5);
+    EXPECT_DOUBLE_EQ(bench.run(node_of_core(topo, core), 7).best,
+                     reference);
+  }
+}
+
+}  // namespace
+}  // namespace numaio::nm

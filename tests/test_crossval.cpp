@@ -1,0 +1,87 @@
+#include "model/crossval.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/calibration.h"
+
+namespace numaio::model {
+namespace {
+
+class CrossValTest : public ::testing::Test {
+ protected:
+  CrossValTest() : machine_(fabric::dl585_profile()), host_(machine_) {
+    cv_ = cross_validate(host_);
+  }
+  int index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < cv_.names.size(); ++i) {
+      if (cv_.names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  double agreement(const std::string& a, const std::string& b) const {
+    return cv_.agreement[static_cast<std::size_t>(index_of(a))]
+                        [static_cast<std::size_t>(index_of(b))];
+  }
+
+  fabric::Machine machine_;
+  nm::Host host_;
+  CrossValidation cv_;
+};
+
+TEST_F(CrossValTest, EightBenchmarksWithFullMatrices) {
+  ASSERT_EQ(cv_.names.size(), 8u);  // 7 numademo modules + STREAM
+  for (const auto& cells : cv_.cells) EXPECT_EQ(cells.size(), 64u);
+  EXPECT_GE(index_of("STREAM-Copy"), 0);
+  EXPECT_GE(index_of("ptr-chase"), 0);
+}
+
+TEST_F(CrossValTest, AgreementIsSymmetricWithUnitDiagonal) {
+  for (std::size_t a = 0; a < cv_.names.size(); ++a) {
+    EXPECT_DOUBLE_EQ(cv_.agreement[a][a], 1.0);
+    for (std::size_t b = 0; b < cv_.names.size(); ++b) {
+      EXPECT_DOUBLE_EQ(cv_.agreement[a][b], cv_.agreement[b][a]);
+    }
+  }
+}
+
+TEST_F(CrossValTest, CopyLikeBenchmarksAgreeStrongly) {
+  // memcpy, stream-copy and STREAM measure the same loop; the walks share
+  // the load path. cbench's premise holds *within* this family.
+  EXPECT_GT(agreement("memcpy", "stream-copy"), 0.99);
+  EXPECT_GT(agreement("memcpy", "STREAM-Copy"), 0.95);
+  EXPECT_GT(agreement("forward-walk", "backward-walk"), 0.99);
+  EXPECT_GT(agreement("memcpy", "forward-walk"), 0.9);
+}
+
+TEST_F(CrossValTest, LatencyBoundBenchmarksFormTheirOwnFamily) {
+  EXPECT_GT(agreement("random-access", "ptr-chase"), 0.99);
+  // ...and disagree with the bandwidth family (different NUMA ordering:
+  // e.g. 7->2 is latency-good but PIO-bad).
+  EXPECT_LT(agreement("ptr-chase", "memcpy"), 0.8);
+}
+
+TEST_F(CrossValTest, ClustersSeparateTheFamilies) {
+  const auto clusters = agreement_clusters(cv_, 0.9);
+  // At 0.9 the copy family and the latency family split apart.
+  EXPECT_GE(clusters.size(), 2u);
+  // Every benchmark lands in exactly one cluster.
+  std::vector<int> seen(cv_.names.size(), 0);
+  for (const auto& cluster : clusters) {
+    for (int idx : cluster) ++seen[static_cast<std::size_t>(idx)];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST_F(CrossValTest, LooseThresholdMergesEverything) {
+  const auto clusters = agreement_clusters(cv_, -1.0);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), cv_.names.size());
+}
+
+TEST_F(CrossValTest, StrictThresholdIsolatesEverything) {
+  const auto clusters = agreement_clusters(cv_, 1.01);
+  EXPECT_EQ(clusters.size(), cv_.names.size());
+}
+
+}  // namespace
+}  // namespace numaio::model

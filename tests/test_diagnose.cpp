@@ -1,0 +1,92 @@
+// FioRunner::diagnose — identifying the binding resource of a transfer.
+#include <gtest/gtest.h>
+
+#include "io/testbed.h"
+
+namespace numaio::io {
+namespace {
+
+class DiagnoseTest : public ::testing::Test {
+ protected:
+  DiagnoseTest() : tb_(Testbed::dl585()), fio_(tb_.host()) {}
+
+  FioJob job(const std::string& engine, NodeId node, int streams = 4) {
+    FioJob j;
+    const bool is_ssd = engine.rfind("ssd", 0) == 0;
+    j.devices = is_ssd ? tb_.ssds()
+                       : std::vector<const PcieDevice*>{&tb_.nic()};
+    j.engine = engine;
+    j.cpu_node = node;
+    j.num_streams = streams;
+    return j;
+  }
+
+  Testbed tb_;
+  FioRunner fio_;
+};
+
+TEST_F(DiagnoseTest, DeviceCapBindsTheGoodBindings) {
+  const auto report = fio_.diagnose(job(kRdmaWrite, 5));
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.front().name, "mlx4_0:rdma_write");
+  EXPECT_NEAR(report.front().utilization, 1.0, 1e-6);
+}
+
+TEST_F(DiagnoseTest, EngineWindowStillChargesTheEngineOnWeakPaths) {
+  // On {2,3} the engine-window term saturates the occupancy resource at
+  // the window-limited level (tau = 1/17.1 each): the engine is the
+  // nominal bottleneck, with the fabric pair visibly loaded too.
+  const auto report = fio_.diagnose(job(kRdmaWrite, 2));
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.front().name, "mlx4_0:rdma_write");
+  bool fabric_seen = false;
+  for (const auto& r : report) {
+    if (r.name == "fab:2>7") {
+      fabric_seen = true;
+      EXPECT_GT(r.utilization, 0.5);
+      EXPECT_LT(r.utilization, 0.8);  // 17.1 of 26.0
+    }
+  }
+  EXPECT_TRUE(fabric_seen);
+}
+
+TEST_F(DiagnoseTest, CpuBindsTcpOnTheDeviceNode) {
+  const auto report = fio_.diagnose(job(kTcpSend, 7));
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.front().name, "cpu:7");
+  EXPECT_NEAR(report.front().utilization, 1.0, 1e-6);
+}
+
+TEST_F(DiagnoseTest, SingleStreamIsWindowNotResourceBound) {
+  const auto report = fio_.diagnose(job(kTcpSend, 5, 1));
+  // Nothing saturates: the per-stream congestion window is the limit.
+  for (const auto& r : report) {
+    EXPECT_LT(r.utilization, 0.75) << r.name;
+  }
+}
+
+TEST_F(DiagnoseTest, ReportSortedAndHostUnchanged) {
+  const auto before = tb_.host().node_free_bytes(3);
+  const auto live_flows = tb_.machine().solver().live_flow_count();
+  const auto report = fio_.diagnose(job(kSsdRead, 3));
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_GE(report[i - 1].utilization, report[i].utilization);
+  }
+  EXPECT_EQ(tb_.host().node_free_bytes(3), before);
+  EXPECT_EQ(tb_.machine().solver().live_flow_count(), live_flows);
+}
+
+TEST_F(DiagnoseTest, PcieNeverBindsOnThisTestbed) {
+  // §IV-B1's point inverted: 32 Gbps of PCIe data headroom means the
+  // protocol engines, not the bus, are the ceiling everywhere.
+  for (NodeId node : {0, 2, 7}) {
+    for (const auto& r : fio_.diagnose(job(kTcpSend, node))) {
+      if (r.name.find("pcie") != std::string::npos) {
+        EXPECT_LT(r.utilization, 0.99) << node;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace numaio::io

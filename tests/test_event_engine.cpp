@@ -1,0 +1,87 @@
+#include "simcore/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace numaio::sim {
+namespace {
+
+TEST(EventEngine, StartsAtZero) {
+  EventEngine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EventEngine, RunsEventsInTimeOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(30.0, [&] { order.push_back(3); });
+  e.schedule_at(10.0, [&] { order.push_back(1); });
+  e.schedule_at(20.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 30.0);
+}
+
+TEST(EventEngine, SameTimestampFifo) {
+  EventEngine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEngine, ScheduleInIsRelative) {
+  EventEngine e;
+  double fired_at = -1.0;
+  e.schedule_at(100.0, [&] {
+    e.schedule_in(50.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(EventEngine, RunUntilStopsAtBoundary) {
+  EventEngine e;
+  int fired = 0;
+  e.schedule_at(10.0, [&] { ++fired; });
+  e.schedule_at(20.0, [&] { ++fired; });
+  e.schedule_at(30.0, [&] { ++fired; });
+  e.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 20.0);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventEngine, RunUntilAdvancesClockWithoutEvents) {
+  EventEngine e;
+  e.run_until(500.0);
+  EXPECT_DOUBLE_EQ(e.now(), 500.0);
+}
+
+TEST(EventEngine, EventsCanCascade) {
+  EventEngine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) e.schedule_in(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(EventEngine, NextEventTime) {
+  EventEngine e;
+  EXPECT_EQ(e.next_event_time(), kUnlimited);
+  e.schedule_at(42.0, [] {});
+  EXPECT_DOUBLE_EQ(e.next_event_time(), 42.0);
+}
+
+}  // namespace
+}  // namespace numaio::sim

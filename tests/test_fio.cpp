@@ -1,0 +1,249 @@
+#include "io/fio.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "io/testbed.h"
+
+namespace numaio::io {
+namespace {
+
+class FioTest : public ::testing::Test {
+ protected:
+  FioTest() : testbed_(Testbed::dl585()), fio_(testbed_.host()) {}
+
+  FioJob nic_job(const std::string& engine, NodeId node, int streams) {
+    FioJob j;
+    j.devices = {&testbed_.nic()};
+    j.engine = engine;
+    j.cpu_node = node;
+    j.num_streams = streams;
+    return j;
+  }
+  FioJob ssd_job(const std::string& engine, NodeId node, int streams) {
+    FioJob j;
+    j.devices = testbed_.ssds();
+    j.engine = engine;
+    j.cpu_node = node;
+    j.num_streams = streams;
+    return j;
+  }
+
+  Testbed testbed_;
+  FioRunner fio_;
+};
+
+// --- Table IV: device-write side at 4 parallel streams --------------------
+
+TEST_F(FioTest, TcpSendClassValues) {
+  EXPECT_NEAR(fio_.run(nic_job(kTcpSend, 0, 4)).aggregate, 20.9, 0.3);
+  EXPECT_NEAR(fio_.run(nic_job(kTcpSend, 2, 4)).aggregate, 16.2, 0.2);
+  EXPECT_NEAR(fio_.run(nic_job(kTcpSend, 3, 4)).aggregate, 16.2, 0.2);
+}
+
+TEST_F(FioTest, RdmaWriteClassValues) {
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaWrite, 7, 4)).aggregate, 23.3, 0.2);
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaWrite, 0, 4)).aggregate, 23.3, 0.2);
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaWrite, 2, 4)).aggregate, 17.1, 0.2);
+}
+
+TEST_F(FioTest, SsdWriteClassValues) {
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdWrite, 7, 4)).aggregate, 28.8, 0.5);
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdWrite, 0, 4)).aggregate, 28.5, 0.6);
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdWrite, 2, 4)).aggregate, 18.0, 0.3);
+}
+
+// --- Table V: device-read side ---------------------------------------------
+
+TEST_F(FioTest, TcpRecvClassValues) {
+  EXPECT_NEAR(fio_.run(nic_job(kTcpRecv, 6, 4)).aggregate, 21.8, 0.3);
+  EXPECT_NEAR(fio_.run(nic_job(kTcpRecv, 2, 4)).aggregate, 20.0, 0.3);
+  EXPECT_NEAR(fio_.run(nic_job(kTcpRecv, 0, 4)).aggregate, 20.6, 0.3);
+  EXPECT_NEAR(fio_.run(nic_job(kTcpRecv, 4, 4)).aggregate, 14.4, 0.3);
+}
+
+TEST_F(FioTest, RdmaReadClassValues) {
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaRead, 7, 4)).aggregate, 22.0, 0.2);
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaRead, 2, 4)).aggregate, 22.0, 0.2);
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaRead, 0, 4)).aggregate, 18.3, 0.2);
+  EXPECT_NEAR(fio_.run(nic_job(kRdmaRead, 4, 4)).aggregate, 16.1, 0.2);
+}
+
+TEST_F(FioTest, SsdReadClassValues) {
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdRead, 7, 4)).aggregate, 34.7, 0.4);
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdRead, 2, 4)).aggregate, 33.1, 0.4);
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdRead, 0, 4)).aggregate, 30.1, 0.4);
+  EXPECT_NEAR(fio_.run(ssd_job(kSsdRead, 4, 4)).aggregate, 18.5, 0.4);
+}
+
+// --- Qualitative findings ---------------------------------------------------
+
+TEST_F(FioTest, RdmaReadInvertsStreamOrdering) {
+  // §IV-B2: RDMA_READ on {0,1} is 15-18.4% *worse* than on {2,3} even
+  // though STREAM ranks {0,1} far above {2,3}.
+  const double r0 = fio_.run(nic_job(kRdmaRead, 0, 4)).aggregate;
+  const double r2 = fio_.run(nic_job(kRdmaRead, 2, 4)).aggregate;
+  const double drop = (r2 - r0) / r2;
+  EXPECT_GT(drop, 0.14);
+  EXPECT_LT(drop, 0.20);
+}
+
+TEST_F(FioTest, TcpNode6BeatsNode7) {
+  // §IV-B1: interrupt handling on node 7 makes its neighbor the better
+  // binding.
+  const double n6 = fio_.run(nic_job(kTcpSend, 6, 4)).aggregate;
+  const double n7 = fio_.run(nic_job(kTcpSend, 7, 4)).aggregate;
+  EXPECT_GT(n6, n7);
+}
+
+TEST_F(FioTest, RdmaImmuneToDeviceNodeContention) {
+  const double n6 = fio_.run(nic_job(kRdmaWrite, 6, 4)).aggregate;
+  const double n7 = fio_.run(nic_job(kRdmaWrite, 7, 4)).aggregate;
+  EXPECT_NEAR(n6, n7, 0.1);
+}
+
+TEST_F(FioTest, TcpGrowsUntilFourStreams) {
+  const double s1 = fio_.run(nic_job(kTcpSend, 5, 1)).aggregate;
+  const double s2 = fio_.run(nic_job(kTcpSend, 5, 2)).aggregate;
+  const double s4 = fio_.run(nic_job(kTcpSend, 5, 4)).aggregate;
+  const double s8 = fio_.run(nic_job(kTcpSend, 5, 8)).aggregate;
+  EXPECT_NEAR(s2, 2.0 * s1, 0.1);
+  EXPECT_GT(s4, 1.5 * s2);
+  EXPECT_NEAR(s8, s4, 0.08 * s4);  // plateau with jitter
+}
+
+TEST_F(FioTest, RdmaSaturatesAtTwoStreams) {
+  const double s1 = fio_.run(nic_job(kRdmaWrite, 5, 1)).aggregate;
+  const double s2 = fio_.run(nic_job(kRdmaWrite, 5, 2)).aggregate;
+  const double s4 = fio_.run(nic_job(kRdmaWrite, 5, 4)).aggregate;
+  EXPECT_LT(s1, 12.0);
+  EXPECT_NEAR(s2, 23.3, 0.1);
+  EXPECT_NEAR(s4, 23.3, 0.1);
+}
+
+TEST_F(FioTest, RdmaIsStableAtHighStreamCounts) {
+  // Fig 6 vs Fig 5: RDMA bandwidth "is more stable than that of TCP".
+  const double s4 = fio_.run(nic_job(kRdmaWrite, 5, 4)).aggregate;
+  const double s16 = fio_.run(nic_job(kRdmaWrite, 5, 16)).aggregate;
+  EXPECT_NEAR(s16, s4, 0.01 * s4);
+}
+
+TEST_F(FioTest, SsdGrowsFromTwoToFourProcesses) {
+  const double p2 = fio_.run(ssd_job(kSsdRead, 7, 2)).aggregate;
+  const double p4 = fio_.run(ssd_job(kSsdRead, 7, 4)).aggregate;
+  EXPECT_GT(p4, 1.3 * p2);
+}
+
+TEST_F(FioTest, StreamsRoundRobinAcrossSsdCards) {
+  const FioResult r = fio_.run(ssd_job(kSsdWrite, 7, 4));
+  ASSERT_EQ(r.streams.size(), 4u);
+  EXPECT_EQ(r.streams[0].device, testbed_.ssds()[0]);
+  EXPECT_EQ(r.streams[1].device, testbed_.ssds()[1]);
+  EXPECT_EQ(r.streams[2].device, testbed_.ssds()[0]);
+}
+
+TEST_F(FioTest, BuffersAreLocalToTheBindingNode) {
+  const FioResult r = fio_.run(nic_job(kRdmaWrite, 3, 2));
+  for (const auto& s : r.streams) EXPECT_EQ(s.mem_node, 3);
+}
+
+TEST_F(FioTest, DeterministicRepeats) {
+  const double a = fio_.run(nic_job(kTcpSend, 5, 8)).aggregate;
+  const double b = fio_.run(nic_job(kTcpSend, 5, 8)).aggregate;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(FioTest, ConcurrentMixedJobsShareTheEngine) {
+  // The Eq-1 scenario: 2 streams node 2 + 2 streams node 0, RDMA_READ.
+  FioJob a = nic_job(kRdmaRead, 2, 2);
+  FioJob b = nic_job(kRdmaRead, 0, 2);
+  const auto results = fio_.run_concurrent({a, b});
+  const double combined = combined_aggregate(results);
+  // Between the class-3 value (18.3) and the device cap (22.0), and below
+  // the arithmetic mix (~20.15): heterogeneous queues drag the engine.
+  EXPECT_GT(combined, 18.3);
+  EXPECT_LT(combined, 20.15);
+}
+
+TEST_F(FioTest, CombinedAggregateOfOneJobIsItsAggregate) {
+  const auto results = fio_.run_concurrent({nic_job(kRdmaWrite, 5, 2)});
+  EXPECT_NEAR(combined_aggregate(results), results[0].aggregate, 1e-9);
+}
+
+TEST_F(FioTest, FreeMemoryRestoredAfterRun) {
+  const auto before = testbed_.host().node_free_bytes(3);
+  fio_.run(nic_job(kTcpSend, 3, 4));
+  EXPECT_EQ(testbed_.host().node_free_bytes(3), before);
+}
+
+TEST_F(FioTest, InterleavedBuffersCountInNumastat) {
+  testbed_.host().reset_stats();
+  FioJob j = nic_job(kRdmaWrite, 3, 2);
+  j.mem_policy = nm::parse_numactl("--interleave=0,1");
+  fio_.run(j);
+  EXPECT_GT(testbed_.host().stats().node(0).interleave_hit, 0u);
+  EXPECT_GT(testbed_.host().stats().node(1).interleave_hit, 0u);
+  EXPECT_EQ(testbed_.host().stats().node(3).numa_hit, 0u);
+}
+
+TEST_F(FioTest, LocalBuffersCountAsNumaHits) {
+  testbed_.host().reset_stats();
+  fio_.run(nic_job(kRdmaWrite, 3, 2));
+  EXPECT_EQ(testbed_.host().stats().node(3).numa_hit, 2u);
+}
+
+TEST_F(FioTest, RejectsEmptyDeviceList) {
+  FioJob j;
+  j.engine = kTcpSend;
+  EXPECT_THROW(fio_.run(j), std::invalid_argument);
+}
+
+TEST_F(FioTest, RejectsZeroStreams) {
+  FioJob j = nic_job(kTcpSend, 0, 0);
+  EXPECT_THROW(fio_.run(j), std::invalid_argument);
+}
+
+TEST_F(FioTest, SsdJobsNeedAStreamPerCard) {
+  // §IV-B3: "the total number of test processes is at least two".
+  EXPECT_THROW(fio_.run(ssd_job(kSsdWrite, 7, 1)), std::invalid_argument);
+}
+
+TEST_F(FioTest, LowerIodepthLowersSsdThroughput) {
+  FioJob deep = ssd_job(kSsdRead, 7, 2);
+  FioJob shallow = deep;
+  shallow.iodepth = 4;
+  EXPECT_GT(fio_.run(deep).aggregate, 1.5 * fio_.run(shallow).aggregate);
+}
+
+// Property sweep: every engine x binding yields a positive aggregate that
+// never exceeds the engine's total ceiling.
+class EngineBindingSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(EngineBindingSweep, WithinPhysicalBounds) {
+  Testbed tb = Testbed::dl585();
+  FioRunner fio(tb.host());
+  const auto [engine, node] = GetParam();
+  FioJob j;
+  const bool is_ssd = std::string(engine).rfind("ssd", 0) == 0;
+  j.devices = is_ssd ? tb.ssds()
+                     : std::vector<const PcieDevice*>{&tb.nic()};
+  j.engine = engine;
+  j.cpu_node = node;
+  j.num_streams = 4;
+  const double agg = fio.run(j).aggregate;
+  EXPECT_GT(agg, 5.0);
+  double ceiling = 0.0;
+  for (const auto* d : j.devices) ceiling += d->engine(engine).device_cap;
+  EXPECT_LE(agg, ceiling + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllNodes, EngineBindingSweep,
+    ::testing::Combine(::testing::Values(kTcpSend, kTcpRecv, kRdmaWrite,
+                                         kRdmaRead, kSsdWrite, kSsdRead),
+                       ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace numaio::io

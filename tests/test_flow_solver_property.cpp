@@ -1,0 +1,136 @@
+// Randomized property tests of the max-min-fair allocator: for seeded
+// random resource networks, the solution must be feasible, and satisfy
+// the bottleneck condition that characterizes max-min fairness (every
+// flow is limited by its own cap, or crosses a saturated resource on
+// which it has a maximal rate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "simcore/flow_solver.h"
+#include "simcore/rng.h"
+
+namespace numaio::sim {
+namespace {
+
+struct Instance {
+  FlowSolver solver;
+  std::vector<ResourceId> resources;
+  std::vector<FlowId> flows;
+  std::vector<std::vector<ResourceId>> paths;  // per flow
+};
+
+/// Random network: 3-8 resources with capacities in [5, 50], 2-13 flows
+/// over 1-3 distinct resources, ~half the flows carrying a private cap.
+Instance random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  const std::uint64_t R = 3 + rng.below(6);
+  const std::uint64_t F = 2 + rng.below(12);
+  for (std::uint64_t r = 0; r < R; ++r) {
+    inst.resources.push_back(
+        inst.solver.add_resource("r", rng.uniform(5.0, 50.0)));
+  }
+  for (std::uint64_t f = 0; f < F; ++f) {
+    const std::uint64_t hops = 1 + rng.below(3);
+    std::vector<ResourceId> path;
+    for (std::uint64_t h = 0; h < hops; ++h) {
+      const ResourceId r = inst.resources[rng.below(inst.resources.size())];
+      if (std::find(path.begin(), path.end(), r) == path.end()) {
+        path.push_back(r);
+      }
+    }
+    const Gbps cap =
+        rng.uniform() < 0.5 ? rng.uniform(1.0, 30.0) : kUnlimited;
+    inst.flows.push_back(inst.solver.add_flow_over(path, cap));
+    inst.paths.push_back(std::move(path));
+  }
+  return inst;
+}
+
+class SolverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverProperty, FeasibleAndBottleneckFair) {
+  const Instance inst = random_instance(GetParam());
+  const auto rates = inst.solver.solve();
+  constexpr double kEps = 1e-7;
+
+  // Per-resource load from the known paths.
+  std::vector<double> load(inst.resources.size(), 0.0);
+  for (std::size_t fi = 0; fi < inst.flows.size(); ++fi) {
+    EXPECT_LE(rates[inst.flows[fi]],
+              inst.solver.flow_cap(inst.flows[fi]) + kEps);
+    EXPECT_GE(rates[inst.flows[fi]], 0.0);
+    for (ResourceId r : inst.paths[fi]) {
+      const auto idx = static_cast<std::size_t>(
+          std::find(inst.resources.begin(), inst.resources.end(), r) -
+          inst.resources.begin());
+      load[idx] += rates[inst.flows[fi]];
+    }
+  }
+  // Feasibility.
+  for (std::size_t r = 0; r < inst.resources.size(); ++r) {
+    const double cap = inst.solver.capacity(inst.resources[r]);
+    EXPECT_LE(load[r], cap + 1e-6 * std::max(1.0, cap));
+  }
+
+  // Bottleneck condition.
+  for (std::size_t fi = 0; fi < inst.flows.size(); ++fi) {
+    const FlowId f = inst.flows[fi];
+    const bool capped = std::isfinite(inst.solver.flow_cap(f)) &&
+                        rates[f] >= inst.solver.flow_cap(f) - kEps;
+    if (capped) continue;
+    bool bottlenecked = false;
+    for (ResourceId r : inst.paths[fi]) {
+      const auto idx = static_cast<std::size_t>(
+          std::find(inst.resources.begin(), inst.resources.end(), r) -
+          inst.resources.begin());
+      const double cap = inst.solver.capacity(inst.resources[idx]);
+      const bool saturated =
+          load[idx] >= cap - 1e-6 * std::max(1.0, cap);
+      if (!saturated) continue;
+      // f must have a maximal rate among flows crossing r.
+      double max_rate = 0.0;
+      for (std::size_t gi = 0; gi < inst.flows.size(); ++gi) {
+        if (std::find(inst.paths[gi].begin(), inst.paths[gi].end(), r) !=
+            inst.paths[gi].end()) {
+          max_rate = std::max(max_rate, rates[inst.flows[gi]]);
+        }
+      }
+      if (rates[f] >= max_rate - 1e-6) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked)
+        << "seed " << GetParam() << " flow " << f << " rate " << rates[f];
+  }
+}
+
+TEST_P(SolverProperty, RemovingAFlowRaisesTheMinimum) {
+  // Individual flows CAN lose from a removal (a competitor that was held
+  // back elsewhere may claim its fair share), but max-min maximizes the
+  // minimum: the worst-off remaining flow never gets worse.
+  Instance inst = random_instance(GetParam());
+  const auto before = inst.solver.solve();
+  if (inst.flows.size() < 2) return;
+  double min_before = kUnlimited;
+  for (std::size_t fi = 1; fi < inst.flows.size(); ++fi) {
+    min_before = std::min(min_before, before[inst.flows[fi]]);
+  }
+  inst.solver.remove_flow(inst.flows.front());
+  const auto after = inst.solver.solve();
+  double min_after = kUnlimited;
+  for (std::size_t fi = 1; fi < inst.flows.size(); ++fi) {
+    min_after = std::min(min_after, after[inst.flows[fi]]);
+  }
+  EXPECT_GE(min_after, min_before - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, SolverProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace numaio::sim

@@ -1,0 +1,180 @@
+#include "simcore/fluid_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.h"
+
+namespace numaio::sim {
+namespace {
+
+TEST(FluidSim, SingleTransferTiming) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);  // 8 Gbps
+  FluidSimulation fluid(solver);
+  // 1000 bytes at 8 Gbps = 1000 ns.
+  const auto id = fluid.start_transfer({{link, 1.0}}, 1000);
+  fluid.run();
+  EXPECT_DOUBLE_EQ(fluid.stats(id).end, 1000.0);
+  EXPECT_DOUBLE_EQ(fluid.stats(id).avg_rate(), 8.0);
+  EXPECT_TRUE(fluid.stats(id).done);
+}
+
+TEST(FluidSim, TwoEqualTransfersShareAndFinishTogether) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);
+  FluidSimulation fluid(solver);
+  const auto a = fluid.start_transfer({{link, 1.0}}, 1000);
+  const auto b = fluid.start_transfer({{link, 1.0}}, 1000);
+  fluid.run();
+  EXPECT_DOUBLE_EQ(fluid.stats(a).end, 2000.0);
+  EXPECT_DOUBLE_EQ(fluid.stats(b).end, 2000.0);
+}
+
+TEST(FluidSim, ShortTransferLeavesThenLongSpeedsUp) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);
+  FluidSimulation fluid(solver);
+  const auto lng = fluid.start_transfer({{link, 1.0}}, 1500);
+  const auto sht = fluid.start_transfer({{link, 1.0}}, 500);
+  fluid.run();
+  // Phase 1: both at 4 Gbps until short (500 B = 4000 bits) ends at
+  // t=1000. Long has 8000 bits left, finishes at 1000 + 8000/8 = 2000.
+  EXPECT_DOUBLE_EQ(fluid.stats(sht).end, 1000.0);
+  EXPECT_DOUBLE_EQ(fluid.stats(lng).end, 2000.0);
+}
+
+TEST(FluidSim, DelayedStartWaits) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);
+  FluidSimulation fluid(solver);
+  const auto id = fluid.start_transfer_at(5000.0, {{link, 1.0}}, 1000);
+  fluid.run();
+  EXPECT_DOUBLE_EQ(fluid.stats(id).start, 5000.0);
+  EXPECT_DOUBLE_EQ(fluid.stats(id).end, 6000.0);
+}
+
+TEST(FluidSim, ArrivalPreemptsAndReshares) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);
+  FluidSimulation fluid(solver);
+  const auto first = fluid.start_transfer({{link, 1.0}}, 2000);
+  // Arrives at t=1000, when first has 8000 bits left.
+  const auto second = fluid.start_transfer_at(1000.0, {{link, 1.0}}, 1000);
+  fluid.run();
+  // After t=1000 both run at 4 Gbps. First needs 2000 ns more -> 3000.
+  // Second needs 8000 bits at 4 -> 2000 ns -> ends 3000 too.
+  EXPECT_DOUBLE_EQ(fluid.stats(first).end, 3000.0);
+  EXPECT_DOUBLE_EQ(fluid.stats(second).end, 3000.0);
+}
+
+TEST(FluidSim, RateCapHonored) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 100.0);
+  FluidSimulation fluid(solver);
+  const auto id = fluid.start_transfer({{link, 1.0}}, 1000, /*cap=*/4.0);
+  fluid.run();
+  EXPECT_DOUBLE_EQ(fluid.stats(id).avg_rate(), 4.0);
+}
+
+TEST(FluidSim, CompletionCallbackChainsTransfers) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);
+  FluidSimulation fluid(solver);
+  Ns second_end = 0.0;
+  fluid.start_transfer({{link, 1.0}}, 1000, kUnlimited,
+                       [&](FluidSimulation::TransferId, Ns) {
+                         const auto next = fluid.start_transfer(
+                             {{link, 1.0}}, 1000, kUnlimited,
+                             [&](FluidSimulation::TransferId, Ns t) {
+                               second_end = t;
+                             });
+                         (void)next;
+                       });
+  fluid.run();
+  EXPECT_DOUBLE_EQ(second_end, 2000.0);
+  EXPECT_EQ(fluid.transfer_count(), 2u);
+}
+
+TEST(FluidSim, AggregateRateOverMakespan) {
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 8.0);
+  FluidSimulation fluid(solver);
+  fluid.start_transfer({{link, 1.0}}, 1000);
+  fluid.start_transfer({{link, 1.0}}, 1000);
+  fluid.run();
+  // 2000 bytes over 2000 ns = 8 Gbps.
+  EXPECT_DOUBLE_EQ(fluid.aggregate_rate(), 8.0);
+}
+
+TEST(FluidSim, WeightedUsageTransfers) {
+  FlowSolver solver;
+  const ResourceId cpu = solver.add_resource("cpu", 14.0);
+  FluidSimulation fluid(solver);
+  // Weight 1.4/Gbps: effective 10 Gbps -> 1000 B in 800 ns.
+  const auto id = fluid.start_transfer({{cpu, 1.4}}, 1000);
+  fluid.run();
+  EXPECT_NEAR(fluid.stats(id).end, 800.0, 1e-6);
+}
+
+// Property sweep with random arrivals: total delivered bytes equal the
+// sum of transfer sizes and every completion time is consistent with its
+// average rate (work conservation under churn).
+class FluidRandomArrivals : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FluidRandomArrivals, ByteAccounting) {
+  Rng rng(GetParam());
+  FlowSolver solver;
+  std::vector<ResourceId> links;
+  for (int i = 0; i < 3; ++i) {
+    links.push_back(solver.add_resource("l", rng.uniform(5.0, 30.0)));
+  }
+  FluidSimulation fluid(solver);
+  fluid.enable_rate_trace();
+  std::vector<FluidSimulation::TransferId> ids;
+  Ns clock = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    clock += rng.uniform(0.0, 500.0);
+    const Bytes size = 200 + rng.below(5000);
+    std::vector<Usage> usages{{links[rng.below(3)], 1.0}};
+    if (rng.uniform() < 0.5) usages.push_back({links[rng.below(3)], 1.0});
+    ids.push_back(fluid.start_transfer_at(clock, usages, size));
+  }
+  fluid.run();
+  for (const auto id : ids) {
+    const auto& st = fluid.stats(id);
+    ASSERT_TRUE(st.done);
+    EXPECT_GT(st.end, st.start);
+    // Trace integral equals the transfer size.
+    double bits = 0.0;
+    for (const auto& seg : fluid.trace(id)) bits += seg.duration * seg.rate;
+    EXPECT_NEAR(bits, static_cast<double>(st.bytes) * 8.0, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidRandomArrivals,
+                         ::testing::Values(3u, 17u, 99u, 12345u));
+
+// Property sweep: n transfers over one link conserve work: makespan equals
+// total bits / capacity regardless of n.
+class FluidWorkConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidWorkConservation, MakespanMatchesTotalWork) {
+  const int n = GetParam();
+  FlowSolver solver;
+  const ResourceId link = solver.add_resource("link", 10.0);
+  FluidSimulation fluid(solver);
+  for (int i = 0; i < n; ++i) {
+    fluid.start_transfer({{link, 1.0}}, 500 * static_cast<Bytes>(i + 1));
+  }
+  const Ns end = fluid.run();
+  Bytes total = 0;
+  for (int i = 0; i < n; ++i) total += 500 * static_cast<Bytes>(i + 1);
+  EXPECT_NEAR(end, static_cast<double>(total) * 8.0 / 10.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FluidWorkConservation,
+                         ::testing::Values(1, 2, 5, 13));
+
+}  // namespace
+}  // namespace numaio::sim

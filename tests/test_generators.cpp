@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fabric/machine.h"
+#include "topo/presets.h"
+#include "topo/routing.h"
+
+namespace numaio::topo {
+namespace {
+
+TEST(Generators, FullyConnectedHasDiameterOne) {
+  const Topology t = make_fully_connected(4);
+  const Routing r(t, Routing::Metric::kHops);
+  EXPECT_EQ(r.diameter(), 1);
+  EXPECT_EQ(t.links().size(), 6u);
+}
+
+TEST(Generators, FullyConnectedRespectsPortBudget) {
+  // 5 nodes x 16-bit links = 4 ports on each node + an I/O hub on node 0
+  // would bust the budget; narrower links fit.
+  EXPECT_THROW(make_fully_connected(6), std::invalid_argument);
+  EXPECT_NO_THROW(make_fully_connected(6, 8.0));
+}
+
+TEST(Generators, RingDiameterIsHalfTheNodes) {
+  const Topology t = make_ring(8);
+  const Routing r(t, Routing::Metric::kHops);
+  EXPECT_EQ(r.diameter(), 4);
+  EXPECT_EQ(t.links().size(), 8u);
+}
+
+TEST(Generators, ChordedRingShrinksTheDiameter) {
+  const Topology ring = make_ring(8);
+  const Topology chorded = make_chorded_ring(8);
+  EXPECT_LT(Routing(chorded, Routing::Metric::kHops).diameter(),
+            Routing(ring, Routing::Metric::kHops).diameter());
+}
+
+TEST(Generators, DerivedProfilesRunTheMethodology) {
+  // The generators exist so the methodology can run on arbitrary shapes.
+  fabric::Machine machine{fabric::derived_profile(make_chorded_ring(8))};
+  EXPECT_EQ(machine.num_nodes(), 8);
+  EXPECT_GT(machine.path(0, 4).dma_cap, 0.0);
+}
+
+// --- pair profile (two hosts in one network) ------------------------------
+
+TEST(PairProfile, DoublesTheHost) {
+  const fabric::HostProfile single = fabric::dl585_profile();
+  const fabric::HostProfile pair = fabric::pair_profile(single);
+  EXPECT_EQ(pair.num_nodes(), 16);
+  EXPECT_EQ(pair.topo.num_packages(), 8);
+  EXPECT_EQ(pair.name, "hp-dl585-g7-pair");
+  EXPECT_FALSE(pair.link_level_contention);
+}
+
+TEST(PairProfile, BlocksMirrorAndCrossBlockIsAbsurd) {
+  const fabric::HostProfile single = fabric::dl585_profile();
+  const fabric::HostProfile pair = fabric::pair_profile(single);
+  EXPECT_DOUBLE_EQ(pair.paths.at(10, 15).dma_cap,
+                   single.paths.at(2, 7).dma_cap);
+  EXPECT_LT(pair.paths.at(3, 11).dma_cap, 0.1);
+  EXPECT_GT(pair.paths.at(3, 11).dma_lat, 1e8);
+}
+
+TEST(PairProfile, HostBKeepsIoHubs) {
+  const fabric::HostProfile pair =
+      fabric::pair_profile(fabric::dl585_profile());
+  const auto hubs = pair.topo.io_hub_nodes();
+  EXPECT_EQ(hubs, (std::vector<NodeId>{1, 7, 9, 15}));
+}
+
+TEST(PairProfile, PeerNodeMapping) {
+  const fabric::HostProfile single = fabric::dl585_profile();
+  EXPECT_EQ(fabric::pair_peer_node(single, 0), 8);
+  EXPECT_EQ(fabric::pair_peer_node(single, 7), 15);
+}
+
+}  // namespace
+}  // namespace numaio::topo

@@ -1,0 +1,172 @@
+// HostPair: both network endpoints fully simulated.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "io/hostpair.h"
+#include "io/testbed.h"
+
+namespace numaio::io {
+namespace {
+
+class HostPairTest : public ::testing::Test {
+ protected:
+  HostPairTest() : pair_(HostPair::dl585()) {}
+
+  double run(const std::string& engine, NodeId a, NodeId b,
+             int streams = 4) {
+    HostPair::NetJob j;
+    j.engine = engine;
+    j.local_node = a;
+    j.peer_node = b;
+    j.num_streams = streams;
+    return pair_.run(j).aggregate;
+  }
+
+  HostPair pair_;
+};
+
+TEST_F(HostPairTest, SixteenNodesTwoNicsOneWire) {
+  EXPECT_EQ(pair_.machine().num_nodes(), 16);
+  EXPECT_EQ(pair_.nic_a().attach_node(), 7);
+  EXPECT_EQ(pair_.nic_b().attach_node(), 15);
+  EXPECT_EQ(pair_.peer(7), 15);
+  EXPECT_EQ(pair_.machine().profile().name, "hp-dl585-g7-pair");
+}
+
+TEST_F(HostPairTest, HostBFabricMirrorsHostA) {
+  const auto& m = pair_.machine();
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(m.path(i, j).dma_cap,
+                       m.path(pair_.peer(i), pair_.peer(j)).dma_cap);
+    }
+  }
+  // Cross-host coherent paths are deliberately absurd.
+  EXPECT_LT(m.path(0, pair_.peer(0)).dma_cap, 0.1);
+}
+
+TEST_F(HostPairTest, OptimalBothEndsMatchesSingleHostModel) {
+  // With good bindings at both ends the chained model reproduces the
+  // single-host engine calibration (send-side ceiling binds). The
+  // genuinely optimal peer is its node 6 — B's 7->6 inbound path is the
+  // short one, just as on host A.
+  EXPECT_NEAR(run(kRdmaWrite, 5, 6), 23.3, 0.2);
+  EXPECT_NEAR(run(kTcpSend, 5, 6), 20.9, 0.3);
+}
+
+TEST_F(HostPairTest, TargetSideMemoryPlacementMatters) {
+  // Writing into B's node-5 memory rides B's 910 ns 7->5 inbound path:
+  // the same directional asymmetry Table V shows for reads on host A.
+  EXPECT_NEAR(run(kRdmaWrite, 5, 5), 17100.0 / 910.0, 0.2);
+}
+
+TEST_F(HostPairTest, WeakSendSideBindsEndToEnd) {
+  EXPECT_NEAR(run(kRdmaWrite, 2, 5), 17.1, 0.2);
+  EXPECT_NEAR(run(kTcpSend, 2, 6), 16.2, 0.3);
+}
+
+TEST_F(HostPairTest, WeakReceiveSideBindsEndToEnd) {
+  // Peer bound to its node 4: the receive-side floor caps the transfer.
+  EXPECT_NEAR(run(kTcpSend, 5, 4), 14.4, 0.3);
+  // One-sided write into B's node-0 memory: the target-side tag pool over
+  // B's 910 ns path sustains 17100/910 = 18.8 Gbps.
+  EXPECT_NEAR(run(kRdmaWrite, 5, 0), 18.8, 0.3);
+}
+
+TEST_F(HostPairTest, BothEndsWeakTakeTheMinimum) {
+  const double both = run(kTcpSend, 2, 4);
+  EXPECT_NEAR(both, std::min(16.2, 14.4), 0.4);
+}
+
+TEST_F(HostPairTest, AgreesWithAnalyticPeerApproximation) {
+  // The single-host FioRunner's peer cap should approximate the full
+  // two-host chain for one-directional traffic.
+  Testbed tb = Testbed::dl585();
+  FioRunner fio(tb.host());
+  for (const auto& [a, b] : std::vector<std::pair<NodeId, NodeId>>{
+           {5, 6}, {2, 6}, {5, 4}, {0, 2}}) {
+    FioJob j;
+    j.devices = {&tb.nic()};
+    j.engine = kTcpSend;
+    j.cpu_node = a;
+    j.num_streams = 4;
+    j.peer_node = b;
+    const double approx = fio.run(j).aggregate;
+    const double full = run(kTcpSend, a, b);
+    EXPECT_NEAR(full, approx, 0.05 * approx) << a << "->" << b;
+  }
+}
+
+TEST_F(HostPairTest, FullDuplexSharesHostResourcesNotTheWire) {
+  // A sends while A also receives: the two directions use different wire
+  // resources, different NIC engines, but share host CPUs/fabric.
+  HostPair::NetJob send;
+  send.engine = kRdmaWrite;
+  send.local_node = 5;
+  send.peer_node = 5;
+  send.num_streams = 4;
+  HostPair::NetJob recv = send;
+  recv.engine = kRdmaRead;
+  const auto results = pair_.run_concurrent(
+      std::vector<HostPair::NetJob>{send, recv});
+  // Send: B's inbound 7->5 path (18.8); read: A's own 7->5 window (18.3,
+  // the Table V class-3 value). Separate RX/TX pools keep them
+  // independent.
+  EXPECT_NEAR(results[0].aggregate, 18.8, 0.3);
+  EXPECT_NEAR(results[1].aggregate, 18.3, 0.3);
+}
+
+TEST_F(HostPairTest, FullDuplexTcpContendsOnCpu) {
+  // TCP send + receive on the same binding node burn its CPU twice over.
+  HostPair::NetJob send;
+  send.engine = kTcpSend;
+  send.local_node = 5;
+  send.peer_node = 6;
+  send.num_streams = 4;
+  HostPair::NetJob recv = send;
+  recv.engine = kTcpRecv;
+  const auto results = pair_.run_concurrent(
+      std::vector<HostPair::NetJob>{send, recv});
+  const double total = results[0].aggregate + results[1].aggregate;
+  // cpu(5) capacity 28 with weight 1.0/Gbps on each direction: the sum
+  // cannot exceed ~28 even though each direction alone reaches ~21.
+  EXPECT_LT(total, 29.0);
+  EXPECT_GT(total, 26.0);
+}
+
+TEST_F(HostPairTest, PcieCapsConcurrentEnginesBeforeTheWire) {
+  // TCP send and RDMA write both push A->B: their ceilings sum to 44.2,
+  // the wire carries 37.6, but the NIC's PCIe Gen2 x8 link (32 Gbps of
+  // data) binds first — §IV-B1's "theoretical performance limit" made
+  // operational.
+  HostPair::NetJob tcp;
+  tcp.engine = kTcpSend;
+  tcp.local_node = 5;
+  tcp.peer_node = 6;
+  tcp.num_streams = 4;
+  HostPair::NetJob rdma = tcp;
+  rdma.engine = kRdmaWrite;
+  const auto results = pair_.run_concurrent(
+      std::vector<HostPair::NetJob>{tcp, rdma});
+  const double total = results[0].aggregate + results[1].aggregate;
+  EXPECT_NEAR(total, 32.0, 0.5);
+  EXPECT_LT(total, 37.6);
+}
+
+TEST_F(HostPairTest, RejectsNonNetworkEngines) {
+  HostPair::NetJob j;
+  j.engine = "ssd_write";
+  EXPECT_THROW(pair_.run(j), std::invalid_argument);
+}
+
+TEST_F(HostPairTest, MemoryReleasedOnBothHosts) {
+  const auto a_before = pair_.host().node_free_bytes(5);
+  const auto b_before = pair_.host().node_free_bytes(pair_.peer(6));
+  run(kTcpSend, 5, 6);
+  EXPECT_EQ(pair_.host().node_free_bytes(5), a_before);
+  EXPECT_EQ(pair_.host().node_free_bytes(pair_.peer(6)), b_before);
+}
+
+}  // namespace
+}  // namespace numaio::io

@@ -1,0 +1,115 @@
+#include "model/iomodel.h"
+
+#include <gtest/gtest.h>
+
+#include "fabric/calibration.h"
+
+namespace numaio::model {
+namespace {
+
+class IoModelTest : public ::testing::Test {
+ protected:
+  fabric::Machine machine_{fabric::dl585_profile()};
+  nm::Host host_{machine_};
+};
+
+TEST_F(IoModelTest, WriteModelDiscoversFabricColumn) {
+  // Algorithm 1's write mode must rediscover the i->7 streaming
+  // capacities through measurement (small negative bias from the
+  // averaged one-sided jitter).
+  const IoModelResult m =
+      build_iomodel(host_, 7, Direction::kDeviceWrite);
+  ASSERT_EQ(m.bw.size(), 8u);
+  for (NodeId i = 0; i < 8; ++i) {
+    const double truth = machine_.path(i, 7).dma_cap;
+    EXPECT_NEAR(m.bw[static_cast<std::size_t>(i)], truth, 0.01 * truth) << i;
+    EXPECT_LE(m.bw[static_cast<std::size_t>(i)], truth) << i;
+  }
+}
+
+TEST_F(IoModelTest, ReadModelDiscoversFabricRow) {
+  const IoModelResult m = build_iomodel(host_, 7, Direction::kDeviceRead);
+  for (NodeId i = 0; i < 8; ++i) {
+    const double truth = machine_.path(7, i).dma_cap;
+    EXPECT_NEAR(m.bw[static_cast<std::size_t>(i)], truth, 0.01 * truth) << i;
+  }
+}
+
+TEST_F(IoModelTest, WriteModelClassStructure) {
+  // Table IV: {6,7} ~ 46.5+, {0,1,4,5} in 42.9-46.9, {2,3} in 26.0-27.3.
+  const IoModelResult m =
+      build_iomodel(host_, 7, Direction::kDeviceWrite);
+  for (NodeId i : {0, 1, 4, 5}) {
+    EXPECT_GT(m.bw[static_cast<std::size_t>(i)], 42.0) << i;
+    EXPECT_LT(m.bw[static_cast<std::size_t>(i)], 47.0) << i;
+  }
+  for (NodeId i : {2, 3}) {
+    EXPECT_GT(m.bw[static_cast<std::size_t>(i)], 25.5) << i;
+    EXPECT_LT(m.bw[static_cast<std::size_t>(i)], 27.5) << i;
+  }
+  EXPECT_GT(m.bw[6], 46.0);
+  EXPECT_GT(m.bw[7], 52.0);
+}
+
+TEST_F(IoModelTest, ReadModelClassStructure) {
+  // Table V: {6,7} / {2,3} / {0,1,5} / {4}.
+  const IoModelResult m = build_iomodel(host_, 7, Direction::kDeviceRead);
+  for (NodeId i : {2, 3}) EXPECT_GT(m.bw[static_cast<std::size_t>(i)], 46.0);
+  for (NodeId i : {0, 1, 5}) {
+    EXPECT_GT(m.bw[static_cast<std::size_t>(i)], 39.0) << i;
+    EXPECT_LT(m.bw[static_cast<std::size_t>(i)], 41.0) << i;
+  }
+  EXPECT_NEAR(m.bw[4], 27.9, 0.3);
+}
+
+TEST_F(IoModelTest, ReadAndWriteModelsDiffer) {
+  // The directional asymmetry is the whole point: node 4 is mid-class for
+  // writes but the worst class for reads; {2,3} the other way around.
+  const auto w = build_iomodel(host_, 7, Direction::kDeviceWrite);
+  const auto r = build_iomodel(host_, 7, Direction::kDeviceRead);
+  EXPECT_GT(w.bw[4], r.bw[4] + 10.0);
+  EXPECT_GT(r.bw[2], w.bw[2] + 10.0);
+}
+
+TEST_F(IoModelTest, MetadataFilledIn) {
+  const auto m = build_iomodel(host_, 3, Direction::kDeviceRead);
+  EXPECT_EQ(m.target, 3);
+  EXPECT_EQ(m.direction, Direction::kDeviceRead);
+}
+
+TEST_F(IoModelTest, DeterministicAcrossRuns) {
+  const auto a = build_iomodel(host_, 7, Direction::kDeviceWrite);
+  const auto b = build_iomodel(host_, 7, Direction::kDeviceWrite);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a.bw[i], b.bw[i]);
+}
+
+TEST_F(IoModelTest, BuffersReleasedAfterModelling) {
+  const auto free0 = host_.node_free_bytes(0);
+  const auto free7 = host_.node_free_bytes(7);
+  build_iomodel(host_, 7, Direction::kDeviceWrite);
+  EXPECT_EQ(host_.node_free_bytes(0), free0);
+  EXPECT_EQ(host_.node_free_bytes(7), free7);
+}
+
+TEST_F(IoModelTest, WorksForAnyTargetNode) {
+  // §V-B: "the methodology ... can also be generalized to other nodes".
+  for (NodeId target : {0, 3, 6}) {
+    const auto m = build_iomodel(host_, target, Direction::kDeviceWrite);
+    ASSERT_EQ(m.bw.size(), 8u);
+    // Local entry is the strongest or near-strongest.
+    const double local = m.bw[static_cast<std::size_t>(target)];
+    for (NodeId i = 0; i < 8; ++i) {
+      EXPECT_LE(m.bw[static_cast<std::size_t>(i)], local * 1.02) << i;
+    }
+  }
+}
+
+TEST_F(IoModelTest, FewerRepetitionsStillCloseToTruth) {
+  IoModelConfig quick;
+  quick.repetitions = 5;
+  const auto m = build_iomodel(host_, 7, Direction::kDeviceWrite, quick);
+  EXPECT_NEAR(m.bw[0], machine_.path(0, 7).dma_cap, 0.5);
+}
+
+}  // namespace
+}  // namespace numaio::model

@@ -1,0 +1,110 @@
+// Link-level contention on derived (wiring-known) fabrics: streams whose
+// routes cross the same directed HT link share its capacity, even when
+// their endpoints differ — the "congestion among concurrent tasks on
+// shared queues and buses" of [9] (§I-A).
+#include <gtest/gtest.h>
+
+#include "fabric/machine.h"
+#include "mem/copy.h"
+#include "topo/presets.h"
+
+namespace numaio::fabric {
+namespace {
+
+/// Chain topology 0-1-2-3: routes 0->3 and 1->3 share links.
+topo::Topology chain4() {
+  std::vector<topo::NodeSpec> nodes(4, topo::NodeSpec{0, 4, 4.0, false});
+  nodes[3].package = 1;
+  return topo::Topology::build(
+      "chain4", std::move(nodes),
+      {topo::LinkSpec{0, 1, 8, 8, 50.0}, topo::LinkSpec{1, 2, 8, 8, 50.0},
+       topo::LinkSpec{2, 3, 8, 8, 50.0}});
+}
+
+TEST(LinkContention, DerivedProfilesRegisterLinkResources) {
+  Machine machine{derived_profile(chain4())};
+  // 4*3 pair resources + 3*2 link directions + 4 mc_rd + 4 mc_wr + 4 cpu.
+  EXPECT_EQ(machine.solver().resource_count(), 12u + 6u + 12u);
+  // The 0->3 path crosses three links.
+  EXPECT_EQ(machine.fabric_usages(0, 3).size(), 1u + 3u);
+  EXPECT_EQ(machine.fabric_usages(0, 1).size(), 1u + 1u);
+}
+
+TEST(LinkContention, CalibratedProfileHasNoLinkResources) {
+  Machine machine{dl585_profile()};
+  EXPECT_EQ(machine.fabric_usages(2, 7).size(), 1u);
+}
+
+TEST(LinkContention, OverlappingRoutesShareTheLink) {
+  Machine machine{derived_profile(chain4())};
+  auto& solver = machine.solver();
+  // Streams 0->3 and 1->3 both cross links 1->2 and 2->3 (25.6 Gbps each
+  // direction at 8 bits): together they cannot exceed one link.
+  mem::CopyTask a{.threads_node = 3, .src_node = 0, .dst_node = 3,
+                  .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  mem::CopyTask b = a;
+  b.src_node = 1;
+  const auto fa = solver.add_flow(mem::copy_usages(machine, a),
+                                  mem::copy_rate_cap(machine, a));
+  const auto fb = solver.add_flow(mem::copy_usages(machine, b),
+                                  mem::copy_rate_cap(machine, b));
+  const auto rates = solver.solve();
+  EXPECT_NEAR(rates[fa] + rates[fb], 25.6, 1e-6);
+  EXPECT_NEAR(rates[fa], rates[fb], 1e-6);  // fair split
+  solver.remove_flow(fa);
+  solver.remove_flow(fb);
+}
+
+TEST(LinkContention, DisjointRoutesDoNotInterfere) {
+  Machine machine{derived_profile(chain4())};
+  auto& solver = machine.solver();
+  // 0->1 and 2->3 use different links: both run at full link speed.
+  mem::CopyTask a{.threads_node = 1, .src_node = 0, .dst_node = 1,
+                  .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  mem::CopyTask b{.threads_node = 3, .src_node = 2, .dst_node = 3,
+                  .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  const auto fa = solver.add_flow(mem::copy_usages(machine, a),
+                                  mem::copy_rate_cap(machine, a));
+  const auto fb = solver.add_flow(mem::copy_usages(machine, b),
+                                  mem::copy_rate_cap(machine, b));
+  const auto rates = solver.solve();
+  EXPECT_NEAR(rates[fa], 25.6, 1e-6);
+  EXPECT_NEAR(rates[fb], 25.6, 1e-6);
+  solver.remove_flow(fa);
+  solver.remove_flow(fb);
+}
+
+TEST(LinkContention, OppositeDirectionsAreIndependent) {
+  Machine machine{derived_profile(chain4())};
+  auto& solver = machine.solver();
+  // 0->1 and 1->0 use the two directions of one link: no sharing.
+  mem::CopyTask a{.threads_node = 1, .src_node = 0, .dst_node = 1,
+                  .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  mem::CopyTask b{.threads_node = 0, .src_node = 1, .dst_node = 0,
+                  .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  const auto fa = solver.add_flow(mem::copy_usages(machine, a),
+                                  mem::copy_rate_cap(machine, a));
+  const auto fb = solver.add_flow(mem::copy_usages(machine, b),
+                                  mem::copy_rate_cap(machine, b));
+  const auto rates = solver.solve();
+  EXPECT_NEAR(rates[fa], 25.6, 1e-6);
+  EXPECT_NEAR(rates[fb], 25.6, 1e-6);
+  solver.remove_flow(fa);
+  solver.remove_flow(fb);
+}
+
+TEST(LinkContention, AsymmetricLinkWidthsGiveAsymmetricDirections) {
+  std::vector<topo::NodeSpec> nodes(2, topo::NodeSpec{0, 4, 4.0, false});
+  const auto topo = topo::Topology::build(
+      "asym2", std::move(nodes), {topo::LinkSpec{0, 1, 16, 8, 50.0}});
+  Machine machine{derived_profile(topo)};
+  mem::CopyTask fwd{.threads_node = 1, .src_node = 0, .dst_node = 1,
+                    .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  mem::CopyTask rev{.threads_node = 0, .src_node = 1, .dst_node = 0,
+                    .threads = 0, .engine = mem::CopyEngine::kStreaming};
+  EXPECT_NEAR(mem::run_copy_alone(machine, fwd), 51.2, 1e-6);
+  EXPECT_NEAR(mem::run_copy_alone(machine, rev), 25.6, 1e-6);
+}
+
+}  // namespace
+}  // namespace numaio::fabric

@@ -1,0 +1,104 @@
+// Robustness property tests for the three text parsers (fio job files,
+// host-model documents, transfer traces): random single-character
+// mutations of valid documents must either parse or throw
+// std::invalid_argument — never crash, never hang, never corrupt state.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "io/jobfile.h"
+#include "io/trace.h"
+#include "model/characterize.h"
+#include "simcore/rng.h"
+
+namespace numaio {
+namespace {
+
+const char kJobFile[] =
+    "[global]\nioengine=rdma\nrw=read\nbs=128k\niodepth=16\nnumjobs=4\n"
+    "[a]\ncpunodebind=2\n[b]\ncpunodebind=0\nnumjobs=2\n";
+
+const char kTrace[] =
+    "# log\n0.0,rdma_write,7,32\n1.25,tcp_recv,2,8\n2.5,ssd_read,0,16\n";
+
+std::string valid_model_doc() {
+  return "numaio-model v1\n"
+         "host tiny nodes 2\n"
+         "model 0 write 50.0 40.0\n"
+         "classes 0 write 1 { 0 1 }\n"
+         "model 0 read 50.0 41.0\n"
+         "classes 0 read 1 { 0 1 }\n"
+         "model 1 write 39.0 52.0\n"
+         "classes 1 write 1 { 0 1 }\n"
+         "model 1 read 38.0 52.0\n"
+         "classes 1 read 1 { 0 1 }\n"
+         "end\n";
+}
+
+std::string mutate(const std::string& doc, sim::Rng& rng) {
+  std::string out = doc;
+  const auto pos = rng.below(out.size());
+  switch (rng.below(3)) {
+    case 0:  // flip a character
+      out[pos] = static_cast<char>(' ' + rng.below(95));
+      break;
+    case 1:  // delete a character
+      out.erase(pos, 1);
+      break;
+    default:  // duplicate a character
+      out.insert(pos, 1, out[pos]);
+      break;
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, JobFileNeverCrashes) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::string doc = mutate(kJobFile, rng);
+    try {
+      const auto parsed = io::parse_job_file(doc);
+      EXPECT_FALSE(parsed.jobs.empty());  // success implies jobs exist
+    } catch (const std::invalid_argument&) {
+      // acceptable outcome
+    } catch (const std::out_of_range&) {
+      // std::stoi overflow on huge duplicated digits — acceptable
+    }
+  }
+}
+
+TEST_P(ParserFuzz, HostModelNeverCrashes) {
+  sim::Rng rng(GetParam() + 1000);
+  const std::string base = valid_model_doc();
+  for (int i = 0; i < 200; ++i) {
+    const std::string doc = mutate(base, rng);
+    try {
+      const auto parsed = model::parse_host_model(doc);
+      EXPECT_EQ(parsed.num_nodes, 2);
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TraceNeverCrashes) {
+  sim::Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 200; ++i) {
+    const std::string doc = mutate(kTrace, rng);
+    try {
+      const auto parsed = io::parse_trace(doc);
+      EXPECT_FALSE(parsed.empty());
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace numaio

@@ -1,0 +1,74 @@
+#include "fabric/path_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.h"
+
+namespace numaio::fabric {
+namespace {
+
+class DerivedMatrix : public ::testing::Test {
+ protected:
+  DerivedMatrix()
+      : topo_(topo::magny_cours_4p('a')),
+        routing_(topo_, topo::Routing::Metric::kLatency),
+        matrix_(derive_from_topology(topo_, routing_, params_)) {}
+
+  DerivedFabricParams params_{};
+  topo::Topology topo_;
+  topo::Routing routing_;
+  PathMatrix matrix_;
+};
+
+TEST_F(DerivedMatrix, DiagonalIsLocalCopyLimit) {
+  for (NodeId i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(matrix_.at(i, i).dma_cap, params_.local_copy_gbps);
+    EXPECT_DOUBLE_EQ(matrix_.at(i, i).dma_lat, params_.dma_lat_local);
+  }
+}
+
+TEST_F(DerivedMatrix, IntraPackageLinkIsWide) {
+  // 16-bit link * 3.2 Gbps/bit = 51.2, below the 52.0 local limit.
+  EXPECT_NEAR(matrix_.at(6, 7).dma_cap, 51.2, 1e-9);
+}
+
+TEST_F(DerivedMatrix, InterPackageLinkIsNarrow) {
+  // 8-bit inter-package links: 25.6 Gbps.
+  EXPECT_NEAR(matrix_.at(7, 0).dma_cap, 25.6, 1e-9);
+}
+
+TEST_F(DerivedMatrix, TwoHopPathTakesNarrowestLink) {
+  // 7 -> 1 crosses an 8-bit inter link and a 16-bit intra link.
+  EXPECT_NEAR(matrix_.at(7, 1).dma_cap, 25.6, 1e-9);
+}
+
+TEST_F(DerivedMatrix, LatencyGrowsWithDistance) {
+  EXPECT_LT(matrix_.at(7, 6).dma_lat, matrix_.at(7, 0).dma_lat);
+  EXPECT_LT(matrix_.at(7, 0).dma_lat, matrix_.at(7, 1).dma_lat);
+}
+
+TEST_F(DerivedMatrix, StreamBandwidthDropsWithDistance) {
+  EXPECT_GT(matrix_.at(7, 7).stream_bw, matrix_.at(7, 6).stream_bw);
+  EXPECT_GT(matrix_.at(7, 6).stream_bw, matrix_.at(7, 1).stream_bw);
+}
+
+TEST_F(DerivedMatrix, SymmetricTopologyGivesSymmetricMatrix) {
+  // Derived (uncalibrated) fabrics have no directional asymmetry: the
+  // asymmetry of the paper's host is a *measured* property, not a
+  // topological one.
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(matrix_.at(i, j).dma_cap, matrix_.at(j, i).dma_cap);
+    }
+  }
+}
+
+TEST(PathMatrix, AtIsMutable) {
+  PathMatrix m(4);
+  m.at(1, 2).dma_cap = 33.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2).dma_cap, 33.0);
+  EXPECT_EQ(m.num_nodes(), 4);
+}
+
+}  // namespace
+}  // namespace numaio::fabric

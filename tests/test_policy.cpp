@@ -1,0 +1,98 @@
+#include "nm/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace numaio::nm {
+namespace {
+
+TEST(Policy, DefaultIsLocalPreferred) {
+  const Policy p;
+  EXPECT_EQ(p.mode, MemMode::kLocalPreferred);
+  EXPECT_FALSE(p.cpu_node.has_value());
+}
+
+TEST(Policy, ParseCpuBindAndMemBind) {
+  const Policy p = parse_numactl("--cpunodebind=7 --membind=3");
+  EXPECT_EQ(p.cpu_node, 7);
+  EXPECT_EQ(p.mode, MemMode::kBind);
+  EXPECT_EQ(p.mem_nodes, (std::vector<NodeId>{3}));
+}
+
+TEST(Policy, ParseInterleaveList) {
+  const Policy p = parse_numactl("--interleave=0,1,2");
+  EXPECT_EQ(p.mode, MemMode::kInterleave);
+  EXPECT_EQ(p.mem_nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Policy, ParseNodeRange) {
+  const Policy p = parse_numactl("--membind=2-5");
+  EXPECT_EQ(p.mem_nodes, (std::vector<NodeId>{2, 3, 4, 5}));
+}
+
+TEST(Policy, ParsePreferred) {
+  const Policy p = parse_numactl("--preferred=2");
+  EXPECT_EQ(p.mode, MemMode::kPreferred);
+  EXPECT_EQ(p.mem_nodes, (std::vector<NodeId>{2}));
+}
+
+TEST(Policy, ParseLocalAlloc) {
+  const Policy p = parse_numactl("--cpunodebind=4 --localalloc");
+  EXPECT_EQ(p.mode, MemMode::kLocalPreferred);
+  EXPECT_EQ(p.cpu_node, 4);
+}
+
+TEST(Policy, ShortOptions) {
+  const Policy p = parse_numactl("-N=6 -i=0,7");
+  EXPECT_EQ(p.cpu_node, 6);
+  EXPECT_EQ(p.mode, MemMode::kInterleave);
+  EXPECT_EQ(p.mem_nodes, (std::vector<NodeId>{0, 7}));
+}
+
+TEST(Policy, EmptySpecIsDefault) {
+  EXPECT_EQ(parse_numactl(""), Policy{});
+}
+
+TEST(Policy, RejectsUnknownOption) {
+  EXPECT_THROW(parse_numactl("--bogus=1"), std::invalid_argument);
+}
+
+TEST(Policy, RejectsMissingValue) {
+  EXPECT_THROW(parse_numactl("--membind"), std::invalid_argument);
+  EXPECT_THROW(parse_numactl("--membind="), std::invalid_argument);
+}
+
+TEST(Policy, RejectsMalformedList) {
+  EXPECT_THROW(parse_numactl("--membind=1,,2"), std::invalid_argument);
+  EXPECT_THROW(parse_numactl("--membind=a"), std::invalid_argument);
+  EXPECT_THROW(parse_numactl("--membind=5-2"), std::invalid_argument);
+}
+
+TEST(Policy, RejectsMultiNodeCpuBind) {
+  EXPECT_THROW(parse_numactl("--cpunodebind=1,2"), std::invalid_argument);
+}
+
+TEST(Policy, RejectsMultiNodePreferred) {
+  EXPECT_THROW(parse_numactl("--preferred=1,2"), std::invalid_argument);
+}
+
+TEST(Policy, RoundTripThroughString) {
+  for (const char* spec :
+       {"--cpunodebind=7 --membind=3", "--cpunodebind=4 --interleave=0,1,2",
+        "--preferred=2", "--localalloc"}) {
+    const Policy p = parse_numactl(spec);
+    EXPECT_EQ(parse_numactl(to_numactl_string(p)), p) << spec;
+  }
+}
+
+TEST(Policy, ToStringSpellings) {
+  Policy p;
+  p.cpu_node = 7;
+  p.mode = MemMode::kBind;
+  p.mem_nodes = {3};
+  EXPECT_EQ(to_numactl_string(p), "--cpunodebind=7 --membind=3");
+}
+
+}  // namespace
+}  // namespace numaio::nm

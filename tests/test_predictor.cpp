@@ -1,0 +1,102 @@
+#include "model/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "io/testbed.h"
+
+namespace numaio::model {
+namespace {
+
+TEST(Predictor, Eq1PaperArithmetic) {
+  // The paper's worked example: 50% from class 2 (21.998 Gbps) and 50%
+  // from class 3 (18.036 Gbps) -> 20.017 Gbps.
+  const std::vector<sim::Gbps> class_values{22.0, 21.998, 18.036, 16.1};
+  const std::vector<ClassShare> shares{{1, 0.5}, {2, 0.5}};
+  EXPECT_NEAR(predict_aggregate(class_values, shares), 20.017, 1e-9);
+}
+
+TEST(Predictor, SingleClassDegenerates) {
+  const std::vector<sim::Gbps> class_values{30.0};
+  const std::vector<ClassShare> shares{{0, 1.0}};
+  EXPECT_DOUBLE_EQ(predict_aggregate(class_values, shares), 30.0);
+}
+
+TEST(Predictor, RelativeErrorMatchesPaperFormula) {
+  // epsilon = |20.017 - 19.415| / 19.415 = 3.1%.
+  EXPECT_NEAR(relative_error(20.017, 19.415), 0.031, 0.001);
+}
+
+class PredictorEndToEnd : public ::testing::Test {
+ protected:
+  PredictorEndToEnd()
+      : testbed_(io::Testbed::dl585()),
+        model_(build_iomodel(testbed_.host(), 7, Direction::kDeviceRead)),
+        classes_(classify(model_, testbed_.machine().topology())) {}
+
+  /// Probes the RDMA_READ bandwidth of each class's representative node —
+  /// the cost-reduced characterization of §V-A.
+  std::vector<sim::Gbps> probe_class_values() {
+    io::FioRunner fio(testbed_.host());
+    std::vector<sim::Gbps> values;
+    for (NodeId rep : representative_nodes(classes_)) {
+      io::FioJob j;
+      j.devices = {&testbed_.nic()};
+      j.engine = io::kRdmaRead;
+      j.cpu_node = rep;
+      j.num_streams = 4;
+      values.push_back(fio.run(j).aggregate);
+    }
+    return values;
+  }
+
+  io::Testbed testbed_;
+  IoModelResult model_;
+  Classification classes_;
+};
+
+TEST_F(PredictorEndToEnd, BindingsMapThroughClassOf) {
+  const auto values = probe_class_values();
+  // Node 2 is class 2 (index 1), node 0 class 3 (index 2) in Table V.
+  const std::vector<std::pair<NodeId, int>> bindings{{2, 2}, {0, 2}};
+  const double predicted =
+      predict_for_bindings(classes_, values, bindings);
+  EXPECT_NEAR(predicted,
+              0.5 * values[1] + 0.5 * values[2], 1e-9);
+}
+
+TEST_F(PredictorEndToEnd, PaperValidationScenario) {
+  // Predict, then measure the mixed run; the relative error must be small
+  // (the paper reports 3.1%).
+  const auto values = probe_class_values();
+  const std::vector<std::pair<NodeId, int>> bindings{{2, 2}, {0, 2}};
+  const double predicted =
+      predict_for_bindings(classes_, values, bindings);
+
+  io::FioRunner fio(testbed_.host());
+  io::FioJob a;
+  a.devices = {&testbed_.nic()};
+  a.engine = io::kRdmaRead;
+  a.cpu_node = 2;
+  a.num_streams = 2;
+  io::FioJob b = a;
+  b.cpu_node = 0;
+  const double measured =
+      io::combined_aggregate(fio.run_concurrent({a, b}));
+
+  EXPECT_NEAR(predicted, 20.15, 0.2);
+  EXPECT_NEAR(measured, 19.4, 0.3);
+  const double eps = relative_error(predicted, measured);
+  EXPECT_GT(eps, 0.005);  // the model is an over-estimate, like the paper
+  EXPECT_LT(eps, 0.06);   // but a close one
+}
+
+TEST_F(PredictorEndToEnd, UniformMixPredictsTheClassValue) {
+  const auto values = probe_class_values();
+  const std::vector<std::pair<NodeId, int>> bindings{{0, 1}, {1, 1}, {5, 2}};
+  // All three bindings are class index 2.
+  EXPECT_DOUBLE_EQ(predict_for_bindings(classes_, values, bindings),
+                   values[2]);
+}
+
+}  // namespace
+}  // namespace numaio::model

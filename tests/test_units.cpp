@@ -1,0 +1,51 @@
+#include "simcore/units.h"
+
+#include <gtest/gtest.h>
+
+namespace numaio::sim {
+namespace {
+
+TEST(Units, GbpsFromBytesAndNs) {
+  // 1 byte in 8 ns = 1 Gbps.
+  EXPECT_DOUBLE_EQ(gbps(1, 8.0), 1.0);
+  // 128 KiB in 1 us.
+  EXPECT_DOUBLE_EQ(gbps(128 * kKiB, 1000.0), 128.0 * 1024 * 8 / 1000.0);
+}
+
+TEST(Units, TransferNsInvertsGbps) {
+  const Bytes bytes = 400 * kGiB;
+  const Gbps rate = 20.0;
+  const Ns t = transfer_ns(bytes, rate);
+  EXPECT_NEAR(gbps(bytes, t), rate, 1e-9);
+}
+
+TEST(Units, BytesInRate) {
+  // 8 Gbps for 1000 ns = 1000 bytes.
+  EXPECT_EQ(bytes_in(8.0, 1000.0), 1000u);
+}
+
+TEST(Units, SizeConstants) {
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * kMiB);
+}
+
+TEST(Units, FormatGbps) {
+  EXPECT_EQ(format_gbps(21.346), "21.35 Gbps");
+  EXPECT_EQ(format_gbps(0.0), "0.00 Gbps");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(128 * kKiB), "128 KiB");
+  EXPECT_EQ(format_bytes(400 * kGiB), "400 GiB");
+  EXPECT_EQ(format_bytes(64 * kMiB), "64 MiB");
+  EXPECT_EQ(format_bytes(123), "123 B");
+}
+
+TEST(Units, TransferTimeFor400GBAt20Gbps) {
+  // The paper's 400 GB streams at ~20 Gbps take about 172 seconds.
+  const Ns t = transfer_ns(400 * kGiB, 20.0);
+  EXPECT_NEAR(t / 1e9, 171.8, 0.5);
+}
+
+}  // namespace
+}  // namespace numaio::sim

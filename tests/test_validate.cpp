@@ -1,0 +1,83 @@
+#include "model/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace numaio::model {
+namespace {
+
+TEST(Validate, MethodologyHoldsOnThePaperTestbed) {
+  io::Testbed tb = io::Testbed::dl585();
+  ValidateConfig quick;
+  quick.iomodel_repetitions = 5;
+  const ValidationReport report = validate_methodology(tb, quick);
+  for (const auto& claim : report.claims) {
+    EXPECT_TRUE(claim.passed) << claim.name << ": " << claim.value
+                              << " vs " << claim.threshold;
+  }
+  EXPECT_TRUE(report.all_passed());
+  // 4 rank claims + 4 coherence claims + prediction + cost ratio.
+  EXPECT_EQ(report.claims.size(), 10u);
+}
+
+TEST(Validate, ReportRendersEveryClaim) {
+  io::Testbed tb = io::Testbed::dl585();
+  ValidateConfig quick;
+  quick.iomodel_repetitions = 5;
+  const auto report = validate_methodology(tb, quick);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("[pass] rank agreement rdma_read"),
+            std::string::npos);
+  EXPECT_NE(text.find("Eq.1 prediction error"), std::string::npos);
+  EXPECT_NE(text.find("methodology holds on this host"),
+            std::string::npos);
+}
+
+TEST(Validate, StrictThresholdsCanFail) {
+  io::Testbed tb = io::Testbed::dl585();
+  ValidateConfig impossible;
+  impossible.iomodel_repetitions = 5;
+  impossible.min_offloaded_spearman = 0.9999;
+  impossible.max_prediction_error = 1e-6;
+  const auto report = validate_methodology(tb, impossible);
+  EXPECT_FALSE(report.all_passed());
+  EXPECT_NE(report.to_string().find("NOT validated"), std::string::npos);
+}
+
+TEST(Validate, FlagsTheCapacityModelCaveatOnNode1) {
+  // The suite earns its keep by *catching* where the methodology thins
+  // out: with devices on node 1, the capacity-based memcpy model lumps
+  // {6,7} with the other remotes, but window-limited writes from {6,7}
+  // ride a long-latency path — a latency class the model cannot see
+  // (see bench_node1_device). Coherence must flag it; the read side and
+  // the predictor still hold.
+  io::Testbed tb = io::Testbed::dl585_with_devices_on(1);
+  ValidateConfig quick;
+  quick.iomodel_repetitions = 5;
+  quick.min_offloaded_spearman = 0.0;  // little structure to rank here
+  const auto report = validate_methodology(tb, quick);
+  EXPECT_FALSE(report.all_passed());
+  for (const auto& claim : report.claims) {
+    if (claim.name.rfind("class coherence", 0) == 0 &&
+        claim.name.find("write") != std::string::npos) {
+      EXPECT_FALSE(claim.passed) << claim.name;
+    }
+    if (claim.name == "Eq.1 prediction error" ||
+        claim.name.find("read") != std::string::npos) {
+      EXPECT_TRUE(claim.passed) << claim.name;
+    }
+  }
+}
+
+TEST(Validate, LeavesTheTestbedClean) {
+  io::Testbed tb = io::Testbed::dl585();
+  const auto free_before = tb.host().node_free_bytes(7);
+  const auto flows_before = tb.machine().solver().live_flow_count();
+  ValidateConfig quick;
+  quick.iomodel_repetitions = 5;
+  validate_methodology(tb, quick);
+  EXPECT_EQ(tb.host().node_free_bytes(7), free_before);
+  EXPECT_EQ(tb.machine().solver().live_flow_count(), flows_before);
+}
+
+}  // namespace
+}  // namespace numaio::model

@@ -1,0 +1,82 @@
+#include "model/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "io/nic.h"
+
+namespace numaio::model {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig c;
+  c.engine_mix = {io::kRdmaWrite, io::kRdmaRead};
+  return c;
+}
+
+TEST(Workload, GeneratesRequestedCount) {
+  const auto tasks = generate_workload(base_config());
+  EXPECT_EQ(tasks.size(), 40u);
+}
+
+TEST(Workload, ArrivalsAreMonotoneAndPositive) {
+  const auto tasks = generate_workload(base_config());
+  sim::Ns prev = 0.0;
+  for (const auto& t : tasks) {
+    EXPECT_GT(t.arrival, prev);
+    prev = t.arrival;
+  }
+}
+
+TEST(Workload, MeanInterarrivalApproximatesConfig) {
+  WorkloadConfig c = base_config();
+  c.num_tasks = 4000;
+  const auto tasks = generate_workload(c);
+  const double mean = tasks.back().arrival / static_cast<double>(c.num_tasks);
+  EXPECT_NEAR(mean, c.mean_interarrival, 0.1 * c.mean_interarrival);
+}
+
+TEST(Workload, SizesWithinBounds) {
+  const auto tasks = generate_workload(base_config());
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.bytes, 4 * sim::kGiB * 99 / 100);  // exp/log rounding slack
+    EXPECT_LE(t.bytes, 64 * sim::kGiB);
+  }
+}
+
+TEST(Workload, UsesWholeEngineMix) {
+  WorkloadConfig c = base_config();
+  c.engine_mix = {io::kRdmaWrite, io::kRdmaRead, io::kTcpSend};
+  c.num_tasks = 100;
+  std::set<std::string> seen;
+  for (const auto& t : generate_workload(c)) seen.insert(t.engine);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const auto a = generate_workload(base_config());
+  const auto b = generate_workload(base_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].engine, b[i].engine);
+  }
+}
+
+TEST(Workload, SeedChangesTheDraw) {
+  WorkloadConfig c1 = base_config();
+  WorkloadConfig c2 = base_config();
+  c2.seed = 99;
+  const auto a = generate_workload(c1);
+  const auto b = generate_workload(c2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bytes != b[i].bytes) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+}  // namespace
+}  // namespace numaio::model

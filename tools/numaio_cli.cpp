@@ -1,0 +1,334 @@
+// numaio command-line tool — the "first NUMA characterization software for
+// bulk data I/O tasks" the paper claims as its third contribution, in the
+// spirit of the numactl/numademo family it extends (§II-B, §V-B).
+//
+//   numaio_cli hardware                  numactl --hardware + hwloc views
+//   numaio_cli stream-matrix             Fig-3 STREAM characterization
+//   numaio_cli iomodel [--target N] [--direction read|write]
+//                                        Algorithm 1 + classes (Fig 10)
+//   numaio_cli demo [--node N]           numademo policy table
+//   numaio_cli fio <jobfile>             run a fio-format job file
+//   numaio_cli help
+//
+// Everything runs against the simulated DL585 testbed; on real hardware
+// the same library calls would sit on top of libnuma (see DESIGN.md).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/jobfile.h"
+#include "io/trace.h"
+#include "io/testbed.h"
+#include "mem/membench.h"
+#include "mem/numademo.h"
+#include "model/asymmetry.h"
+#include "model/characterize.h"
+#include "model/classify.h"
+#include "model/report.h"
+#include "model/validate.h"
+#include "nm/hwloc_view.h"
+#include "nm/slit.h"
+
+namespace {
+
+using namespace numaio;
+
+int usage() {
+  std::printf(
+      "usage: numaio_cli <command> [options]\n"
+      "  hardware                         host topology and memory view\n"
+      "  stream-matrix                    full STREAM bandwidth matrix\n"
+      "  iomodel [--target N] [--direction read|write]\n"
+      "                                   run the iomodel methodology\n"
+      "  characterize [--out FILE] [--reps N]\n"
+      "                                   model every node, optionally save\n"
+      "  classes --in FILE [--target N] [--direction read|write]\n"
+      "                                   inspect a saved host model\n"
+      "  demo [--node N]                  numademo policy table\n"
+      "  fio <jobfile>                    run a fio-format job file\n"
+      "  replay <trace.csv>               replay a transfer trace\n"
+      "  validate [--reps N]              check the methodology end to end\n"
+      "  asymmetry [--target N] [--min-ratio R]\n"
+      "                                   hunt directional asymmetries\n"
+      "  help                             this text\n");
+  return 2;
+}
+
+std::string flag_value(const std::vector<std::string>& args,
+                       const std::string& flag, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+int cmd_hardware(io::Testbed& tb) {
+  std::printf("%s\n", tb.host().hardware_report().c_str());
+  std::printf("%s\n", nm::render_hwloc(tb.machine().topology()).c_str());
+  std::printf("%s", nm::render_interconnect(tb.machine().topology()).c_str());
+  std::printf("\n%s",
+              nm::render_slit(nm::slit_table(tb.machine().topology())).c_str());
+  return 0;
+}
+
+int cmd_stream_matrix(io::Testbed& tb) {
+  const auto m = mem::stream_matrix(tb.host(), mem::StreamConfig{});
+  std::printf("%s", model::format_matrix(m).c_str());
+  return 0;
+}
+
+int cmd_iomodel(io::Testbed& tb, const std::vector<std::string>& args) {
+  const int target = std::stoi(flag_value(args, "--target", "7"));
+  const std::string dir = flag_value(args, "--direction", "write");
+  if (target < 0 || target >= tb.machine().num_nodes()) {
+    std::fprintf(stderr, "iomodel: target node out of range\n");
+    return 2;
+  }
+  if (dir != "read" && dir != "write") {
+    std::fprintf(stderr, "iomodel: --direction must be read or write\n");
+    return 2;
+  }
+  const auto direction = dir == "write" ? model::Direction::kDeviceWrite
+                                        : model::Direction::kDeviceRead;
+  const auto m = model::build_iomodel(tb.host(), target, direction);
+  std::printf("%s",
+              model::format_series("device-" + dir + " model of node " +
+                                       std::to_string(target),
+                                   m.bw)
+                  .c_str());
+  const auto classes = model::classify(m, tb.machine().topology());
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    std::printf("class %d:", c + 1);
+    for (topo::NodeId v : classes.classes[static_cast<std::size_t>(c)]) {
+      std::printf(" %d", v);
+    }
+    std::printf("  (avg %.1f Gbps, range %.1f-%.1f)\n",
+                classes.class_avg[static_cast<std::size_t>(c)],
+                classes.class_range[static_cast<std::size_t>(c)].first,
+                classes.class_range[static_cast<std::size_t>(c)].second);
+  }
+  std::printf("representatives:");
+  for (topo::NodeId v : model::representative_nodes(classes)) {
+    std::printf(" %d", v);
+  }
+  std::printf("  (probe these %d bindings instead of all %d)\n",
+              classes.num_classes(), tb.machine().num_nodes());
+  return 0;
+}
+
+int cmd_demo(io::Testbed& tb, const std::vector<std::string>& args) {
+  const int node = std::stoi(flag_value(args, "--node", "7"));
+  if (node < 0 || node >= tb.machine().num_nodes()) {
+    std::fprintf(stderr, "demo: node out of range\n");
+    return 2;
+  }
+  std::printf("numademo on node %d (Gbps)\n", node);
+  std::printf("%-16s %10s %12s %12s\n", "module", "local", "remote-worst",
+              "interleaved");
+  for (const auto& row : mem::demo_policy_table(tb.host(), node)) {
+    std::printf("%-16s %10.2f %12.2f %12.2f\n",
+                mem::to_string(row.module).c_str(), row.local,
+                row.remote_worst, row.interleaved);
+  }
+  return 0;
+}
+
+void print_classes(const model::Classification& classes) {
+  for (int c = 0; c < classes.num_classes(); ++c) {
+    std::printf("  class %d:", c + 1);
+    for (topo::NodeId v : classes.classes[static_cast<std::size_t>(c)]) {
+      std::printf(" %d", v);
+    }
+    std::printf("  (avg %.1f Gbps)\n",
+                classes.class_avg[static_cast<std::size_t>(c)]);
+  }
+}
+
+int cmd_characterize(io::Testbed& tb, const std::vector<std::string>& args) {
+  model::CharacterizeConfig config;
+  config.iomodel.repetitions =
+      std::stoi(flag_value(args, "--reps", "100"));
+  const model::HostModel host_model = model::characterize_host(
+      tb.host(), config);
+  std::printf("characterized %s: %d nodes, both directions\n",
+              host_model.host_name.c_str(), host_model.num_nodes);
+  for (topo::NodeId t = 0; t < host_model.num_nodes; ++t) {
+    std::printf("node %d: %d write classes, %d read classes\n", t,
+                host_model.write_classes[static_cast<std::size_t>(t)]
+                    .num_classes(),
+                host_model.read_classes[static_cast<std::size_t>(t)]
+                    .num_classes());
+  }
+  const std::string out = flag_value(args, "--out", "");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    if (!file) {
+      std::fprintf(stderr, "characterize: cannot write '%s'\n", out.c_str());
+      return 2;
+    }
+    file << model::serialize(host_model);
+    std::printf("saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_classes(const std::vector<std::string>& args) {
+  const std::string in = flag_value(args, "--in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "classes: --in FILE is required\n");
+    return 2;
+  }
+  std::ifstream file(in);
+  if (!file) {
+    std::fprintf(stderr, "classes: cannot open '%s'\n", in.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  const model::HostModel host_model = model::parse_host_model(text.str());
+  const int target = std::stoi(flag_value(args, "--target", "7"));
+  const std::string dir = flag_value(args, "--direction", "read");
+  if (target < 0 || target >= host_model.num_nodes) {
+    std::fprintf(stderr, "classes: target out of range\n");
+    return 2;
+  }
+  const auto direction = dir == "write" ? model::Direction::kDeviceWrite
+                                        : model::Direction::kDeviceRead;
+  std::printf("host %s, device-%s model of node %d:\n",
+              host_model.host_name.c_str(), dir.c_str(), target);
+  print_classes(host_model.classes_for(target, direction));
+  return 0;
+}
+
+int cmd_asymmetry(io::Testbed& tb, const std::vector<std::string>& args) {
+  const int target = std::stoi(flag_value(args, "--target", "7"));
+  const double min_ratio = std::stod(flag_value(args, "--min-ratio", "1.15"));
+  if (target < 0 || target >= tb.machine().num_nodes()) {
+    std::fprintf(stderr, "asymmetry: target out of range\n");
+    return 2;
+  }
+  const auto m = model::iomodel_matrix(tb.host(), target);
+  const auto pairs = model::find_asymmetric_pairs(m, min_ratio);
+  if (pairs.empty()) {
+    std::printf("no directional asymmetry above %.2fx around node %d\n",
+                min_ratio, target);
+    return 0;
+  }
+  for (const auto& line : model::describe(pairs)) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+int cmd_validate(io::Testbed& tb, const std::vector<std::string>& args) {
+  model::ValidateConfig config;
+  config.iomodel_repetitions = std::stoi(flag_value(args, "--reps", "100"));
+  const model::ValidationReport report =
+      model::validate_methodology(tb, config);
+  std::printf("%s", report.to_string().c_str());
+  return report.all_passed() ? 0 : 1;
+}
+
+int cmd_replay(io::Testbed& tb, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "replay: missing trace path\n");
+    return 2;
+  }
+  std::ifstream in(args.front());
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open '%s'\n", args.front().c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto entries = io::parse_trace(text.str());
+  const auto jobs = io::trace_to_jobs(entries, &tb.nic(), tb.ssds());
+  io::FioRunner fio(tb.host());
+  const auto results = fio.run_timed(jobs);
+  double total_gib = 0.0;
+  sim::Ns last_end = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%8.3fs %-10s node%d %8.1f GiB  %7.2f Gbps\n",
+                entries[i].arrival / 1e9, entries[i].engine.c_str(),
+                entries[i].cpu_node,
+                static_cast<double>(entries[i].bytes) /
+                    static_cast<double>(sim::kGiB),
+                results[i].aggregate);
+    total_gib += static_cast<double>(entries[i].bytes) /
+                 static_cast<double>(sim::kGiB);
+    last_end =
+        std::max(last_end, entries[i].arrival + results[i].duration);
+  }
+  std::printf("replayed %zu requests, %.1f GiB in %.2f s\n",
+              results.size(), total_gib, last_end / 1e9);
+  return 0;
+}
+
+int cmd_fio(io::Testbed& tb, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "fio: missing job file path\n");
+    return 2;
+  }
+  std::ifstream in(args.front());
+  if (!in) {
+    std::fprintf(stderr, "fio: cannot open '%s'\n", args.front().c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  io::DeviceSet set;
+  set.nic = &tb.nic();
+  set.ssds = tb.ssds();
+  const io::JobFile file = io::parse_job_file(text.str());
+  const auto jobs = io::resolve_jobs(file, set);
+
+  io::FioRunner fio(tb.host());
+  const auto results = fio.run_concurrent(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-20s engine=%-10s node=%d streams=%d  %8.3f Gbps\n",
+                file.jobs[i].name.c_str(), jobs[i].engine.c_str(),
+                jobs[i].cpu_node, jobs[i].num_streams,
+                results[i].aggregate);
+  }
+  if (results.size() > 1) {
+    std::printf("%-20s %53.3f Gbps\n", "combined",
+                io::combined_aggregate(results));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    usage();
+    return 0;
+  }
+
+  io::Testbed tb = io::Testbed::dl585();
+  try {
+    if (cmd == "hardware") return cmd_hardware(tb);
+    if (cmd == "stream-matrix") return cmd_stream_matrix(tb);
+    if (cmd == "iomodel") return cmd_iomodel(tb, args);
+    if (cmd == "demo") return cmd_demo(tb, args);
+    if (cmd == "fio") return cmd_fio(tb, args);
+    if (cmd == "characterize") return cmd_characterize(tb, args);
+    if (cmd == "classes") return cmd_classes(args);
+    if (cmd == "replay") return cmd_replay(tb, args);
+    if (cmd == "validate") return cmd_validate(tb, args);
+    if (cmd == "asymmetry") return cmd_asymmetry(tb, args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
