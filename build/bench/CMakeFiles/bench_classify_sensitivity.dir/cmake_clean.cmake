@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classify_sensitivity.dir/bench_classify_sensitivity.cpp.o"
+  "CMakeFiles/bench_classify_sensitivity.dir/bench_classify_sensitivity.cpp.o.d"
+  "bench_classify_sensitivity"
+  "bench_classify_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classify_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_multiuser.dir/bench_eq1_multiuser.cpp.o"
+  "CMakeFiles/bench_eq1_multiuser.dir/bench_eq1_multiuser.cpp.o.d"
+  "bench_eq1_multiuser"
+  "bench_eq1_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_iomodel.dir/bench_fig10_iomodel.cpp.o"
+  "CMakeFiles/bench_fig10_iomodel.dir/bench_fig10_iomodel.cpp.o.d"
+  "bench_fig10_iomodel"
+  "bench_fig10_iomodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

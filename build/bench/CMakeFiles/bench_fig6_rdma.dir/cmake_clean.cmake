@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rdma.dir/bench_fig6_rdma.cpp.o"
+  "CMakeFiles/bench_fig6_rdma.dir/bench_fig6_rdma.cpp.o.d"
+  "bench_fig6_rdma"
+  "bench_fig6_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

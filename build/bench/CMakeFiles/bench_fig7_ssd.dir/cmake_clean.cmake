@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ssd.dir/bench_fig7_ssd.cpp.o"
+  "CMakeFiles/bench_fig7_ssd.dir/bench_fig7_ssd.cpp.o.d"
+  "bench_fig7_ssd"
+  "bench_fig7_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

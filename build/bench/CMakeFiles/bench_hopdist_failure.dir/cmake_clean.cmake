@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hopdist_failure.dir/bench_hopdist_failure.cpp.o"
+  "CMakeFiles/bench_hopdist_failure.dir/bench_hopdist_failure.cpp.o.d"
+  "bench_hopdist_failure"
+  "bench_hopdist_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hopdist_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

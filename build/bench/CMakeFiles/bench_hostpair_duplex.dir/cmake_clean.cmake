@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hostpair_duplex.dir/bench_hostpair_duplex.cpp.o"
+  "CMakeFiles/bench_hostpair_duplex.dir/bench_hostpair_duplex.cpp.o.d"
+  "bench_hostpair_duplex"
+  "bench_hostpair_duplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hostpair_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iomode.dir/bench_iomode.cpp.o"
+  "CMakeFiles/bench_iomode.dir/bench_iomode.cpp.o.d"
+  "bench_iomode"
+  "bench_iomode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iomode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

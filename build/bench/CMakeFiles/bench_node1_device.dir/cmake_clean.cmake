@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node1_device.dir/bench_node1_device.cpp.o"
+  "CMakeFiles/bench_node1_device.dir/bench_node1_device.cpp.o.d"
+  "bench_node1_device"
+  "bench_node1_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node1_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numademo.dir/bench_numademo.cpp.o"
+  "CMakeFiles/bench_numademo.dir/bench_numademo.cpp.o.d"
+  "bench_numademo"
+  "bench_numademo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numademo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_spread.dir/bench_sched_spread.cpp.o"
+  "CMakeFiles/bench_sched_spread.dir/bench_sched_spread.cpp.o.d"
+  "bench_sched_spread"
+  "bench_sched_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_kernels.dir/bench_stream_kernels.cpp.o"
+  "CMakeFiles/bench_stream_kernels.dir/bench_stream_kernels.cpp.o.d"
+  "bench_stream_kernels"
+  "bench_stream_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_numa_factor.cpp" "bench/CMakeFiles/bench_table1_numa_factor.dir/bench_table1_numa_factor.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_numa_factor.dir/bench_table1_numa_factor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/numaio_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/numaio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/numaio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/nm/CMakeFiles/numaio_nm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/numaio_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/numaio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/numaio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_numa_factor.dir/bench_table1_numa_factor.cpp.o"
+  "CMakeFiles/bench_table1_numa_factor.dir/bench_table1_numa_factor.cpp.o.d"
+  "bench_table1_numa_factor"
+  "bench_table1_numa_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_numa_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

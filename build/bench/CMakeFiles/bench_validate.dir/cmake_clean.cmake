@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate.dir/bench_validate.cpp.o"
+  "CMakeFiles/bench_validate.dir/bench_validate.cpp.o.d"
+  "bench_validate"
+  "bench_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

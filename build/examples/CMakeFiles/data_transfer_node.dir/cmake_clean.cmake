@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_transfer_node.dir/data_transfer_node.cpp.o"
+  "CMakeFiles/data_transfer_node.dir/data_transfer_node.cpp.o.d"
+  "data_transfer_node"
+  "data_transfer_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_transfer_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

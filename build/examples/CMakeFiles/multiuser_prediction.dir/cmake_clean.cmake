@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_prediction.dir/multiuser_prediction.cpp.o"
+  "CMakeFiles/multiuser_prediction.dir/multiuser_prediction.cpp.o.d"
+  "multiuser_prediction"
+  "multiuser_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

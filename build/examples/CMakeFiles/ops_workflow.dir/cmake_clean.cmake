@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_workflow.dir/ops_workflow.cpp.o"
+  "CMakeFiles/ops_workflow.dir/ops_workflow.cpp.o.d"
+  "ops_workflow"
+  "ops_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_pipeline.dir/staging_pipeline.cpp.o"
+  "CMakeFiles/staging_pipeline.dir/staging_pipeline.cpp.o.d"
+  "staging_pipeline"
+  "staging_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scheduler_demo "/root/repo/build/examples/scheduler_demo")
+set_tests_properties(example_scheduler_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiuser_prediction "/root/repo/build/examples/multiuser_prediction")
+set_tests_properties(example_multiuser_prediction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_topology_explorer "/root/repo/build/examples/topology_explorer")
+set_tests_properties(example_topology_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_machine "/root/repo/build/examples/custom_machine")
+set_tests_properties(example_custom_machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_data_transfer_node "/root/repo/build/examples/data_transfer_node")
+set_tests_properties(example_data_transfer_node PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_staging_pipeline "/root/repo/build/examples/staging_pipeline")
+set_tests_properties(example_staging_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;numaio_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ops_workflow "/root/repo/build/examples/ops_workflow")
+set_tests_properties(example_ops_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;15;numaio_example;/root/repo/examples/CMakeLists.txt;0;")

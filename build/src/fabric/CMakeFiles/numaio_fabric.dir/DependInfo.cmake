@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/calibration.cpp" "src/fabric/CMakeFiles/numaio_fabric.dir/calibration.cpp.o" "gcc" "src/fabric/CMakeFiles/numaio_fabric.dir/calibration.cpp.o.d"
+  "/root/repo/src/fabric/machine.cpp" "src/fabric/CMakeFiles/numaio_fabric.dir/machine.cpp.o" "gcc" "src/fabric/CMakeFiles/numaio_fabric.dir/machine.cpp.o.d"
+  "/root/repo/src/fabric/path_matrix.cpp" "src/fabric/CMakeFiles/numaio_fabric.dir/path_matrix.cpp.o" "gcc" "src/fabric/CMakeFiles/numaio_fabric.dir/path_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/numaio_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/numaio_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

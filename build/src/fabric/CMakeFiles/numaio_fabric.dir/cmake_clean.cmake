@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_fabric.dir/calibration.cpp.o"
+  "CMakeFiles/numaio_fabric.dir/calibration.cpp.o.d"
+  "CMakeFiles/numaio_fabric.dir/machine.cpp.o"
+  "CMakeFiles/numaio_fabric.dir/machine.cpp.o.d"
+  "CMakeFiles/numaio_fabric.dir/path_matrix.cpp.o"
+  "CMakeFiles/numaio_fabric.dir/path_matrix.cpp.o.d"
+  "libnumaio_fabric.a"
+  "libnumaio_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

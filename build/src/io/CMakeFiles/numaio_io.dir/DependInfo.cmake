@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/device.cpp" "src/io/CMakeFiles/numaio_io.dir/device.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/device.cpp.o.d"
+  "/root/repo/src/io/fio.cpp" "src/io/CMakeFiles/numaio_io.dir/fio.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/fio.cpp.o.d"
+  "/root/repo/src/io/hostpair.cpp" "src/io/CMakeFiles/numaio_io.dir/hostpair.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/hostpair.cpp.o.d"
+  "/root/repo/src/io/jobfile.cpp" "src/io/CMakeFiles/numaio_io.dir/jobfile.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/jobfile.cpp.o.d"
+  "/root/repo/src/io/nic.cpp" "src/io/CMakeFiles/numaio_io.dir/nic.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/nic.cpp.o.d"
+  "/root/repo/src/io/ssd.cpp" "src/io/CMakeFiles/numaio_io.dir/ssd.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/ssd.cpp.o.d"
+  "/root/repo/src/io/testbed.cpp" "src/io/CMakeFiles/numaio_io.dir/testbed.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/testbed.cpp.o.d"
+  "/root/repo/src/io/trace.cpp" "src/io/CMakeFiles/numaio_io.dir/trace.cpp.o" "gcc" "src/io/CMakeFiles/numaio_io.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nm/CMakeFiles/numaio_nm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/numaio_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/numaio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/numaio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

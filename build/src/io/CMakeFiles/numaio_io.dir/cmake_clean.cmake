@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_io.dir/device.cpp.o"
+  "CMakeFiles/numaio_io.dir/device.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/fio.cpp.o"
+  "CMakeFiles/numaio_io.dir/fio.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/hostpair.cpp.o"
+  "CMakeFiles/numaio_io.dir/hostpair.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/jobfile.cpp.o"
+  "CMakeFiles/numaio_io.dir/jobfile.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/nic.cpp.o"
+  "CMakeFiles/numaio_io.dir/nic.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/ssd.cpp.o"
+  "CMakeFiles/numaio_io.dir/ssd.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/testbed.cpp.o"
+  "CMakeFiles/numaio_io.dir/testbed.cpp.o.d"
+  "CMakeFiles/numaio_io.dir/trace.cpp.o"
+  "CMakeFiles/numaio_io.dir/trace.cpp.o.d"
+  "libnumaio_io.a"
+  "libnumaio_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_mem.dir/copy.cpp.o"
+  "CMakeFiles/numaio_mem.dir/copy.cpp.o.d"
+  "CMakeFiles/numaio_mem.dir/membench.cpp.o"
+  "CMakeFiles/numaio_mem.dir/membench.cpp.o.d"
+  "CMakeFiles/numaio_mem.dir/numademo.cpp.o"
+  "CMakeFiles/numaio_mem.dir/numademo.cpp.o.d"
+  "CMakeFiles/numaio_mem.dir/stream.cpp.o"
+  "CMakeFiles/numaio_mem.dir/stream.cpp.o.d"
+  "libnumaio_mem.a"
+  "libnumaio_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analysis.cpp" "src/model/CMakeFiles/numaio_model.dir/analysis.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/analysis.cpp.o.d"
+  "/root/repo/src/model/asymmetry.cpp" "src/model/CMakeFiles/numaio_model.dir/asymmetry.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/asymmetry.cpp.o.d"
+  "/root/repo/src/model/baselines.cpp" "src/model/CMakeFiles/numaio_model.dir/baselines.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/baselines.cpp.o.d"
+  "/root/repo/src/model/characterize.cpp" "src/model/CMakeFiles/numaio_model.dir/characterize.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/characterize.cpp.o.d"
+  "/root/repo/src/model/classify.cpp" "src/model/CMakeFiles/numaio_model.dir/classify.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/classify.cpp.o.d"
+  "/root/repo/src/model/crossval.cpp" "src/model/CMakeFiles/numaio_model.dir/crossval.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/crossval.cpp.o.d"
+  "/root/repo/src/model/inference.cpp" "src/model/CMakeFiles/numaio_model.dir/inference.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/inference.cpp.o.d"
+  "/root/repo/src/model/iomodel.cpp" "src/model/CMakeFiles/numaio_model.dir/iomodel.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/iomodel.cpp.o.d"
+  "/root/repo/src/model/mitigate.cpp" "src/model/CMakeFiles/numaio_model.dir/mitigate.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/mitigate.cpp.o.d"
+  "/root/repo/src/model/online.cpp" "src/model/CMakeFiles/numaio_model.dir/online.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/online.cpp.o.d"
+  "/root/repo/src/model/predictor.cpp" "src/model/CMakeFiles/numaio_model.dir/predictor.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/predictor.cpp.o.d"
+  "/root/repo/src/model/report.cpp" "src/model/CMakeFiles/numaio_model.dir/report.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/report.cpp.o.d"
+  "/root/repo/src/model/scheduler.cpp" "src/model/CMakeFiles/numaio_model.dir/scheduler.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/scheduler.cpp.o.d"
+  "/root/repo/src/model/validate.cpp" "src/model/CMakeFiles/numaio_model.dir/validate.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/validate.cpp.o.d"
+  "/root/repo/src/model/workload.cpp" "src/model/CMakeFiles/numaio_model.dir/workload.cpp.o" "gcc" "src/model/CMakeFiles/numaio_model.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/numaio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/numaio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/nm/CMakeFiles/numaio_nm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/numaio_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/numaio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/numaio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

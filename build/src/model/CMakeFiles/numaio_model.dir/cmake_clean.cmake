@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_model.dir/analysis.cpp.o"
+  "CMakeFiles/numaio_model.dir/analysis.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/asymmetry.cpp.o"
+  "CMakeFiles/numaio_model.dir/asymmetry.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/baselines.cpp.o"
+  "CMakeFiles/numaio_model.dir/baselines.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/characterize.cpp.o"
+  "CMakeFiles/numaio_model.dir/characterize.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/classify.cpp.o"
+  "CMakeFiles/numaio_model.dir/classify.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/crossval.cpp.o"
+  "CMakeFiles/numaio_model.dir/crossval.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/inference.cpp.o"
+  "CMakeFiles/numaio_model.dir/inference.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/iomodel.cpp.o"
+  "CMakeFiles/numaio_model.dir/iomodel.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/mitigate.cpp.o"
+  "CMakeFiles/numaio_model.dir/mitigate.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/online.cpp.o"
+  "CMakeFiles/numaio_model.dir/online.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/predictor.cpp.o"
+  "CMakeFiles/numaio_model.dir/predictor.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/report.cpp.o"
+  "CMakeFiles/numaio_model.dir/report.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/scheduler.cpp.o"
+  "CMakeFiles/numaio_model.dir/scheduler.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/validate.cpp.o"
+  "CMakeFiles/numaio_model.dir/validate.cpp.o.d"
+  "CMakeFiles/numaio_model.dir/workload.cpp.o"
+  "CMakeFiles/numaio_model.dir/workload.cpp.o.d"
+  "libnumaio_model.a"
+  "libnumaio_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

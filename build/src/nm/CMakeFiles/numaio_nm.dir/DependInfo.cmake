@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nm/cores.cpp" "src/nm/CMakeFiles/numaio_nm.dir/cores.cpp.o" "gcc" "src/nm/CMakeFiles/numaio_nm.dir/cores.cpp.o.d"
+  "/root/repo/src/nm/host.cpp" "src/nm/CMakeFiles/numaio_nm.dir/host.cpp.o" "gcc" "src/nm/CMakeFiles/numaio_nm.dir/host.cpp.o.d"
+  "/root/repo/src/nm/hwloc_view.cpp" "src/nm/CMakeFiles/numaio_nm.dir/hwloc_view.cpp.o" "gcc" "src/nm/CMakeFiles/numaio_nm.dir/hwloc_view.cpp.o.d"
+  "/root/repo/src/nm/numastat.cpp" "src/nm/CMakeFiles/numaio_nm.dir/numastat.cpp.o" "gcc" "src/nm/CMakeFiles/numaio_nm.dir/numastat.cpp.o.d"
+  "/root/repo/src/nm/policy.cpp" "src/nm/CMakeFiles/numaio_nm.dir/policy.cpp.o" "gcc" "src/nm/CMakeFiles/numaio_nm.dir/policy.cpp.o.d"
+  "/root/repo/src/nm/slit.cpp" "src/nm/CMakeFiles/numaio_nm.dir/slit.cpp.o" "gcc" "src/nm/CMakeFiles/numaio_nm.dir/slit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/numaio_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/numaio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/numaio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_nm.dir/cores.cpp.o"
+  "CMakeFiles/numaio_nm.dir/cores.cpp.o.d"
+  "CMakeFiles/numaio_nm.dir/host.cpp.o"
+  "CMakeFiles/numaio_nm.dir/host.cpp.o.d"
+  "CMakeFiles/numaio_nm.dir/hwloc_view.cpp.o"
+  "CMakeFiles/numaio_nm.dir/hwloc_view.cpp.o.d"
+  "CMakeFiles/numaio_nm.dir/numastat.cpp.o"
+  "CMakeFiles/numaio_nm.dir/numastat.cpp.o.d"
+  "CMakeFiles/numaio_nm.dir/policy.cpp.o"
+  "CMakeFiles/numaio_nm.dir/policy.cpp.o.d"
+  "CMakeFiles/numaio_nm.dir/slit.cpp.o"
+  "CMakeFiles/numaio_nm.dir/slit.cpp.o.d"
+  "libnumaio_nm.a"
+  "libnumaio_nm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_nm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_engine.cpp" "src/simcore/CMakeFiles/numaio_simcore.dir/event_engine.cpp.o" "gcc" "src/simcore/CMakeFiles/numaio_simcore.dir/event_engine.cpp.o.d"
+  "/root/repo/src/simcore/flow_solver.cpp" "src/simcore/CMakeFiles/numaio_simcore.dir/flow_solver.cpp.o" "gcc" "src/simcore/CMakeFiles/numaio_simcore.dir/flow_solver.cpp.o.d"
+  "/root/repo/src/simcore/fluid_sim.cpp" "src/simcore/CMakeFiles/numaio_simcore.dir/fluid_sim.cpp.o" "gcc" "src/simcore/CMakeFiles/numaio_simcore.dir/fluid_sim.cpp.o.d"
+  "/root/repo/src/simcore/rng.cpp" "src/simcore/CMakeFiles/numaio_simcore.dir/rng.cpp.o" "gcc" "src/simcore/CMakeFiles/numaio_simcore.dir/rng.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/simcore/CMakeFiles/numaio_simcore.dir/stats.cpp.o" "gcc" "src/simcore/CMakeFiles/numaio_simcore.dir/stats.cpp.o.d"
+  "/root/repo/src/simcore/units.cpp" "src/simcore/CMakeFiles/numaio_simcore.dir/units.cpp.o" "gcc" "src/simcore/CMakeFiles/numaio_simcore.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_simcore.dir/event_engine.cpp.o"
+  "CMakeFiles/numaio_simcore.dir/event_engine.cpp.o.d"
+  "CMakeFiles/numaio_simcore.dir/flow_solver.cpp.o"
+  "CMakeFiles/numaio_simcore.dir/flow_solver.cpp.o.d"
+  "CMakeFiles/numaio_simcore.dir/fluid_sim.cpp.o"
+  "CMakeFiles/numaio_simcore.dir/fluid_sim.cpp.o.d"
+  "CMakeFiles/numaio_simcore.dir/rng.cpp.o"
+  "CMakeFiles/numaio_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/numaio_simcore.dir/stats.cpp.o"
+  "CMakeFiles/numaio_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/numaio_simcore.dir/units.cpp.o"
+  "CMakeFiles/numaio_simcore.dir/units.cpp.o.d"
+  "libnumaio_simcore.a"
+  "libnumaio_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_topo.dir/latency.cpp.o"
+  "CMakeFiles/numaio_topo.dir/latency.cpp.o.d"
+  "CMakeFiles/numaio_topo.dir/presets.cpp.o"
+  "CMakeFiles/numaio_topo.dir/presets.cpp.o.d"
+  "CMakeFiles/numaio_topo.dir/routing.cpp.o"
+  "CMakeFiles/numaio_topo.dir/routing.cpp.o.d"
+  "CMakeFiles/numaio_topo.dir/topology.cpp.o"
+  "CMakeFiles/numaio_topo.dir/topology.cpp.o.d"
+  "libnumaio_topo.a"
+  "libnumaio_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

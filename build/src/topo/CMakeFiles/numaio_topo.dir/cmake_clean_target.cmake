@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnumaio_topo.a"
+)

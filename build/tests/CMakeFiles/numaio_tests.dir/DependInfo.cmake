@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/numaio_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_asymmetry.cpp" "tests/CMakeFiles/numaio_tests.dir/test_asymmetry.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_asymmetry.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/numaio_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/numaio_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/numaio_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_classify.cpp" "tests/CMakeFiles/numaio_tests.dir/test_classify.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_classify.cpp.o.d"
+  "/root/repo/tests/test_copy.cpp" "tests/CMakeFiles/numaio_tests.dir/test_copy.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_copy.cpp.o.d"
+  "/root/repo/tests/test_cores.cpp" "tests/CMakeFiles/numaio_tests.dir/test_cores.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_cores.cpp.o.d"
+  "/root/repo/tests/test_crossval.cpp" "tests/CMakeFiles/numaio_tests.dir/test_crossval.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_crossval.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/numaio_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_diagnose.cpp" "tests/CMakeFiles/numaio_tests.dir/test_diagnose.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_diagnose.cpp.o.d"
+  "/root/repo/tests/test_event_engine.cpp" "tests/CMakeFiles/numaio_tests.dir/test_event_engine.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_event_engine.cpp.o.d"
+  "/root/repo/tests/test_fio.cpp" "tests/CMakeFiles/numaio_tests.dir/test_fio.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_fio.cpp.o.d"
+  "/root/repo/tests/test_flow_solver.cpp" "tests/CMakeFiles/numaio_tests.dir/test_flow_solver.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_flow_solver.cpp.o.d"
+  "/root/repo/tests/test_flow_solver_property.cpp" "tests/CMakeFiles/numaio_tests.dir/test_flow_solver_property.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_flow_solver_property.cpp.o.d"
+  "/root/repo/tests/test_fluid_sim.cpp" "tests/CMakeFiles/numaio_tests.dir/test_fluid_sim.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_fluid_sim.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/numaio_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/numaio_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_hostpair.cpp" "tests/CMakeFiles/numaio_tests.dir/test_hostpair.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_hostpair.cpp.o.d"
+  "/root/repo/tests/test_inference.cpp" "tests/CMakeFiles/numaio_tests.dir/test_inference.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_inference.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/numaio_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interleave_io.cpp" "tests/CMakeFiles/numaio_tests.dir/test_interleave_io.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_interleave_io.cpp.o.d"
+  "/root/repo/tests/test_iomode.cpp" "tests/CMakeFiles/numaio_tests.dir/test_iomode.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_iomode.cpp.o.d"
+  "/root/repo/tests/test_iomodel.cpp" "tests/CMakeFiles/numaio_tests.dir/test_iomodel.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_iomodel.cpp.o.d"
+  "/root/repo/tests/test_jobfile.cpp" "tests/CMakeFiles/numaio_tests.dir/test_jobfile.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_jobfile.cpp.o.d"
+  "/root/repo/tests/test_latency.cpp" "tests/CMakeFiles/numaio_tests.dir/test_latency.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_latency.cpp.o.d"
+  "/root/repo/tests/test_link_contention.cpp" "tests/CMakeFiles/numaio_tests.dir/test_link_contention.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_link_contention.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/numaio_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_membench.cpp" "tests/CMakeFiles/numaio_tests.dir/test_membench.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_membench.cpp.o.d"
+  "/root/repo/tests/test_mitigate.cpp" "tests/CMakeFiles/numaio_tests.dir/test_mitigate.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_mitigate.cpp.o.d"
+  "/root/repo/tests/test_numademo.cpp" "tests/CMakeFiles/numaio_tests.dir/test_numademo.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_numademo.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/numaio_tests.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_parser_robustness.cpp" "tests/CMakeFiles/numaio_tests.dir/test_parser_robustness.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_parser_robustness.cpp.o.d"
+  "/root/repo/tests/test_path_matrix.cpp" "tests/CMakeFiles/numaio_tests.dir/test_path_matrix.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_path_matrix.cpp.o.d"
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/numaio_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/numaio_tests.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_rate_trace.cpp" "tests/CMakeFiles/numaio_tests.dir/test_rate_trace.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_rate_trace.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/numaio_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/numaio_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/numaio_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/numaio_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_slit.cpp" "tests/CMakeFiles/numaio_tests.dir/test_slit.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_slit.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/numaio_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stream.cpp" "tests/CMakeFiles/numaio_tests.dir/test_stream.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_stream.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/numaio_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/numaio_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/numaio_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/numaio_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/numaio_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/numaio_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/numaio_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/numaio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/numaio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/nm/CMakeFiles/numaio_nm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/numaio_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/numaio_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/numaio_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

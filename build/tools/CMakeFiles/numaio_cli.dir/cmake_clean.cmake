@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numaio_cli.dir/numaio_cli.cpp.o"
+  "CMakeFiles/numaio_cli.dir/numaio_cli.cpp.o.d"
+  "numaio_cli"
+  "numaio_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numaio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

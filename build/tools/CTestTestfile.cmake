@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/numaio_cli" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hardware "/root/repo/build/tools/numaio_cli" "hardware")
+set_tests_properties(cli_hardware PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stream_matrix "/root/repo/build/tools/numaio_cli" "stream-matrix")
+set_tests_properties(cli_stream_matrix PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_iomodel_read "/root/repo/build/tools/numaio_cli" "iomodel" "--target" "7" "--direction" "read")
+set_tests_properties(cli_iomodel_read PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_iomodel_write "/root/repo/build/tools/numaio_cli" "iomodel" "--target" "3" "--direction" "write")
+set_tests_properties(cli_iomodel_write PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_demo "/root/repo/build/tools/numaio_cli" "demo" "--node" "0")
+set_tests_properties(cli_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_validate "/root/repo/build/tools/numaio_cli" "validate" "--reps" "5")
+set_tests_properties(cli_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_asymmetry "/root/repo/build/tools/numaio_cli" "asymmetry" "--min-ratio" "1.3")
+set_tests_properties(cli_asymmetry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_characterize_roundtrip "sh" "-c" "/root/repo/build/tools/numaio_cli characterize --reps 3 --out /root/repo/build/tools/host.model && /root/repo/build/tools/numaio_cli classes --in /root/repo/build/tools/host.model --target 7 --direction read | grep -q 'class 4: 4'")
+set_tests_properties(cli_characterize_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fio "sh" "-c" "printf '[global]\\nioengine=rdma\\nrw=read\\nnumjobs=4\\n[probe]\\ncpunodebind=0\\n' > /root/repo/build/tools/t.fio && /root/repo/build/tools/numaio_cli fio /root/repo/build/tools/t.fio | grep -q '18.297 Gbps'")
+set_tests_properties(cli_fio PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_replay "sh" "-c" "printf '0.0,rdma_write,7,8\\n' > /root/repo/build/tools/t.csv && /root/repo/build/tools/numaio_cli replay /root/repo/build/tools/t.csv | grep -q 'replayed 1 requests'")
+set_tests_properties(cli_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_command_fails "/root/repo/build/tools/numaio_cli" "bogus")
+set_tests_properties(cli_unknown_command_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
