@@ -78,6 +78,62 @@ Machine::Machine(HostProfile profile) : profile_(std::move(profile)) {
         "cpu:" + std::to_string(i),
         profile_.cpu_units_per_core * topology().node(i).cores));
   }
+  fabric_scale_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                       1.0);
+  mc_scale_.assign(static_cast<std::size_t>(n), 1.0);
+  cpu_scale_.assign(static_cast<std::size_t>(n), 1.0);
+}
+
+namespace {
+// A stalled resource keeps an epsilon of capacity so the progressive-
+// filling solve stays finite; the fluid layer's control events bound the
+// starvation window in time.
+constexpr double kMinScale = 1e-9;
+double clamp_scale(double scale) {
+  return scale < kMinScale ? kMinScale : scale;
+}
+}  // namespace
+
+void Machine::set_fabric_scale(NodeId src, NodeId dst, double scale) {
+  assert(src != dst);
+  assert(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
+  const auto idx = static_cast<std::size_t>(src * num_nodes() + dst);
+  fabric_scale_[idx] = clamp_scale(scale);
+  solver_.set_capacity(fabric_[idx],
+                       profile_.paths.at(src, dst).dma_cap * fabric_scale_[idx]);
+}
+
+double Machine::fabric_scale(NodeId src, NodeId dst) const {
+  assert(src != dst);
+  return fabric_scale_[static_cast<std::size_t>(src * num_nodes() + dst)];
+}
+
+void Machine::set_mc_scale(NodeId node, double scale) {
+  assert(node >= 0 && node < num_nodes());
+  mc_scale_[static_cast<std::size_t>(node)] = clamp_scale(scale);
+  const sim::Gbps local = profile_.paths.at(node, node).dma_cap *
+                          mc_scale_[static_cast<std::size_t>(node)];
+  solver_.set_capacity(mc_read_[static_cast<std::size_t>(node)], local);
+  solver_.set_capacity(mc_write_[static_cast<std::size_t>(node)], local);
+}
+
+void Machine::set_cpu_scale(NodeId node, double scale) {
+  assert(node >= 0 && node < num_nodes());
+  cpu_scale_[static_cast<std::size_t>(node)] = clamp_scale(scale);
+  solver_.set_capacity(cpu_[static_cast<std::size_t>(node)],
+                       cpu_capacity(node) *
+                           cpu_scale_[static_cast<std::size_t>(node)]);
+}
+
+void Machine::reset_fault_scales() {
+  for (NodeId a = 0; a < num_nodes(); ++a) {
+    for (NodeId b = 0; b < num_nodes(); ++b) {
+      if (a == b) continue;
+      if (fabric_scale(a, b) != 1.0) set_fabric_scale(a, b, 1.0);
+    }
+    if (mc_scale_[static_cast<std::size_t>(a)] != 1.0) set_mc_scale(a, 1.0);
+    if (cpu_scale_[static_cast<std::size_t>(a)] != 1.0) set_cpu_scale(a, 1.0);
+  }
 }
 
 sim::ResourceId Machine::fabric_resource(NodeId src, NodeId dst) const {

@@ -72,6 +72,25 @@ class Machine {
   /// outstanding over the src -> dst DMA path.
   sim::Gbps window_rate(NodeId src, NodeId dst, double window_bits) const;
 
+  // --- fault-injection hooks (faults::FaultInjector) ----------------------
+  // Capacity scales multiply the *calibrated* resource capacities in the
+  // solver, so every consumer — fio streams, iomodel copies, STREAM runs —
+  // sees the degradation through the same contention math it always used.
+  // profile() keeps reporting the healthy ground truth; scale 1.0 restores
+  // it. Scales clamp below at a tiny positive floor so max-min fairness
+  // stays well-defined during a full stall.
+
+  /// Scales the directed src -> dst fabric capacity (link degradation).
+  void set_fabric_scale(NodeId src, NodeId dst, double scale);
+  /// Scales a node's memory-controller read+write capacity (MC throttle).
+  void set_mc_scale(NodeId node, double scale);
+  /// Scales a node's CPU budget (IRQ storm eating protocol cycles).
+  void set_cpu_scale(NodeId node, double scale);
+  /// Restores every scaled capacity to its calibrated value.
+  void reset_fault_scales();
+  /// Current scale of the directed fabric pair (1.0 = healthy).
+  double fabric_scale(NodeId src, NodeId dst) const;
+
  private:
   HostProfile profile_;
   sim::FlowSolver solver_;
@@ -80,6 +99,9 @@ class Machine {
   std::vector<sim::ResourceId> mc_read_;
   std::vector<sim::ResourceId> mc_write_;
   std::vector<sim::ResourceId> cpu_;
+  std::vector<double> fabric_scale_;  // n*n, 1.0 = healthy
+  std::vector<double> mc_scale_;     // per node
+  std::vector<double> cpu_scale_;    // per node
 };
 
 }  // namespace numaio::fabric

@@ -1,0 +1,165 @@
+#include "faults/fault_plan.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "simcore/rng.h"
+
+namespace numaio::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDegrade:
+      return "link-degrade";
+    case FaultKind::kLinkFlap:
+      return "link-flap";
+    case FaultKind::kMcThrottle:
+      return "mc-throttle";
+    case FaultKind::kDeviceStall:
+      return "device-stall";
+    case FaultKind::kIrqStorm:
+      return "irq-storm";
+    case FaultKind::kMeasureNoise:
+      return "measure-noise";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad(std::size_t index, const std::string& what) {
+  throw std::invalid_argument("fault event " + std::to_string(index) + ": " +
+                              what);
+}
+
+}  // namespace
+
+void FaultPlan::validate(int num_nodes, int num_devices) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (e.start < 0.0 || !std::isfinite(e.start)) bad(i, "negative start");
+    if (e.duration <= 0.0 || !std::isfinite(e.duration)) {
+      bad(i, "non-positive duration");
+    }
+    switch (e.kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkFlap:
+        if (e.src < 0 || e.src >= num_nodes || e.dst < 0 ||
+            e.dst >= num_nodes || e.src == e.dst) {
+          bad(i, "link fault needs a valid directed node pair");
+        }
+        if (e.kind == FaultKind::kLinkFlap && e.flaps < 1) {
+          bad(i, "flap count must be >= 1");
+        }
+        break;
+      case FaultKind::kMcThrottle:
+      case FaultKind::kIrqStorm:
+        if (e.node < 0 || e.node >= num_nodes) bad(i, "node out of range");
+        break;
+      case FaultKind::kDeviceStall:
+        if (e.device < 0 || e.device >= num_devices) {
+          bad(i, "device index out of range");
+        }
+        break;
+      case FaultKind::kMeasureNoise:
+        break;
+    }
+    if (e.kind == FaultKind::kMeasureNoise) {
+      if (e.severity < 0.0) bad(i, "noise amplification must be >= 0");
+    } else if (e.severity < 0.0 || e.severity > 1.0) {
+      bad(i, "severity must be in [0, 1]");
+    }
+  }
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int num_nodes,
+                            int num_devices, const RandomPlanConfig& config) {
+  if (num_nodes < 2) {
+    throw std::invalid_argument("random fault plan needs >= 2 nodes");
+  }
+  sim::Rng rng = sim::Rng(seed).fork(0x6661756c74u);  // "fault"
+  FaultPlan plan;
+  for (int i = 0; i < config.num_events; ++i) {
+    FaultEvent e;
+    // Draw a kind; skip device stalls when no device is registered.
+    const int num_kinds = num_devices > 0 ? 6 : 5;
+    int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_kinds)));
+    if (num_devices == 0 && k >= static_cast<int>(FaultKind::kDeviceStall)) {
+      ++k;  // remap {3,4} -> {kIrqStorm, kMeasureNoise}
+    }
+    e.kind = static_cast<FaultKind>(k);
+    e.start = rng.uniform(0.0, config.horizon);
+    e.duration = rng.uniform(config.min_duration, config.max_duration);
+    e.severity = rng.uniform(config.min_severity, config.max_severity);
+    switch (e.kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkFlap: {
+        e.src = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(num_nodes)));
+        e.dst = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(num_nodes - 1)));
+        if (e.dst >= e.src) ++e.dst;
+        e.flaps = 1 + static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(config.max_flaps)));
+        break;
+      }
+      case FaultKind::kMcThrottle:
+      case FaultKind::kIrqStorm:
+        e.node = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(num_nodes)));
+        break;
+      case FaultKind::kDeviceStall:
+        e.device = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(num_devices)));
+        break;
+      case FaultKind::kMeasureNoise:
+        e.severity =
+            rng.uniform(1.0, config.max_noise_amplification) - 1.0;
+        break;
+    }
+    plan.add(e);
+  }
+  plan.validate(num_nodes, num_devices);
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  char buf[160];
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kLinkDegrade:
+      case FaultKind::kLinkFlap:
+        std::snprintf(buf, sizeof buf,
+                      "%-13s %d>%d start %.3fs dur %.3fs sev %.2f flaps %d\n",
+                      faults::to_string(e.kind), e.src, e.dst, e.start / 1e9,
+                      e.duration / 1e9, e.severity,
+                      e.kind == FaultKind::kLinkFlap ? e.flaps : 0);
+        break;
+      case FaultKind::kMcThrottle:
+      case FaultKind::kIrqStorm:
+        std::snprintf(buf, sizeof buf,
+                      "%-13s node %d start %.3fs dur %.3fs sev %.2f\n",
+                      faults::to_string(e.kind), e.node, e.start / 1e9,
+                      e.duration / 1e9, e.severity);
+        break;
+      case FaultKind::kDeviceStall:
+        std::snprintf(buf, sizeof buf,
+                      "%-13s device %d start %.3fs dur %.3fs\n",
+                      faults::to_string(e.kind), e.device, e.start / 1e9,
+                      e.duration / 1e9);
+        break;
+      case FaultKind::kMeasureNoise:
+        std::snprintf(buf, sizeof buf,
+                      "%-13s start %.3fs dur %.3fs amp %.2fx\n",
+                      faults::to_string(e.kind), e.start / 1e9,
+                      e.duration / 1e9, 1.0 + e.severity);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace numaio::faults

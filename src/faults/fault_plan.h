@@ -1,0 +1,96 @@
+// Deterministic fault schedules against a simulated NUMA host.
+//
+// The paper characterizes a healthy, static machine; its §VI future work
+// (online placement/migration, directional-anomaly diagnosis) only matters
+// when the machine changes under the workload. A FaultPlan is the ground
+// truth of such change: a seeded, validated list of timed fault events —
+// directed-link degradation and flapping, memory-controller throttling,
+// PCIe device stalls, IRQ storms, and measurement-noise amplification.
+// The plan itself is pure data; faults::FaultInjector turns it into
+// capacity transitions on a fabric::Machine so all degradation flows
+// through the existing FlowSolver contention math.
+//
+// Determinism guarantee: FaultPlan::random(seed, ...) is a pure function
+// of its arguments, and the injector's applied-transition trace renders to
+// byte-identical text across runs with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/units.h"
+#include "topo/topology.h"
+
+namespace numaio::faults {
+
+using topo::NodeId;
+
+enum class FaultKind {
+  kLinkDegrade,   ///< Directed fabric pair loses (severity) of its capacity.
+  kLinkFlap,      ///< The pair cycles dead/alive `flaps` times in the window.
+  kMcThrottle,    ///< A node's memory controller is throttled.
+  kDeviceStall,   ///< A registered PCIe device goes dark; in-flight I/O aborts.
+  kIrqStorm,      ///< Interrupt flood burns a node's CPU budget.
+  kMeasureNoise,  ///< Repetition noise turns heavy-tailed (amplified).
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDegrade;
+  sim::Ns start = 0.0;
+  sim::Ns duration = 0.0;
+  /// Directed pair for link faults (src -> dst).
+  NodeId src = -1;
+  NodeId dst = -1;
+  /// Node for kMcThrottle / kIrqStorm.
+  NodeId node = -1;
+  /// Index of a device registered with the injector, for kDeviceStall.
+  int device = -1;
+  /// Fraction of capacity removed while active (link/MC/IRQ faults), or
+  /// the noise multiplier minus one for kMeasureNoise. In [0, 1] for
+  /// capacity faults; >= 0 for noise.
+  double severity = 0.5;
+  /// kLinkFlap: number of dead windows inside [start, start+duration].
+  int flaps = 1;
+};
+
+struct RandomPlanConfig {
+  int num_events = 4;
+  sim::Ns horizon = 30.0e9;         ///< Events start within [0, horizon).
+  sim::Ns min_duration = 0.5e9;
+  sim::Ns max_duration = 6.0e9;
+  double min_severity = 0.3;
+  double max_severity = 0.9;
+  int max_flaps = 4;
+  /// Noise events amplify rep noise by up to this factor.
+  double max_noise_amplification = 8.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(FaultEvent event) { events_.push_back(event); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Throws std::invalid_argument when any event is malformed for a host
+  /// with `num_nodes` nodes and `num_devices` registered devices (bad
+  /// node ids, negative windows, out-of-range severity, ...).
+  void validate(int num_nodes, int num_devices) const;
+
+  /// A seeded random plan: identical arguments yield an identical plan.
+  /// Device-stall events are only drawn when num_devices > 0.
+  static FaultPlan random(std::uint64_t seed, int num_nodes, int num_devices,
+                          const RandomPlanConfig& config = {});
+
+  /// Deterministic one-line-per-event rendering (for logs and tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace numaio::faults

@@ -1,0 +1,126 @@
+// FaultInjector: executes a FaultPlan against a fabric::Machine.
+//
+// Every fault becomes a sequence of timed *transitions* (fault-on /
+// fault-off boundaries; a flap event contributes one pair per dead
+// window). Applying a transition recomputes the complete degradation state
+// at that instant — the product of all active faults per resource — and
+// writes it into the machine through its fault-scale hooks, so overlapping
+// faults compose multiplicatively and releasing one fault never forgets
+// another that is still active.
+//
+// Two driving modes, freely mixable along one timeline:
+//  - arm(fluid): transitions become FluidSimulation control events, so
+//    rates re-solve exactly at each fault boundary (fio runs, the online
+//    scheduler);
+//  - advance_to(t): applies all transitions up to logical time t directly
+//    (measurement loops that take solver snapshots, e.g. Algorithm 1's
+//    repetition sweep).
+//
+// The injector records every applied transition; trace_to_string() renders
+// them deterministically — two runs with the same plan produce
+// byte-identical traces, which tests and the CLI rely on.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fabric/machine.h"
+#include "faults/fault_plan.h"
+#include "simcore/fluid_sim.h"
+
+namespace numaio::faults {
+
+class FaultInjector {
+ public:
+  /// Validates the plan against the machine (device events additionally
+  /// need register_device() before arm/advance touches them).
+  FaultInjector(fabric::Machine& machine, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a device's solver resources (engine occupancy + PCIe data
+  /// resources) for kDeviceStall events. Returns the device index the
+  /// plan's FaultEvent::device refers to.
+  int register_device(std::string name, NodeId attach_node,
+                      std::vector<sim::ResourceId> resources);
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  /// Index of a registered device by name; -1 when unknown. Consumers that
+  /// receive a stall callback use this to map their own device handles to
+  /// the plan's indices.
+  int device_index(std::string_view name) const;
+
+  /// Called when a device-stall window opens (after capacities drop), so
+  /// the owner can abort in-flight transfers on that device.
+  using StallHandler = std::function<void(int device, sim::Ns at)>;
+  void set_stall_handler(StallHandler handler);
+
+  /// Schedules every not-yet-applied transition as a control event.
+  void arm(sim::FluidSimulation& fluid);
+
+  /// Applies all transitions with time <= t (no-op for times already
+  /// passed). Keeps the machine in the degraded state of time t.
+  void advance_to(sim::Ns t);
+
+  /// Restores every capacity to healthy. Applied-transition history and
+  /// the timeline cursor are kept; use rewind() to replay from t = 0.
+  void restore();
+
+  /// restore() + clears the trace and the cursor, for a fresh run.
+  void rewind();
+
+  // --- state queries (pure functions of the plan, usable at any time) ----
+  /// Product of all active noise amplifications at time t (>= 1).
+  double noise_amplification(sim::Ns t) const;
+  bool device_stalled(int device, sim::Ns t) const;
+  /// True when any capacity-affecting fault is active at time t.
+  bool any_capacity_fault_active(sim::Ns t) const;
+  /// Nodes touched by active capacity faults at time t (sorted, unique):
+  /// endpoints of degraded links, throttled MCs, stormed nodes, and the
+  /// attach node of stalled devices. The online scheduler steers clear of
+  /// these.
+  std::vector<NodeId> degraded_nodes(sim::Ns t) const;
+  /// Time of the first transition after t; +inf when none remain.
+  sim::Ns next_transition_after(sim::Ns t) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  fabric::Machine& machine() { return machine_; }
+
+  /// One line per applied transition, byte-identical across same-seed runs.
+  std::string trace_to_string() const;
+  std::size_t transitions_applied() const { return cursor_; }
+
+ private:
+  struct Transition {
+    sim::Ns at = 0.0;
+    std::size_t event = 0;  ///< Index into plan_.events().
+    bool on = false;        ///< Fault (or dead flap window) begins here.
+    int flap = 0;           ///< Dead-window ordinal for kLinkFlap (1-based).
+  };
+  struct Device {
+    std::string name;
+    NodeId attach_node = 0;
+    std::vector<sim::ResourceId> resources;
+    std::vector<sim::Gbps> healthy_capacity;
+  };
+
+  /// Capacity multiplier contributed by event e at time t (1 = inactive).
+  double event_factor(const FaultEvent& e, sim::Ns t) const;
+  bool event_active(const FaultEvent& e, sim::Ns t) const;
+  void apply_state_at(sim::Ns t);
+  void apply_transition(std::size_t index);
+
+  fabric::Machine& machine_;
+  FaultPlan plan_;
+  std::vector<Transition> transitions_;  // ascending (at, event, !on)
+  std::vector<Device> devices_;
+  std::vector<bool> stalled_applied_;    // per device, currently applied
+  StallHandler stall_handler_;
+  std::size_t cursor_ = 0;               // next transition to apply
+  std::vector<std::string> trace_;
+};
+
+}  // namespace numaio::faults

@@ -64,4 +64,11 @@ sim::ResourceId PcieDevice::pcie_resource(bool to_device) const {
   return to_device ? pcie_to_dev_ : pcie_from_dev_;
 }
 
+std::vector<sim::ResourceId> PcieDevice::fault_resources() const {
+  std::vector<sim::ResourceId> resources = engine_res_;
+  resources.push_back(pcie_to_dev_);
+  resources.push_back(pcie_from_dev_);
+  return resources;
+}
+
 }  // namespace numaio::io

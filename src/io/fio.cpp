@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <map>
 #include <stdexcept>
@@ -50,6 +51,16 @@ struct StreamSetup {
   nm::Buffer buffer;
   StreamShape shape;
   sim::FluidSimulation::TransferId transfer = 0;
+  // Degraded-mode attempt state. `transfer` always names the most recent
+  // attempt; earlier attempts' bytes are folded into bytes_done when they
+  // abort.
+  int attempts = 0;              ///< Launches so far (retries = attempts-1).
+  sim::Bytes bytes_done = 0;     ///< Bytes banked by aborted attempts.
+  bool finished = false;         ///< Completed exactly at an abort boundary.
+  bool gave_up = false;          ///< Retry budget exhausted.
+  sim::Ns final_end = 0.0;       ///< End time when finished/gave_up is set.
+  int fault_device = -1;         ///< Injector device index, -1 = untracked.
+  sim::Rng backoff_rng{0};
 };
 
 }  // namespace
@@ -233,6 +244,13 @@ std::vector<FioResult> FioRunner::run_timed(
           shape_stream(machine, *setup.device, job.engine, job.cpu_node,
                        setup.buffer.placement, options);
       if (has_peer_res) setup.shape.usages.push_back({peer_res, 1.0});
+      setup.backoff_rng =
+          sim::Rng(job.seed)
+              .fork(0x72657472u)
+              .fork(static_cast<std::uint64_t>(setups.size()));
+      if (faults_ != nullptr) {
+        setup.fault_device = faults_->device_index(setup.device->name());
+      }
       setups.push_back(std::move(setup));
     }
   }
@@ -262,12 +280,103 @@ std::vector<FioResult> FioRunner::run_timed(
 
   sim::FluidSimulation fluid(solver);
   fluid.enable_rate_trace();
+
+  // Per-stream attempt machinery. launch_stream starts (or restarts) a
+  // stream's remaining bytes and, when the job has a timeout, schedules a
+  // deadline control that aborts the attempt and hands it to
+  // handle_failure; handle_failure banks the partial bytes and either
+  // relaunches after an exponentially backed-off, jittered delay or gives
+  // up once the retry budget is spent. Both live as std::functions so they
+  // can recurse into each other from inside control events.
+  std::function<void(StreamSetup&, sim::Ns)> launch_stream;
+  std::function<void(StreamSetup&, sim::Ns)> handle_failure;
+
+  launch_stream = [&](StreamSetup& s, sim::Ns at) {
+    const FioJob& job = jobs[s.job_index].job;
+    const sim::Bytes remaining = job.bytes_per_stream > s.bytes_done
+                                     ? job.bytes_per_stream - s.bytes_done
+                                     : 0;
+    if (remaining == 0) {
+      s.finished = true;
+      s.final_end = at;
+      return;
+    }
+    s.transfer =
+        fluid.start_transfer_at(at, s.shape.usages, remaining, s.shape.rate_cap);
+    ++s.attempts;
+    if (job.retry.timeout > 0.0) {
+      const auto tid = s.transfer;
+      const sim::Ns deadline = at + job.retry.timeout;
+      fluid.schedule_control(deadline, [&, tid, deadline] {
+        if (s.transfer != tid || s.finished || s.gave_up) return;
+        if (fluid.stats(tid).done) return;  // beat its deadline
+        fluid.abort_transfer(tid);
+        handle_failure(s, deadline);
+      });
+    }
+  };
+
+  handle_failure = [&](StreamSetup& s, sim::Ns now) {
+    const FioJob& job = jobs[s.job_index].job;
+    s.bytes_done += fluid.stats(s.transfer).bytes_moved;
+    if (s.bytes_done >= job.bytes_per_stream) {
+      s.finished = true;
+      s.final_end = now;
+      return;
+    }
+    if (s.attempts > job.retry.max_retries) {
+      s.gave_up = true;
+      s.final_end = now;
+      return;
+    }
+    const sim::Ns delay =
+        sim::backoff_delay(job.retry, s.attempts, s.backoff_rng);
+    launch_stream(s, now + delay);
+  };
+
+  if (faults_ != nullptr) {
+    faults_->arm(fluid);
+    // A stall window opening aborts every in-flight transfer on the
+    // stalled device (a reset drops outstanding DMA); each aborted stream
+    // then follows its job's retry policy. Attempts that are merely
+    // pending (waiting out a backoff) are left alone — they will start
+    // into the stall and crawl until their own deadline or the stall end.
+    faults_->set_stall_handler([&](int device, sim::Ns at) {
+      for (StreamSetup& s : setups) {
+        if (s.fault_device != device || s.attempts == 0) continue;
+        if (s.finished || s.gave_up) continue;
+        const auto& st = fluid.stats(s.transfer);
+        if (st.done || st.start > at) continue;
+        fluid.abort_transfer(s.transfer);
+        handle_failure(s, at);
+      }
+    });
+  }
+
   for (StreamSetup& s : setups) {
-    s.transfer = fluid.start_transfer_at(
-        jobs[s.job_index].start, s.shape.usages,
-        jobs[s.job_index].job.bytes_per_stream, s.shape.rate_cap);
+    launch_stream(s, jobs[s.job_index].start);
   }
   fluid.run();
+
+  if (faults_ != nullptr) {
+    faults_->set_stall_handler(nullptr);
+    faults_->restore();  // leave the machine healthy for the next caller
+  }
+
+  // True when a capacity-affecting fault is active anywhere in [a, b]:
+  // at either endpoint or at any fault transition between them.
+  const auto fault_overlaps = [&](sim::Ns a, sim::Ns b) {
+    if (faults_ == nullptr) return false;
+    if (faults_->any_capacity_fault_active(a) ||
+        faults_->any_capacity_fault_active(b)) {
+      return true;
+    }
+    for (sim::Ns t = faults_->next_transition_after(a); t < b;
+         t = faults_->next_transition_after(t)) {
+      if (faults_->any_capacity_fault_active(t)) return true;
+    }
+    return false;
+  };
 
   // Collect per-job aggregates.
   std::vector<FioResult> results(jobs.size());
@@ -276,13 +385,50 @@ std::vector<FioResult> FioRunner::run_timed(
   std::vector<sim::Ns> last_end(jobs.size(), 0.0);
   std::vector<sim::Bytes> total_bytes(jobs.size(), 0);
   for (StreamSetup& s : setups) {
-    const auto& st = fluid.stats(s.transfer);
-    first_start[s.job_index] = std::min(first_start[s.job_index], st.start);
-    last_end[s.job_index] = std::max(last_end[s.job_index], st.end);
-    total_bytes[s.job_index] += st.bytes;
-    results[s.job_index].streams.push_back(
-        FioStreamStats{s.buffer.home(), s.device, st.avg_rate(),
-                       fluid.rate_stability(s.transfer).cv});
+    const sim::Ns start = jobs[s.job_index].start;
+    sim::Ns end = 0.0;
+    if (s.gave_up || s.finished) {
+      end = s.final_end;
+    } else {
+      const auto& st = fluid.stats(s.transfer);
+      s.bytes_done += st.bytes_moved;
+      end = st.end;
+    }
+
+    FioStreamStats stream;
+    stream.mem_node = s.buffer.home();
+    stream.device = s.device;
+    stream.bytes_moved = s.bytes_done;
+    const sim::Ns lifetime = end - start;
+    stream.avg_rate =
+        lifetime > 0.0 ? sim::gbps(s.bytes_done, lifetime) : 0.0;
+    stream.rate_cv = fluid.rate_stability(s.transfer).cv;
+
+    stream.outcome.retries = s.attempts > 0 ? s.attempts - 1 : 0;
+    if (s.gave_up) {
+      stream.outcome.ok = false;
+      stream.outcome.aborted = true;
+      stream.outcome.confidence = 0.0;
+    } else {
+      // Discount confidence for retries, rate instability and fault
+      // overlap; a clean, stable, fault-free stream stays at 1.0.
+      double conf = 1.0 - 0.15 * stream.outcome.retries;
+      conf -= std::min(0.3, stream.rate_cv);
+      if (fault_overlaps(start, end)) conf -= 0.2;
+      stream.outcome.confidence = std::clamp(conf, 0.05, 1.0);
+    }
+
+    first_start[s.job_index] = std::min(first_start[s.job_index], start);
+    last_end[s.job_index] = std::max(last_end[s.job_index], end);
+    total_bytes[s.job_index] += s.bytes_done;
+    FioResult& result = results[s.job_index];
+    result.total_retries += stream.outcome.retries;
+    if (stream.outcome.aborted) ++result.aborted_streams;
+    if (!stream.outcome.ok || stream.outcome.retries > 0 ||
+        stream.outcome.confidence < 0.5) {
+      result.degraded = true;
+    }
+    result.streams.push_back(std::move(stream));
     host_.free(s.buffer);
   }
   for (std::size_t j = 0; j < jobs.size(); ++j) {

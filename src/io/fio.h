@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "faults/injector.h"
 #include "io/device.h"
 #include "nm/host.h"
+#include "simcore/retry.h"
 
 namespace numaio::io {
 
@@ -58,6 +60,12 @@ struct FioJob {
   /// end ([3], cited in §I).
   int peer_node = -1;
   std::uint64_t seed = 20130407;
+  /// Degraded-mode policy: per-stream attempt timeout, bounded retries
+  /// with exponential backoff + jitter. The default timeout of 0 disables
+  /// timeouts, which (absent faults) reproduces the fault-free behaviour
+  /// exactly. An aborted attempt retries only the *remaining* bytes, so
+  /// partial progress is never thrown away.
+  sim::RetryPolicy retry{};
 };
 
 struct FioStreamStats {
@@ -69,6 +77,12 @@ struct FioStreamStats {
   /// performance is stable over the whole data transfer process" (§V-B);
   /// this field lets callers check that stability claim.
   double rate_cv = 0.0;
+  /// Bytes actually moved (== the job's bytes_per_stream unless the stream
+  /// exhausted its retries and gave up part-way).
+  sim::Bytes bytes_moved = 0;
+  /// Degraded-mode accounting: success/retries/abort and a confidence
+  /// score discounted for retries, rate instability and fault overlap.
+  sim::MeasurementOutcome outcome{};
 };
 
 struct FioResult {
@@ -77,6 +91,12 @@ struct FioResult {
   sim::Gbps aggregate = 0.0;
   sim::Ns duration = 0.0;
   std::vector<FioStreamStats> streams;
+  /// Degraded-mode rollup over the job's streams.
+  int total_retries = 0;
+  int aborted_streams = 0;
+  /// True when any stream aborted, retried, or reported low confidence —
+  /// the caller should treat `aggregate` as a degraded-mode partial result.
+  bool degraded = false;
 };
 
 /// Total bytes over the overall makespan of several concurrently-run jobs
@@ -125,6 +145,16 @@ class FioRunner {
  public:
   explicit FioRunner(nm::Host& host) : host_(host) {}
 
+  /// Attaches a fault injector: its remaining transitions are armed on the
+  /// runner's fluid timeline, device stalls abort the in-flight transfers
+  /// of streams on the stalled device (which then follow the job's retry
+  /// policy), and stream confidences are discounted for fault overlap.
+  /// Devices the jobs use are matched to the injector's registered devices
+  /// by name. Pass nullptr to detach. The injector must outlive the runs.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
   /// Runs one job alone on the host.
   FioResult run(const FioJob& job);
 
@@ -152,6 +182,7 @@ class FioRunner {
 
  private:
   nm::Host& host_;
+  faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace numaio::io

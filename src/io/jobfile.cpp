@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -42,28 +43,86 @@ struct Section {
   int numjobs = 0;
   int cpu_node = -1;
   bool has_cpu_node = false;
+  std::vector<std::string> seen;  ///< Canonical option names set so far.
 };
+
+/// Setting the same option twice in one section is almost always a
+/// copy-paste mistake in a job file; fio silently keeps the last value,
+/// which is exactly how a 400g run quietly becomes a 4g run. Reject it.
+/// (A job section overriding [global] is the intended mechanism and is
+/// unaffected — sections track their options separately.)
+void mark_seen(Section& s, const std::string& canonical, int line) {
+  if (std::find(s.seen.begin(), s.seen.end(), canonical) != s.seen.end()) {
+    fail(line, "duplicate option '" + canonical + "' in section [" +
+                   s.name + "]");
+  }
+  s.seen.push_back(canonical);
+}
+
+/// Strict integer parse: whole string, no stray characters, bounded.
+/// std::stoi alone would accept "16abc" and throw context-free errors on
+/// garbage; this always fails with the line number and the allowed range.
+int parse_int(const std::string& value, int line, const std::string& key,
+              int min, int max) {
+  long v = 0;
+  std::size_t pos = 0;
+  try {
+    v = std::stol(value, &pos);
+  } catch (const std::exception&) {
+    fail(line, "'" + key + "' wants an integer, got '" + value + "'");
+  }
+  if (pos != value.size()) {
+    fail(line, "'" + key + "' wants an integer, got '" + value + "'");
+  }
+  if (v < min || v > max) {
+    fail(line, "'" + key + "' out of range [" + std::to_string(min) + ", " +
+                   std::to_string(max) + "], got " + value);
+  }
+  return static_cast<int>(v);
+}
+
+/// parse_size with the line number attached to any failure.
+sim::Bytes parse_size_at(const std::string& value, int line,
+                         const std::string& key, sim::Bytes min,
+                         sim::Bytes max) {
+  sim::Bytes v = 0;
+  try {
+    v = parse_size(value);
+  } catch (const std::exception& e) {
+    fail(line, e.what());
+  }
+  if (v < min || v > max) {
+    fail(line, "'" + key + "' out of range [" + std::to_string(min) + ", " +
+                   std::to_string(max) + " bytes], got '" + value + "'");
+  }
+  return v;
+}
 
 void apply_key(Section& s, const std::string& key, const std::string& value,
                int line) {
   if (key == "ioengine") {
+    mark_seen(s, "ioengine", line);
     s.ioengine = lower(value);
   } else if (key == "rw") {
+    mark_seen(s, "rw", line);
     s.rw = lower(value);
   } else if (key == "bs" || key == "blocksize") {
-    s.block_size = parse_size(value);
+    mark_seen(s, "bs", line);
+    s.block_size = parse_size_at(value, line, "bs", 512, sim::kGiB);
   } else if (key == "iodepth") {
-    s.iodepth = std::stoi(value);
-    if (s.iodepth <= 0) fail(line, "iodepth must be positive");
+    mark_seen(s, "iodepth", line);
+    s.iodepth = parse_int(value, line, "iodepth", 1, 4096);
   } else if (key == "size") {
-    s.size = parse_size(value);
+    mark_seen(s, "size", line);
+    s.size = parse_size_at(value, line, "size", 1,
+                           sim::Bytes{1} << 50);  // 1 PiB ceiling
   } else if (key == "numjobs") {
-    s.numjobs = std::stoi(value);
-    if (s.numjobs <= 0) fail(line, "numjobs must be positive");
+    mark_seen(s, "numjobs", line);
+    s.numjobs = parse_int(value, line, "numjobs", 1, 1024);
   } else if (key == "cpunodebind" || key == "numa_cpu_nodes") {
-    s.cpu_node = std::stoi(value);
+    mark_seen(s, "cpunodebind", line);
+    s.cpu_node = parse_int(value, line, "cpunodebind", 0, 1023);
     s.has_cpu_node = true;
-    if (s.cpu_node < 0) fail(line, "cpunodebind must be non-negative");
   } else {
     fail(line, "unknown option '" + key + "'");
   }
@@ -125,7 +184,19 @@ sim::Bytes parse_size(const std::string& text) {
                    [](unsigned char c) { return std::isdigit(c); })) {
     throw std::invalid_argument("bad size literal '" + text + "'");
   }
-  return static_cast<sim::Bytes>(std::stoull(digits)) * multiplier;
+  sim::Bytes value = 0;
+  try {
+    value = static_cast<sim::Bytes>(std::stoull(digits));
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("size literal '" + text +
+                                "' overflows 64 bits");
+  }
+  if (multiplier > 1 &&
+      value > std::numeric_limits<sim::Bytes>::max() / multiplier) {
+    throw std::invalid_argument("size literal '" + text +
+                                "' overflows 64 bits");
+  }
+  return value * multiplier;
 }
 
 JobFile parse_job_file(const std::string& text) {
@@ -150,9 +221,15 @@ JobFile parse_job_file(const std::string& text) {
         fail(line_no, "malformed section header");
       }
       const std::string name = trim(line.substr(1, line.size() - 2));
+      if (name.empty()) fail(line_no, "empty section name");
       if (lower(name) == "global") {
         current = &global;
       } else {
+        for (const Section& prior : sections) {
+          if (prior.name == name) {
+            fail(line_no, "duplicate section [" + name + "]");
+          }
+        }
         sections.push_back(Section{});
         sections.back().name = name;
         current = &sections.back();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mem/copy.h"
+#include "simcore/stats.h"
 
 namespace numaio::mem {
 
@@ -95,6 +96,8 @@ StreamResult StreamBenchmark::run(NodeId cpu_node, NodeId mem_node) {
   result.cache_contaminated = contaminated;
   result.worst = sim::kUnlimited;
   double sum = 0.0;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(config_.repetitions));
   for (int rep = 0; rep < config_.repetitions; ++rep) {
     // Run-to-run noise is one-sided: OS jitter only ever *slows* a rep,
     // which is why the paper reports the max of 100 runs.
@@ -103,8 +106,14 @@ StreamResult StreamBenchmark::run(NodeId cpu_node, NodeId mem_node) {
     result.best = std::max(result.best, value);
     result.worst = std::min(result.worst, value);
     sum += value;
+    samples.push_back(value);
   }
   result.mean = sum / config_.repetitions;
+
+  const sim::RobustSummary robust = sim::robust_summarize(samples);
+  result.robust = robust.trimmed_mean;
+  result.mad = robust.mad;
+  result.low_confidence = robust.low_confidence || contaminated;
 
   for (auto& b : buffers) host_.free(b);
   return result;

@@ -37,6 +37,17 @@ struct StreamResult {
   sim::Gbps best = 0.0;   ///< Max over repetitions (what the paper reports).
   sim::Gbps mean = 0.0;
   sim::Gbps worst = 0.0;
+  /// Outlier-robust estimate: the 10%-trimmed mean of the repetitions.
+  /// Unlike `best` (the paper's max-of-100) or the plain `mean`, one
+  /// interference-poisoned rep cannot drag it, so degraded-mode consumers
+  /// should prefer it for characterization.
+  sim::Gbps robust = 0.0;
+  /// Median absolute deviation of the repetitions, Gbps.
+  sim::Gbps mad = 0.0;
+  /// True when the reps dispersed suspiciously (MAD/median above the
+  /// robust_summarize threshold) or the run was cache-contaminated — the
+  /// numbers are usable but should not gate re-characterization decisions.
+  bool low_confidence = false;
   /// True when the arrays were too small relative to the LLC, so results
   /// are inflated by cache reuse and untrustworthy for characterization.
   bool cache_contaminated = false;

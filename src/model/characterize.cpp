@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -80,10 +82,77 @@ int best_remote_class(const HostModel& model, NodeId device_node,
   return best < 0 ? 0 : best;
 }
 
+DriftReport check_drift(nm::Host& host, HostModel& model, NodeId target,
+                        Direction dir, const DriftConfig& config) {
+  DriftReport report;
+  const IoModelResult& stored = model.model_for(target, dir);
+  const Classification& classes = model.classes_for(target, dir);
+
+  // One fresh measurement run covers every class's representative.
+  const IoModelResult fresh = build_iomodel(host, target, dir, config.iomodel);
+
+  for (int cls = 0; cls < classes.num_classes(); ++cls) {
+    const NodeId probe =
+        classes.classes[static_cast<std::size_t>(cls)].front();
+    const auto p = static_cast<std::size_t>(probe);
+    char buf[160];
+    if (p < fresh.outcomes.size() && !fresh.outcomes[p].ok) {
+      // An aborted probe is no evidence of drift — just of a bad day.
+      std::snprintf(buf, sizeof buf,
+                    "class %d node %d probe aborted (%d retries)", cls,
+                    probe, fresh.outcomes[p].retries);
+      report.notes.emplace_back(buf);
+      continue;
+    }
+    const double old_bw = stored.bw[p];
+    const double new_bw = fresh.bw[p];
+    const double rel = old_bw > 0.0
+                           ? std::abs(new_bw - old_bw) / old_bw
+                           : std::numeric_limits<double>::infinity();
+    // Boundary check: a probe may drift within tolerance of its own old
+    // value yet land inside another class's bandwidth band — that moves a
+    // class boundary, which is what placement decisions key off.
+    const auto [lo, hi] = classes.class_range[static_cast<std::size_t>(cls)];
+    const bool outside_class = new_bw < lo * (1.0 - config.rel_tolerance) ||
+                               new_bw > hi * (1.0 + config.rel_tolerance);
+    const bool moved = rel > config.rel_tolerance || outside_class;
+    std::snprintf(buf, sizeof buf,
+                  "class %d node %d: %9.3f -> %9.3f Gbps (%+.1f%%)%s", cls,
+                  probe, old_bw, new_bw, 100.0 * (new_bw - old_bw) / old_bw,
+                  moved ? " DRIFT" : "");
+    report.notes.emplace_back(buf);
+    if (moved) report.drifted = true;
+  }
+  if (report.drifted) model.stale = true;
+  return report;
+}
+
+bool refresh_if_drifted(nm::Host& host, HostModel& model,
+                        const CharacterizeConfig& config,
+                        const DriftConfig& drift) {
+  bool drifted = false;
+  for (NodeId target = 0; target < model.num_nodes; ++target) {
+    drifted |= check_drift(host, model, target, Direction::kDeviceWrite,
+                           drift).drifted;
+    drifted |= check_drift(host, model, target, Direction::kDeviceRead,
+                           drift).drifted;
+  }
+  if (!drifted) return false;
+  const int revision = model.revision;
+  model = characterize_host(host, config);
+  model.revision = revision + 1;
+  model.stale = false;
+  return true;
+}
+
 std::string serialize(const HostModel& model) {
   std::ostringstream out;
   out << "numaio-model v1\n";
   out << "host " << model.host_name << " nodes " << model.num_nodes << '\n';
+  if (model.revision != 1 || model.stale) {
+    out << "status " << model.revision << ' '
+        << (model.stale ? "stale" : "fresh") << '\n';
+  }
   auto emit = [&](const IoModelResult& m, const Classification& c,
                   Direction dir) {
     out << "model " << m.target << ' ' << dir_name(dir);
@@ -147,6 +216,15 @@ HostModel parse_host_model(const std::string& text) {
     std::istringstream ls(line);
     std::string kw;
     ls >> kw;
+    if (kw == "status") {
+      std::string state;
+      if (!(ls >> model.revision >> state) || model.revision < 1 ||
+          (state != "fresh" && state != "stale")) {
+        fail(line_no, "malformed status line");
+      }
+      model.stale = state == "stale";
+      continue;
+    }
     int target = -1;
     std::string dir;
     if (!(ls >> target >> dir) || target < 0 || target >= model.num_nodes ||

@@ -1,10 +1,14 @@
 #include "model/iomodel.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "mem/copy.h"
 #include "simcore/rng.h"
+#include "simcore/stats.h"
 
 namespace numaio::model {
 
@@ -21,7 +25,10 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
   result.target = target;
   result.direction = direction;
   result.bw.assign(static_cast<std::size_t>(n), 0.0);
+  result.outcomes.assign(static_cast<std::size_t>(n),
+                         sim::MeasurementOutcome{});
 
+  sim::Ns clock = config.start_time;
   sim::Rng master =
       sim::Rng(config.seed).fork(static_cast<std::uint64_t>(target),
                                  direction == Direction::kDeviceWrite ? 0u
@@ -41,7 +48,7 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
 
     // Lines 11-14: m copy threads bound to the target node, all running
     // concurrently; each repetition records the aggregate bandwidth and
-    // the average over repetitions is reported.
+    // the robust average over repetitions is reported.
     mem::CopyTask task;
     task.threads_node = target;   // the simulated DMA engine
     task.src_node = src;
@@ -51,26 +58,98 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
     const sim::Gbps per_thread_cap = mem::copy_rate_cap(machine, task);
     const auto usages = mem::copy_usages(machine, task);
 
-    std::vector<sim::FlowId> flows;
-    flows.reserve(static_cast<std::size_t>(m));
-    for (int p = 0; p < m; ++p) {
-      flows.push_back(solver.add_flow(usages, per_thread_cap));
-    }
-    const auto rates = solver.solve();
-    sim::Gbps aggregate = 0.0;
-    for (sim::FlowId f : flows) aggregate += rates[f];
-    for (sim::FlowId f : flows) solver.remove_flow(f);
+    const auto solve_aggregate = [&]() {
+      std::vector<sim::FlowId> flows;
+      flows.reserve(static_cast<std::size_t>(m));
+      for (int p = 0; p < m; ++p) {
+        flows.push_back(solver.add_flow(usages, per_thread_cap));
+      }
+      const auto rates = solver.solve();
+      sim::Gbps total = 0.0;
+      for (sim::FlowId f : flows) total += rates[f];
+      for (sim::FlowId f : flows) solver.remove_flow(f);
+      return total;
+    };
+
+    faults::FaultInjector* injector = config.injector;
+    if (injector != nullptr) injector->advance_to(clock);
+    sim::Gbps aggregate = solve_aggregate();
+    std::size_t solved_at =
+        injector != nullptr ? injector->transitions_applied() : 0;
+
+    // Bits one repetition moves; at the current aggregate rate this sets
+    // the rep's duration on the synthetic timeline.
+    const double rep_bits = static_cast<double>(m) * 8.0 *
+                            static_cast<double>(config.buffer_bytes);
 
     sim::Rng rng = master.fork(static_cast<std::uint64_t>(i));
-    double sum = 0.0;
+    sim::Rng retry_rng = master.fork(static_cast<std::uint64_t>(i), 0x72u);
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(config.repetitions));
+    int retries_total = 0;
+    int aborted_reps = 0;
     for (int rep = 0; rep < config.repetitions; ++rep) {
-      // Streaming copies are far steadier than PIO loops; the residual
-      // one-sided jitter is well under 1%.
-      const double slowdown = std::abs(rng.normal(0.004, 0.003));
-      sum += aggregate * (1.0 - std::min(slowdown, 0.2));
+      bool recorded = false;
+      for (int attempt = 0;; ++attempt) {
+        if (injector != nullptr) {
+          injector->advance_to(clock);
+          if (injector->transitions_applied() != solved_at) {
+            // A fault boundary passed: the machine's capacities changed
+            // under us, so the contention solve must be repeated.
+            aggregate = solve_aggregate();
+            solved_at = injector->transitions_applied();
+          }
+        }
+        // Streaming copies are far steadier than PIO loops; the residual
+        // one-sided jitter is well under 1%. Active measurement-noise
+        // faults amplify it into the heavy-tailed regime.
+        const double amp =
+            injector != nullptr ? injector->noise_amplification(clock) : 1.0;
+        const double slowdown = std::abs(rng.normal(0.004, 0.003)) * amp;
+        const double sample = aggregate * (1.0 - std::min(slowdown, 0.8));
+        const sim::Ns duration =
+            sample > 0.0 ? rep_bits / sample
+                         : std::numeric_limits<double>::infinity();
+        const bool timed_out =
+            config.retry.timeout > 0.0 && duration > config.retry.timeout;
+        if (!timed_out) {
+          samples.push_back(sample);
+          clock += std::isfinite(duration) ? duration : 0.0;
+          recorded = true;
+          break;
+        }
+        if (attempt >= config.retry.max_retries) {
+          clock += config.retry.timeout;  // the abort itself took this long
+          break;
+        }
+        ++retries_total;
+        clock += config.retry.timeout +
+                 sim::backoff_delay(config.retry, attempt + 1, retry_rng);
+      }
+      if (!recorded) ++aborted_reps;
     }
-    result.bw[static_cast<std::size_t>(i)] =
-        sum / config.repetitions;
+
+    sim::MeasurementOutcome outcome;
+    outcome.retries = retries_total;
+    if (samples.empty()) {
+      outcome.ok = false;
+      outcome.aborted = true;
+      outcome.confidence = 0.0;
+      result.bw[static_cast<std::size_t>(i)] = 0.0;
+    } else {
+      const sim::RobustSummary robust = sim::robust_summarize(samples);
+      result.bw[static_cast<std::size_t>(i)] = robust.trimmed_mean;
+      double conf = 1.0;
+      if (robust.low_confidence) conf -= 0.3;
+      conf -= 0.5 * static_cast<double>(aborted_reps) /
+              static_cast<double>(config.repetitions);
+      conf -= std::min(0.2, 0.02 * retries_total);
+      outcome.confidence = std::clamp(conf, 0.05, 1.0);
+    }
+    if (!outcome.ok || outcome.retries > 0 || outcome.confidence < 0.5) {
+      result.degraded = true;
+    }
+    result.outcomes[static_cast<std::size_t>(i)] = outcome;
 
     for (auto& b : buffers) host.free(b);
   }

@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "faults/injector.h"
 #include "nm/host.h"
+#include "simcore/retry.h"
 #include "simcore/units.h"
 
 namespace numaio::model {
@@ -35,14 +37,34 @@ struct IoModelConfig {
   /// default moves 64 MiB per copy.
   sim::Bytes buffer_bytes = 64 * sim::kMiB;
   std::uint64_t seed = 20130777;
+  /// Optional fault injector: repetitions run on a synthetic timeline
+  /// (each rep advances the clock by its own copy duration), faults active
+  /// at a rep's time degrade its solve and amplify its noise, and the
+  /// retry policy below bounds how long a rep may take. nullptr = the
+  /// fault-free Algorithm 1 (same noise draws, no timeouts).
+  faults::FaultInjector* injector = nullptr;
+  /// Where this measurement starts on the injector's timeline.
+  sim::Ns start_time = 0.0;
+  /// Per-rep timeout / bounded-retry policy (timeout 0 disables; a rep
+  /// whose projected duration exceeds the timeout is retried with backoff
+  /// and, once the budget is spent, dropped as an aborted sample).
+  sim::RetryPolicy retry{};
 };
 
 struct IoModelResult {
   NodeId target = 0;
   Direction direction = Direction::kDeviceWrite;
-  /// bw[i]: average aggregate bandwidth with the varied end on node i
-  /// (source node for the write model, sink node for the read model).
+  /// bw[i]: robust (trimmed-mean) aggregate bandwidth with the varied end
+  /// on node i (source node for the write model, sink node for the read
+  /// model). Under faults, aborted reps are excluded; a node whose every
+  /// rep aborted reports 0 with outcome.aborted set.
   std::vector<sim::Gbps> bw;
+  /// Per-node degraded-mode accounting: retries spent, abort status and a
+  /// confidence score discounted for dispersion, aborted reps and retries.
+  std::vector<sim::MeasurementOutcome> outcomes;
+  /// True when any node's samples were degraded (aborts, retries or low
+  /// confidence) — the model should be treated as provisional.
+  bool degraded = false;
 };
 
 /// Runs Algorithm 1 for one target node and direction.

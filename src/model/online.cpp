@@ -67,20 +67,35 @@ const std::vector<NodeId>& OnlineScheduler::pool_for(
   return device_.engine(engine).to_device ? write_pool_ : read_pool_;
 }
 
+std::vector<NodeId> OnlineScheduler::usable_pool(
+    const std::vector<NodeId>& pool, sim::Ns now) const {
+  if (faults_ == nullptr) return pool;
+  const std::vector<NodeId> degraded = faults_->degraded_nodes(now);
+  if (degraded.empty()) return pool;
+  std::vector<NodeId> ok;
+  ok.reserve(pool.size());
+  for (NodeId node : pool) {
+    if (!std::binary_search(degraded.begin(), degraded.end(), node)) {
+      ok.push_back(node);
+    }
+  }
+  return ok.empty() ? pool : ok;
+}
+
 NodeId OnlineScheduler::choose_node(const std::string& engine,
-                                    int task_index) {
+                                    int task_index, sim::Ns now) {
   switch (config_.policy) {
     case OnlinePolicy::kAllLocal:
-      return device_.attach_node();
+      return device_.attach_node();  // the naive baseline never reacts
     case OnlinePolicy::kRoundRobin:
       return (rr_cursor_++) % host_.num_configured_nodes();
     case OnlinePolicy::kModelSpread: {
-      const auto& pool = pool_for(engine);
+      const auto pool = usable_pool(pool_for(engine), now);
       return pool[static_cast<std::size_t>(task_index) % pool.size()];
     }
     case OnlinePolicy::kModelAdaptive: {
-      // Least-loaded node of the pool (ties: lowest id).
-      const auto& pool = pool_for(engine);
+      // Least-loaded non-degraded node of the pool (ties: lowest id).
+      const auto pool = usable_pool(pool_for(engine), now);
       NodeId best = pool.front();
       for (NodeId node : pool) {
         if (active_[static_cast<std::size_t>(node)] <
@@ -97,6 +112,7 @@ NodeId OnlineScheduler::choose_node(const std::string& engine,
 OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
   fabric::Machine& machine = host_.machine();
   sim::FluidSimulation fluid(machine.solver());
+  if (faults_ != nullptr) faults_->arm(fluid);
 
   struct TaskState {
     const IoTask* task = nullptr;
@@ -139,7 +155,7 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
               sim::Ns next_start = now;
               if (config_.policy == OnlinePolicy::kModelAdaptive) {
                 const NodeId better =
-                    choose_node(state.task->engine, state.index);
+                    choose_node(state.task->engine, state.index, now);
                 if (better != state.node) {
                   // Migrate: re-home the buffer, pay the pause.
                   host_.free(state.buffer);
@@ -168,7 +184,7 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
     state.last_chunk_bytes =
         tasks[i].bytes -
         state.chunk_bytes * static_cast<sim::Bytes>(chunks - 1);
-    state.node = choose_node(tasks[i].engine, state.index);
+    state.node = choose_node(tasks[i].engine, state.index, tasks[i].arrival);
     state.outcome.arrival = tasks[i].arrival;
     state.outcome.first_node = state.node;
     state.buffer = host_.alloc_local(128 * sim::kKiB * 16, state.node);
@@ -177,6 +193,7 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
   }
 
   fluid.run();
+  if (faults_ != nullptr) faults_->restore();
 
   OnlineReport report;
   sim::Ns turnaround_sum = 0.0;

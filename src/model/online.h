@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/injector.h"
 #include "io/device.h"
 #include "model/classify.h"
 #include "model/workload.h"
@@ -72,18 +73,32 @@ class OnlineScheduler {
                   Classification write_classes, Classification read_classes,
                   OnlineConfig config = {});
 
+  /// Attaches a fault injector: its plan is armed on the run's timeline,
+  /// and the model-driven policies steer chunk placement away from nodes
+  /// the injector reports degraded at decision time — so a fault landing
+  /// mid-run migrates the affected tasks at their next chunk boundary.
+  /// Pass nullptr to detach. The injector must outlive run().
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
   OnlineReport run(std::span<const IoTask> tasks);
 
  private:
-  NodeId choose_node(const std::string& engine, int task_index);
+  NodeId choose_node(const std::string& engine, int task_index, sim::Ns now);
 
   const std::vector<NodeId>& pool_for(const std::string& engine) const;
+  /// The pool minus currently-degraded nodes; falls back to the full pool
+  /// when every pooled node is degraded (bad placement beats none).
+  std::vector<NodeId> usable_pool(const std::vector<NodeId>& pool,
+                                  sim::Ns now) const;
 
   nm::Host& host_;
   const io::PcieDevice& device_;
   Classification write_classes_;
   Classification read_classes_;
   OnlineConfig config_;
+  faults::FaultInjector* faults_ = nullptr;
   std::vector<NodeId> write_pool_;
   std::vector<NodeId> read_pool_;
   std::vector<int> active_;  ///< Running chunks per node.

@@ -63,15 +63,59 @@ void FluidSimulation::complete(TransferId id) {
   t.active = false;
   t.stats.done = true;
   t.stats.end = now_;
+  t.stats.bytes_moved = t.stats.bytes;
   --active_count_;
   if (t.on_complete) t.on_complete(id, now_);
 }
 
+void FluidSimulation::schedule_control(Ns at, ControlFn fn) {
+  assert(fn);
+  controls_.push_back(Control{std::max(at, now_), next_control_seq_++,
+                              std::move(fn)});
+  // Descending by time; FIFO at equal times (higher seq sorts earlier in
+  // the vector, so the back — the next to fire — has the lowest seq).
+  std::sort(controls_.begin(), controls_.end(),
+            [](const Control& a, const Control& b) {
+              if (a.at != b.at) return a.at > b.at;
+              return a.seq > b.seq;
+            });
+}
+
+bool FluidSimulation::abort_transfer(TransferId id) {
+  assert(id < transfers_.size());
+  Transfer& t = transfers_[id];
+  if (t.stats.done) return false;
+  if (t.active) {
+    solver_.remove_flow(t.flow);
+    t.active = false;
+    --active_count_;
+  } else {
+    // Not yet started: drop the pending entry.
+    const auto it = std::find_if(
+        pending_.begin(), pending_.end(),
+        [id](const Pending& p) { return p.id == id; });
+    if (it == pending_.end()) return false;  // already aborted earlier
+    pending_.erase(it);
+    t.stats.start = now_;
+  }
+  t.stats.done = true;
+  t.stats.aborted = true;
+  t.stats.end = now_;
+  const double moved_bits =
+      static_cast<double>(t.stats.bytes) * 8.0 - t.remaining_bits;
+  t.stats.bytes_moved =
+      static_cast<Bytes>(std::max(moved_bits, 0.0) / 8.0);
+  return true;
+}
+
 Ns FluidSimulation::run() {
-  while (active_count_ > 0 || !pending_.empty()) {
+  while (active_count_ > 0 || !pending_.empty() || !controls_.empty()) {
     if (active_count_ == 0) {
-      // Jump to the next scheduled start.
-      now_ = pending_.back().at;
+      // Jump to the next scheduled start or control point.
+      Ns next = std::numeric_limits<double>::infinity();
+      if (!pending_.empty()) next = pending_.back().at;
+      if (!controls_.empty()) next = std::min(next, controls_.back().at);
+      now_ = std::max(now_, next);
     }
     // Activate all starts due now.
     while (!pending_.empty() && pending_.back().at <= now_) {
@@ -79,6 +123,14 @@ Ns FluidSimulation::run() {
       pending_.pop_back();
       activate(id);
     }
+    // Fire controls due now (they may mutate capacities, abort transfers,
+    // or schedule new work — including more controls at this instant).
+    while (!controls_.empty() && controls_.back().at <= now_) {
+      ControlFn fn = std::move(controls_.back().fn);
+      controls_.pop_back();
+      fn();
+    }
+    if (active_count_ == 0) continue;  // controls may have drained the run
 
     const std::vector<Gbps> rates = solver_.solve();
 
@@ -90,10 +142,12 @@ Ns FluidSimulation::run() {
       const Gbps r = rates[t.flow];
       if (r > 0.0) dt = std::min(dt, t.remaining_bits / r);
     }
-    // Next arrival may preempt the completion.
+    // Next arrival or control point may preempt the completion (and keeps
+    // dt finite through full-starvation windows, e.g. a stalled device).
     if (!pending_.empty()) dt = std::min(dt, pending_.back().at - now_);
+    if (!controls_.empty()) dt = std::min(dt, controls_.back().at - now_);
     assert(std::isfinite(dt) &&
-           "all active transfers are rate-starved with no pending arrivals");
+           "all active transfers are rate-starved with nothing pending");
 
     // Advance the fluid state.
     now_ += dt;
@@ -162,7 +216,7 @@ Gbps FluidSimulation::aggregate_rate() const {
     assert(t.stats.done && "aggregate_rate() is meaningful after run()");
     first_start = std::min(first_start, t.stats.start);
     last_end = std::max(last_end, t.stats.end);
-    total += t.stats.bytes;
+    total += t.stats.bytes_moved;
   }
   return last_end > first_start ? gbps(total, last_end - first_start) : 0.0;
 }

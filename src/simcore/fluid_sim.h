@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -39,8 +40,26 @@ class FluidSimulation {
                                Bytes bytes, Gbps rate_cap = kUnlimited,
                                CompletionFn on_complete = {});
 
+  /// Control events: at absolute time `at`, `fn` runs and the fair-share
+  /// allocation is recomputed. This is how time-varying *infrastructure*
+  /// enters the fluid model — a fault window scaling a link capacity, a
+  /// watchdog aborting a stuck transfer, a retry relaunching one — without
+  /// falsifying the contention math (rates re-solve at every change
+  /// point). Events due at the same instant fire in scheduling order;
+  /// completions beat controls at an exact tie, so a transfer finishing
+  /// exactly at its deadline counts as finished.
+  using ControlFn = std::function<void()>;
+  void schedule_control(Ns at, ControlFn fn);
+
+  /// Aborts an active or not-yet-started transfer: its flow leaves the
+  /// network, stats record the partial byte count and `aborted = true`,
+  /// and the completion callback is NOT invoked. Returns false (and does
+  /// nothing) when the transfer already finished or was already aborted.
+  bool abort_transfer(TransferId id);
+
   /// Runs until every transfer (including ones spawned by completion
-  /// callbacks) has finished. Returns the makespan end time.
+  /// callbacks) has finished or aborted and all control events have fired.
+  /// Returns the final simulated time.
   Ns run();
 
   Ns now() const { return now_; }
@@ -48,11 +67,13 @@ class FluidSimulation {
   struct TransferStats {
     Ns start = 0.0;
     Ns end = 0.0;
-    Bytes bytes = 0;
+    Bytes bytes = 0;        ///< Requested payload.
+    Bytes bytes_moved = 0;  ///< Actually transferred (== bytes unless aborted).
     bool done = false;
-    /// Average rate over the transfer's lifetime.
+    bool aborted = false;
+    /// Average rate over the transfer's lifetime (moved bytes / lifetime).
     Gbps avg_rate() const {
-      return end > start ? gbps(bytes, end - start) : 0.0;
+      return end > start ? gbps(bytes_moved, end - start) : 0.0;
     }
   };
   const TransferStats& stats(TransferId id) const;
@@ -101,6 +122,11 @@ class FluidSimulation {
     Ns at;
     TransferId id;
   };
+  struct Control {
+    Ns at;
+    std::uint64_t seq;
+    ControlFn fn;
+  };
 
   void activate(TransferId id);
   void complete(TransferId id);
@@ -109,7 +135,9 @@ class FluidSimulation {
   bool trace_ = false;
   Ns now_ = 0.0;
   std::vector<Transfer> transfers_;
-  std::vector<Pending> pending_;  // kept sorted descending by time
+  std::vector<Pending> pending_;   // kept sorted descending by time
+  std::vector<Control> controls_;  // kept sorted descending by (time, seq)
+  std::uint64_t next_control_seq_ = 0;
   std::size_t active_count_ = 0;
 };
 

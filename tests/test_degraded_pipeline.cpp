@@ -1,0 +1,450 @@
+// Degraded-mode pipeline tests: retry/backoff and timeout aborts in the
+// fio runner, degraded characterization under active faults, the robust
+// scheduler's hop-distance fallback, drift detection + versioned stale
+// marking, and online migration away from fault-degraded nodes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "io/fio.h"
+#include "io/nic.h"
+#include "io/testbed.h"
+#include "model/baselines.h"
+#include "model/characterize.h"
+#include "model/online.h"
+#include "model/scheduler.h"
+#include "model/workload.h"
+
+namespace numaio {
+namespace {
+
+using model::Direction;
+
+faults::FaultEvent mc_throttle(topo::NodeId node, sim::Ns start, sim::Ns dur,
+                               double sev) {
+  faults::FaultEvent e;
+  e.kind = faults::FaultKind::kMcThrottle;
+  e.node = node;
+  e.start = start;
+  e.duration = dur;
+  e.severity = sev;
+  return e;
+}
+
+io::FioJob basic_job(io::Testbed& tb, int streams, sim::Bytes bytes) {
+  io::FioJob job;
+  job.devices = {&tb.nic()};
+  job.engine = io::kRdmaRead;
+  job.cpu_node = 2;
+  job.num_streams = streams;
+  job.bytes_per_stream = bytes;
+  return job;
+}
+
+// --- fio runner: timeouts, retries, partial results ----------------------
+
+TEST(DegradedFio, TimeoutExhaustionAbortsWithPartialResult) {
+  io::Testbed tb = io::Testbed::dl585();
+  io::FioJob job = basic_job(tb, 1, 40 * sim::kGiB);
+  job.retry.timeout = 1.0e6;  // 1 ms: a 40 GiB stream can never finish
+  job.retry.max_retries = 2;
+
+  io::FioRunner fio(tb.host());
+  const io::FioResult result = fio.run(job);
+  ASSERT_EQ(result.streams.size(), 1u);
+  const io::FioStreamStats& st = result.streams.front();
+  EXPECT_FALSE(st.outcome.ok);
+  EXPECT_TRUE(st.outcome.aborted);
+  EXPECT_EQ(st.outcome.retries, 2);
+  EXPECT_LT(st.outcome.confidence, 0.5);
+  // Partial progress is banked across attempts, not thrown away.
+  EXPECT_GT(st.bytes_moved, 0);
+  EXPECT_LT(st.bytes_moved, job.bytes_per_stream);
+  EXPECT_EQ(result.aborted_streams, 1);
+  EXPECT_EQ(result.total_retries, 2);
+  EXPECT_TRUE(result.degraded);
+}
+
+TEST(DegradedFio, GenerousTimeoutMatchesFaultFreeExactly) {
+  io::Testbed tb = io::Testbed::dl585();
+  io::FioRunner fio(tb.host());
+  io::FioJob plain = basic_job(tb, 4, 4 * sim::kGiB);
+  io::FioJob guarded = plain;
+  guarded.retry.timeout = 1.0e15;  // never fires
+
+  const io::FioResult a = fio.run(plain);
+  const io::FioResult b = fio.run(guarded);
+  EXPECT_EQ(a.aggregate, b.aggregate);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_FALSE(b.degraded);
+  for (const io::FioStreamStats& st : b.streams) {
+    EXPECT_TRUE(st.outcome.ok);
+    EXPECT_EQ(st.outcome.retries, 0);
+    EXPECT_DOUBLE_EQ(st.outcome.confidence, 1.0);
+    EXPECT_EQ(st.bytes_moved, 4 * sim::kGiB);
+  }
+}
+
+TEST(DegradedFio, DeviceStallAbortsInFlightStreamsThenRecovers) {
+  io::Testbed tb = io::Testbed::dl585();
+  faults::FaultPlan plan;
+  faults::FaultEvent stall;
+  stall.kind = faults::FaultKind::kDeviceStall;
+  stall.device = 0;
+  stall.start = 5.0e9;
+  stall.duration = 2.0e9;
+  plan.add(stall);
+  faults::FaultInjector injector(tb.machine(), std::move(plan));
+  injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                           tb.nic().fault_resources());
+
+  io::FioJob job = basic_job(tb, 2, 40 * sim::kGiB);  // runs well past 5 s
+  job.retry.timeout = 30.0e9;
+  job.retry.max_retries = 3;
+
+  io::FioRunner fio(tb.host());
+  fio.set_fault_injector(&injector);
+  const io::FioResult result = fio.run(job);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GE(result.total_retries, 1);
+  EXPECT_EQ(result.aborted_streams, 0);  // retries carried them through
+  for (const io::FioStreamStats& st : result.streams) {
+    EXPECT_TRUE(st.outcome.ok);
+    EXPECT_EQ(st.bytes_moved, 40 * sim::kGiB);
+    EXPECT_LT(st.outcome.confidence, 1.0);
+  }
+}
+
+// --- characterization under faults ---------------------------------------
+
+TEST(DegradedIoModel, TinyTimeoutAbortsEveryRepetition) {
+  io::Testbed tb = io::Testbed::dl585();
+  model::IoModelConfig config;
+  config.repetitions = 10;
+  config.retry.timeout = 1.0;  // 1 ns: every repetition times out
+  config.retry.max_retries = 2;
+  const model::IoModelResult result =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceWrite, config);
+  EXPECT_TRUE(result.degraded);
+  for (std::size_t i = 0; i < result.bw.size(); ++i) {
+    EXPECT_EQ(result.bw[i], 0.0) << i;
+    EXPECT_FALSE(result.outcomes[i].ok) << i;
+    EXPECT_TRUE(result.outcomes[i].aborted) << i;
+    EXPECT_EQ(result.outcomes[i].confidence, 0.0) << i;
+    EXPECT_EQ(result.outcomes[i].retries, 2 * config.repetitions) << i;
+  }
+}
+
+TEST(DegradedIoModel, CharacterizationUnderActiveFaultsCompletes) {
+  io::Testbed tb = io::Testbed::dl585();
+
+  // Fault-free reference run to size a per-rep timeout: generous for any
+  // healthy repetition, far too tight for a 10x-throttled one.
+  model::IoModelConfig reference;
+  reference.repetitions = 3;
+  const auto healthy =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceWrite, reference);
+  const int n = tb.host().num_configured_nodes();
+  const int m = tb.host().num_configured_cores() / n;
+  const double rep_bits =
+      static_cast<double>(m) * 8.0 * static_cast<double>(reference.buffer_bytes);
+  double worst_healthy = 0.0;
+  for (double bw : healthy.bw) {
+    worst_healthy = std::max(worst_healthy, rep_bits / bw);
+  }
+
+  faults::FaultPlan plan;
+  faults::FaultEvent amp;
+  amp.kind = faults::FaultKind::kMeasureNoise;
+  amp.start = 0.0;
+  amp.duration = 1.0e15;  // covers the whole synthetic timeline
+  amp.severity = 49.0;    // 50x noise amplification
+  plan.add(amp);
+  plan.add(mc_throttle(3, 0.0, 1.0e15, 0.9));
+  faults::FaultInjector injector(tb.machine(), std::move(plan));
+
+  model::IoModelConfig config;
+  config.repetitions = 30;
+  config.injector = &injector;
+  config.retry.timeout = 2.0 * worst_healthy;
+  config.retry.max_retries = 2;
+  const model::IoModelResult result =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceWrite, config);
+  injector.restore();
+
+  // The run completes with degraded marking instead of crashing or
+  // hanging: the throttled node's repetitions blow the timeout and are
+  // dropped as aborted, the rest survive with discounted confidence.
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.outcomes[3].aborted);
+  EXPECT_EQ(result.bw[3], 0.0);
+  int clean = 0;
+  for (std::size_t i = 0; i < result.bw.size(); ++i) {
+    if (result.outcomes[i].ok && result.bw[i] > 0.0) ++clean;
+  }
+  EXPECT_GE(clean, n - 2);
+}
+
+TEST(DegradedIoModel, FaultFreeRunsAreDeterministicAndClean) {
+  io::Testbed tb = io::Testbed::dl585();
+  model::IoModelConfig config;
+  config.repetitions = 20;
+  const auto a =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceRead, config);
+  const auto b =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceRead, config);
+  EXPECT_FALSE(a.degraded);
+  ASSERT_EQ(a.bw.size(), b.bw.size());
+  for (std::size_t i = 0; i < a.bw.size(); ++i) {
+    EXPECT_EQ(a.bw[i], b.bw[i]) << i;
+    EXPECT_TRUE(a.outcomes[i].ok) << i;
+    EXPECT_DOUBLE_EQ(a.outcomes[i].confidence, 1.0) << i;
+  }
+}
+
+// --- robust scheduling: hop-distance fallback -----------------------------
+
+class RobustSchedulerTest : public ::testing::Test {
+ protected:
+  RobustSchedulerTest() : tb_(io::Testbed::dl585()) {
+    model::CharacterizeConfig config;
+    config.iomodel.repetitions = 5;
+    model_ = model::characterize_host(tb_.host(), config);
+  }
+
+  std::vector<sim::Gbps> class_values(topo::NodeId target,
+                                      Direction dir) const {
+    return model_.classes_for(target, dir).class_avg;
+  }
+
+  io::Testbed tb_;
+  model::HostModel model_;
+};
+
+TEST_F(RobustSchedulerTest, HealthyModelMatchesPlainSpread) {
+  const auto values = class_values(7, Direction::kDeviceWrite);
+  const auto robust = model::schedule_robust(
+      model_, tb_.machine().topology(), 7, Direction::kDeviceWrite, values,
+      8);
+  EXPECT_FALSE(robust.used_fallback);
+  EXPECT_TRUE(robust.reason.empty());
+  const auto spread = model::schedule_spread(
+      model_.classes_for(7, Direction::kDeviceWrite), values, 8);
+  EXPECT_EQ(robust.placement.nodes, spread.nodes);
+}
+
+TEST_F(RobustSchedulerTest, StaleModelFallsBackToHopDistance) {
+  model_.stale = true;
+  const auto values = class_values(7, Direction::kDeviceWrite);
+  const auto robust = model::schedule_robust(
+      model_, tb_.machine().topology(), 7, Direction::kDeviceWrite, values,
+      6);
+  EXPECT_TRUE(robust.used_fallback);
+  EXPECT_EQ(robust.reason, "model marked stale");
+  // Fallback spreads over the local+neighbour hop class only.
+  const auto hops =
+      model::classify_by_hops(tb_.machine().topology(), 7).classes.front();
+  ASSERT_EQ(robust.placement.nodes.size(), 6u);
+  for (topo::NodeId n : robust.placement.nodes) {
+    EXPECT_NE(std::find(hops.begin(), hops.end(), n), hops.end()) << n;
+  }
+}
+
+TEST_F(RobustSchedulerTest, AbortedOrLowConfidenceProbesFallBack) {
+  const auto values = class_values(7, Direction::kDeviceWrite);
+  {
+    model::HostModel m = model_;
+    m.write_models[7].outcomes[3].ok = false;
+    const auto robust = model::schedule_robust(
+        m, tb_.machine().topology(), 7, Direction::kDeviceWrite, values, 4);
+    EXPECT_TRUE(robust.used_fallback);
+    EXPECT_EQ(robust.reason, "a model probe aborted");
+  }
+  {
+    model::HostModel m = model_;
+    m.write_models[7].outcomes[1].confidence = 0.2;
+    const auto robust = model::schedule_robust(
+        m, tb_.machine().topology(), 7, Direction::kDeviceWrite, values, 4);
+    EXPECT_TRUE(robust.used_fallback);
+    EXPECT_EQ(robust.reason, "a model probe reported low confidence");
+  }
+}
+
+TEST_F(RobustSchedulerTest, UnusableClassValuesFallBack) {
+  const std::vector<sim::Gbps> zeros(
+      static_cast<std::size_t>(
+          model_.classes_for(7, Direction::kDeviceWrite).num_classes()),
+      0.0);
+  const auto robust = model::schedule_robust(
+      model_, tb_.machine().topology(), 7, Direction::kDeviceWrite, zeros,
+      4);
+  EXPECT_TRUE(robust.used_fallback);
+  EXPECT_EQ(robust.reason, "no usable class probe values");
+
+  const std::vector<sim::Gbps> mismatched{10.0};
+  const auto robust2 = model::schedule_robust(
+      model_, tb_.machine().topology(), 7, Direction::kDeviceWrite,
+      mismatched, 4);
+  EXPECT_TRUE(robust2.used_fallback);
+  EXPECT_EQ(robust2.reason, "class value count mismatch");
+}
+
+// --- drift detection & versioned stale marking ----------------------------
+
+TEST(DriftTest, SteadyHostShowsNoDrift) {
+  io::Testbed tb = io::Testbed::dl585();
+  model::CharacterizeConfig config;
+  config.iomodel.repetitions = 5;
+  model::HostModel model = model::characterize_host(tb.host(), config);
+
+  model::DriftConfig drift;
+  drift.iomodel.repetitions = 5;  // matches the stored model's measurement
+  const auto report = model::check_drift(tb.host(), model, 7,
+                                         Direction::kDeviceWrite, drift);
+  EXPECT_FALSE(report.drifted);
+  EXPECT_FALSE(model.stale);
+  EXPECT_FALSE(report.notes.empty());
+}
+
+TEST(DriftTest, DriftMarksStaleAndRefreshBumpsRevision) {
+  io::Testbed tb = io::Testbed::dl585();
+  model::CharacterizeConfig config;
+  config.iomodel.repetitions = 5;
+  model::HostModel model = model::characterize_host(tb.host(), config);
+  EXPECT_EQ(model.revision, 1);
+
+  // Corrupt the stored write model of node 7: the fresh re-probe will
+  // deviate ~33% from these inflated values.
+  for (double& bw : model.write_models[7].bw) bw *= 1.5;
+
+  model::DriftConfig drift;
+  drift.iomodel.repetitions = 5;
+  const auto report = model::check_drift(tb.host(), model, 7,
+                                         Direction::kDeviceWrite, drift);
+  EXPECT_TRUE(report.drifted);
+  EXPECT_TRUE(model.stale);
+  bool flagged = false;
+  for (const std::string& note : report.notes) {
+    if (note.find("DRIFT") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+
+  EXPECT_TRUE(model::refresh_if_drifted(tb.host(), model, config, drift));
+  EXPECT_EQ(model.revision, 2);
+  EXPECT_FALSE(model.stale);
+  // And the refreshed model is healthy again: no further drift.
+  EXPECT_FALSE(model::refresh_if_drifted(tb.host(), model, config, drift));
+  EXPECT_EQ(model.revision, 2);
+}
+
+TEST(DriftTest, StatusRecordRoundTripsAndDefaultsStayImplicit) {
+  io::Testbed tb = io::Testbed::dl585();
+  model::CharacterizeConfig config;
+  config.iomodel.repetitions = 3;
+  model::HostModel model = model::characterize_host(tb.host(), config);
+
+  // Default revision/fresh: no status record in the serialized form.
+  EXPECT_EQ(model::serialize(model).find("status"), std::string::npos);
+
+  model.revision = 3;
+  model.stale = true;
+  const std::string text = model::serialize(model);
+  EXPECT_NE(text.find("status 3 stale"), std::string::npos);
+  const model::HostModel parsed = model::parse_host_model(text);
+  EXPECT_EQ(parsed.revision, 3);
+  EXPECT_TRUE(parsed.stale);
+  EXPECT_EQ(model::serialize(parsed), text);
+}
+
+// --- online scheduling under faults ---------------------------------------
+
+class OnlineDegradedTest : public ::testing::Test {
+ protected:
+  OnlineDegradedTest()
+      : tb_(io::Testbed::dl585()),
+        write_model_(model::build_iomodel(tb_.host(), 7,
+                                          Direction::kDeviceWrite)),
+        read_model_(model::build_iomodel(tb_.host(), 7,
+                                         Direction::kDeviceRead)),
+        write_classes_(
+            model::classify(write_model_, tb_.machine().topology())),
+        read_classes_(
+            model::classify(read_model_, tb_.machine().topology())) {}
+
+  io::Testbed tb_;
+  model::IoModelResult write_model_;
+  model::IoModelResult read_model_;
+  model::Classification write_classes_;
+  model::Classification read_classes_;
+};
+
+TEST_F(OnlineDegradedTest, SpreadAvoidsThrottledPoolNodes) {
+  model::WorkloadConfig wc;
+  wc.num_tasks = 16;
+  wc.engine_mix = {io::kRdmaWrite, io::kRdmaRead};
+  const auto tasks = model::generate_workload(wc);
+
+  model::OnlineConfig config;
+  config.policy = model::OnlinePolicy::kModelSpread;
+  config.class_tolerance = 1.0;  // pool = every node, including node 0
+
+  // Fault-free: round-robin over the full pool lands tasks on node 0.
+  model::OnlineScheduler plain(tb_.host(), tb_.nic(), write_classes_,
+                               read_classes_, config);
+  const auto baseline = plain.run(tasks);
+  bool used_node0 = false;
+  for (const auto& t : baseline.tasks) used_node0 |= (t.first_node == 0);
+  EXPECT_TRUE(used_node0);
+
+  // Node 0's memory controller is throttled for the whole run: the
+  // model-driven policy must steer around it.
+  faults::FaultPlan plan;
+  plan.add(mc_throttle(0, 0.0, 1.0e15, 0.9));
+  faults::FaultInjector injector(tb_.machine(), std::move(plan));
+  model::OnlineScheduler degraded(tb_.host(), tb_.nic(), write_classes_,
+                                  read_classes_, config);
+  degraded.set_fault_injector(&injector);
+  const auto report = degraded.run(tasks);
+  for (const auto& t : report.tasks) {
+    EXPECT_NE(t.first_node, 0);
+    EXPECT_GT(t.completion, t.arrival);
+  }
+}
+
+TEST_F(OnlineDegradedTest, AdaptiveMigratesOffANodeDegradedMidRun) {
+  // One long task: adaptive placement is stable while the machine is
+  // healthy, so any migration is attributable to the injected fault.
+  std::vector<model::IoTask> tasks(1);
+  tasks[0].engine = io::kRdmaRead;
+  tasks[0].bytes = 64 * sim::kGiB;
+  tasks[0].arrival = 0.0;
+
+  model::OnlineConfig config;
+  config.policy = model::OnlinePolicy::kModelAdaptive;
+
+  model::OnlineScheduler plain(tb_.host(), tb_.nic(), write_classes_,
+                               read_classes_, config);
+  const auto baseline = plain.run(tasks);
+  EXPECT_EQ(baseline.total_migrations, 0);
+  const topo::NodeId home = baseline.tasks[0].first_node;
+
+  // Degrade the chosen node shortly after launch; the task must move away
+  // at its next chunk boundary.
+  faults::FaultPlan plan;
+  plan.add(mc_throttle(home, 0.05e9, 1.0e15, 0.9));
+  faults::FaultInjector injector(tb_.machine(), std::move(plan));
+  model::OnlineScheduler degraded(tb_.host(), tb_.nic(), write_classes_,
+                                  read_classes_, config);
+  degraded.set_fault_injector(&injector);
+  const auto report = degraded.run(tasks);
+  EXPECT_EQ(report.tasks[0].first_node, home);  // placed before the fault
+  EXPECT_GE(report.total_migrations, 1);
+  EXPECT_GT(report.tasks[0].completion, 0.0);
+}
+
+}  // namespace
+}  // namespace numaio

@@ -1,0 +1,271 @@
+// Fault subsystem tests: plan validation, seeded-plan determinism,
+// injector transition scheduling, pure state queries, machine restoration
+// and — the headline guarantee — byte-identical traces and results across
+// same-seed runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "io/fio.h"
+#include "io/nic.h"
+#include "io/testbed.h"
+
+namespace numaio::faults {
+namespace {
+
+FaultEvent mc_throttle(NodeId node, sim::Ns start, sim::Ns dur, double sev) {
+  FaultEvent e;
+  e.kind = FaultKind::kMcThrottle;
+  e.node = node;
+  e.start = start;
+  e.duration = dur;
+  e.severity = sev;
+  return e;
+}
+
+FaultEvent link_degrade(NodeId src, NodeId dst, sim::Ns start, sim::Ns dur,
+                        double sev) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDegrade;
+  e.src = src;
+  e.dst = dst;
+  e.start = start;
+  e.duration = dur;
+  e.severity = sev;
+  return e;
+}
+
+FaultEvent noise(sim::Ns start, sim::Ns dur, double amp_minus_one) {
+  FaultEvent e;
+  e.kind = FaultKind::kMeasureNoise;
+  e.start = start;
+  e.duration = dur;
+  e.severity = amp_minus_one;
+  return e;
+}
+
+TEST(FaultPlanTest, KindNames) {
+  EXPECT_STREQ(to_string(FaultKind::kLinkDegrade), "link-degrade");
+  EXPECT_STREQ(to_string(FaultKind::kLinkFlap), "link-flap");
+  EXPECT_STREQ(to_string(FaultKind::kMcThrottle), "mc-throttle");
+  EXPECT_STREQ(to_string(FaultKind::kDeviceStall), "device-stall");
+  EXPECT_STREQ(to_string(FaultKind::kIrqStorm), "irq-storm");
+  EXPECT_STREQ(to_string(FaultKind::kMeasureNoise), "measure-noise");
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministic) {
+  const FaultPlan a = FaultPlan::random(99, 8, 3);
+  const FaultPlan b = FaultPlan::random(99, 8, 3);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.events().size(), 4u);  // default num_events
+  const FaultPlan c = FaultPlan::random(100, 8, 3);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultPlanTest, RandomPlanSkipsDeviceStallsWithoutDevices) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    RandomPlanConfig config;
+    config.num_events = 12;
+    const FaultPlan plan = FaultPlan::random(seed, 8, 0, config);
+    for (const FaultEvent& e : plan.events()) {
+      EXPECT_NE(e.kind, FaultKind::kDeviceStall);
+    }
+    plan.validate(8, 0);  // must not throw
+  }
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedEvents) {
+  {
+    FaultPlan p;
+    p.add(mc_throttle(5, -1.0, 1e9, 0.5));  // negative start
+    EXPECT_THROW(p.validate(8, 0), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.add(mc_throttle(5, 0.0, 0.0, 0.5));  // zero duration
+    EXPECT_THROW(p.validate(8, 0), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.add(mc_throttle(8, 0.0, 1e9, 0.5));  // node out of range
+    EXPECT_THROW(p.validate(8, 0), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.add(link_degrade(3, 3, 0.0, 1e9, 0.5));  // src == dst
+    EXPECT_THROW(p.validate(8, 0), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.add(mc_throttle(5, 0.0, 1e9, 1.5));  // severity > 1
+    EXPECT_THROW(p.validate(8, 0), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    FaultEvent e;
+    e.kind = FaultKind::kDeviceStall;
+    e.device = 1;  // only device 0 exists
+    e.start = 0.0;
+    e.duration = 1e9;
+    p.add(e);
+    EXPECT_THROW(p.validate(8, 1), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    FaultEvent e = link_degrade(0, 1, 0.0, 1e9, 0.5);
+    e.kind = FaultKind::kLinkFlap;
+    e.flaps = 0;  // flap count must be >= 1
+    p.add(e);
+    EXPECT_THROW(p.validate(8, 0), std::invalid_argument);
+  }
+}
+
+TEST(FaultInjectorTest, TransitionTimesAndActivityWindows) {
+  io::Testbed tb = io::Testbed::dl585();
+  FaultPlan plan;
+  plan.add(mc_throttle(5, 1.0e9, 2.0e9, 0.5));
+  FaultInjector injector(tb.machine(), std::move(plan));
+
+  EXPECT_DOUBLE_EQ(injector.next_transition_after(0.0), 1.0e9);
+  EXPECT_DOUBLE_EQ(injector.next_transition_after(1.0e9), 3.0e9);
+  EXPECT_TRUE(std::isinf(injector.next_transition_after(3.0e9)));
+
+  EXPECT_FALSE(injector.any_capacity_fault_active(0.5e9));
+  EXPECT_TRUE(injector.any_capacity_fault_active(2.0e9));
+  EXPECT_FALSE(injector.any_capacity_fault_active(3.5e9));
+}
+
+TEST(FaultInjectorTest, DegradedNodesAreSortedAndUnique) {
+  io::Testbed tb = io::Testbed::dl585();
+  FaultPlan plan;
+  plan.add(mc_throttle(5, 0.0, 10.0e9, 0.5));
+  plan.add(link_degrade(2, 5, 0.0, 10.0e9, 0.5));  // 5 appears twice
+  FaultInjector injector(tb.machine(), std::move(plan));
+  const std::vector<NodeId> degraded = injector.degraded_nodes(1.0e9);
+  EXPECT_EQ(degraded, (std::vector<NodeId>{2, 5}));
+  EXPECT_TRUE(injector.degraded_nodes(20.0e9).empty());
+}
+
+TEST(FaultInjectorTest, NoiseAmplificationComposesMultiplicatively) {
+  io::Testbed tb = io::Testbed::dl585();
+  FaultPlan plan;
+  plan.add(noise(0.0, 4.0e9, 1.0));   // amp 2x over [0, 4s)
+  plan.add(noise(2.0e9, 4.0e9, 0.5));  // amp 1.5x over [2s, 6s)
+  FaultInjector injector(tb.machine(), std::move(plan));
+  EXPECT_DOUBLE_EQ(injector.noise_amplification(1.0e9), 2.0);
+  EXPECT_DOUBLE_EQ(injector.noise_amplification(3.0e9), 3.0);
+  EXPECT_DOUBLE_EQ(injector.noise_amplification(5.0e9), 1.5);
+  EXPECT_DOUBLE_EQ(injector.noise_amplification(7.0e9), 1.0);
+  // Noise never counts as a capacity fault.
+  EXPECT_FALSE(injector.any_capacity_fault_active(3.0e9));
+}
+
+TEST(FaultInjectorTest, DeviceRegistrationAndStallQueries) {
+  io::Testbed tb = io::Testbed::dl585();
+  FaultPlan plan;
+  FaultEvent e;
+  e.kind = FaultKind::kDeviceStall;
+  e.device = 0;
+  e.start = 2.0e9;
+  e.duration = 1.0e9;
+  plan.add(e);
+  FaultInjector injector(tb.machine(), std::move(plan));
+  const int idx = injector.register_device(tb.nic().name(),
+                                           tb.nic().attach_node(),
+                                           tb.nic().fault_resources());
+  EXPECT_EQ(idx, 0);
+  EXPECT_EQ(injector.device_index(tb.nic().name()), 0);
+  EXPECT_EQ(injector.device_index("no-such-device"), -1);
+  EXPECT_FALSE(injector.device_stalled(0, 1.0e9));
+  EXPECT_TRUE(injector.device_stalled(0, 2.5e9));
+  EXPECT_FALSE(injector.device_stalled(0, 3.5e9));
+  // The stalled device's attach node reads as degraded.
+  const auto degraded = injector.degraded_nodes(2.5e9);
+  EXPECT_TRUE(std::binary_search(degraded.begin(), degraded.end(),
+                                 tb.nic().attach_node()));
+}
+
+TEST(FaultInjectorTest, FlapAppliesOnePairPerDeadWindow) {
+  io::Testbed tb = io::Testbed::dl585();
+  FaultPlan plan;
+  FaultEvent e = link_degrade(0, 1, 1.0e9, 6.0e9, 1.0);
+  e.kind = FaultKind::kLinkFlap;
+  e.flaps = 3;
+  plan.add(e);
+  FaultInjector injector(tb.machine(), std::move(plan));
+  injector.advance_to(100.0e9);
+  const std::string trace = injector.trace_to_string();
+  const auto lines = std::count(trace.begin(), trace.end(), '\n');
+  EXPECT_EQ(lines, 6);  // three on/off pairs
+  injector.restore();
+}
+
+TEST(FaultInjectorTest, RestoreReturnsTheMachineToHealthy) {
+  io::Testbed tb = io::Testbed::dl585();
+  io::FioJob job;
+  job.devices = {&tb.nic()};
+  job.engine = io::kRdmaRead;
+  job.cpu_node = 2;
+  job.num_streams = 2;
+  job.bytes_per_stream = 4 * sim::kGiB;
+
+  io::FioRunner fio(tb.host());
+  const double healthy = fio.run(job).aggregate;
+
+  FaultPlan plan;
+  plan.add(mc_throttle(2, 0.0, 1.0e12, 0.9));
+  FaultInjector injector(tb.machine(), std::move(plan));
+  injector.advance_to(10.0e9);
+  injector.restore();
+
+  EXPECT_DOUBLE_EQ(fio.run(job).aggregate, healthy);
+}
+
+TEST(FaultInjectorTest, SameSeedRunsAreByteIdentical) {
+  auto run_once = [](std::string* trace) {
+    io::Testbed tb = io::Testbed::dl585();
+    FaultPlan plan = FaultPlan::random(42, tb.machine().num_nodes(), 1);
+    FaultInjector injector(tb.machine(), std::move(plan));
+    injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                             tb.nic().fault_resources());
+    io::FioJob job;
+    job.devices = {&tb.nic()};
+    job.engine = io::kRdmaRead;
+    job.cpu_node = 2;
+    job.num_streams = 4;
+    job.bytes_per_stream = 40 * sim::kGiB;
+    job.retry.timeout = 30.0e9;
+    io::FioRunner fio(tb.host());
+    fio.set_fault_injector(&injector);
+    const io::FioResult result = fio.run(job);
+    *trace = injector.trace_to_string();
+    return result;
+  };
+  std::string trace_a, trace_b;
+  const io::FioResult a = run_once(&trace_a);
+  const io::FioResult b = run_once(&trace_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(a.aggregate, b.aggregate);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.aborted_streams, b.aborted_streams);
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (std::size_t s = 0; s < a.streams.size(); ++s) {
+    EXPECT_EQ(a.streams[s].avg_rate, b.streams[s].avg_rate) << s;
+    EXPECT_EQ(a.streams[s].bytes_moved, b.streams[s].bytes_moved) << s;
+    EXPECT_EQ(a.streams[s].outcome.retries, b.streams[s].outcome.retries)
+        << s;
+    EXPECT_EQ(a.streams[s].outcome.confidence,
+              b.streams[s].outcome.confidence)
+        << s;
+  }
+}
+
+}  // namespace
+}  // namespace numaio::faults

@@ -100,5 +100,73 @@ TEST_P(ParserFuzz, TraceNeverCrashes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Values(11u, 22u, 33u, 44u));
 
+// --- deterministic job-file edge cases ------------------------------------
+
+void expect_rejected(const std::string& doc, const std::string& needle) {
+  try {
+    io::parse_job_file(doc);
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JobFileEdgeCases, DuplicateOptionInOneSectionRejected) {
+  expect_rejected(
+      "[a]\nioengine=rdma\nrw=read\ncpunodebind=2\nsize=400g\nsize=4g\n",
+      "duplicate option 'size'");
+}
+
+TEST(JobFileEdgeCases, GlobalOverrideIsNotADuplicate) {
+  const auto file = io::parse_job_file(
+      "[global]\nioengine=rdma\nrw=read\nsize=400g\n"
+      "[a]\ncpunodebind=2\nsize=4g\n");
+  ASSERT_EQ(file.jobs.size(), 1u);
+  EXPECT_EQ(file.jobs[0].job.bytes_per_stream, 4 * sim::kGiB);
+}
+
+TEST(JobFileEdgeCases, EmptySectionInheritsEverythingFromGlobal) {
+  const auto file = io::parse_job_file(
+      "[global]\nioengine=tcp\nrw=write\ncpunodebind=3\n[solo]\n");
+  ASSERT_EQ(file.jobs.size(), 1u);
+  EXPECT_EQ(file.jobs[0].name, "solo");
+  EXPECT_EQ(file.jobs[0].job.cpu_node, 3);
+}
+
+TEST(JobFileEdgeCases, EmptyAndDuplicateSectionNamesRejected) {
+  expect_rejected("[  ]\nioengine=rdma\n", "empty section name");
+  expect_rejected(
+      "[a]\nioengine=rdma\nrw=read\ncpunodebind=1\n"
+      "[a]\ncpunodebind=2\n",
+      "duplicate section [a]");
+}
+
+TEST(JobFileEdgeCases, IodepthRangeEnforced) {
+  expect_rejected("[a]\niodepth=0\n", "'iodepth' out of range");
+  expect_rejected("[a]\niodepth=5000\n", "'iodepth' out of range");
+  expect_rejected("[a]\niodepth=16abc\n", "wants an integer");
+}
+
+TEST(JobFileEdgeCases, BlockSizeRangeEnforced) {
+  expect_rejected("[a]\nbs=256\n", "'bs' out of range");  // < one sector
+  expect_rejected("[a]\nbs=2g\n", "'bs' out of range");   // > 1 GiB
+}
+
+TEST(JobFileEdgeCases, SizeOverflowRejected) {
+  expect_rejected("[a]\nsize=99999999999999999999\n", "overflows 64 bits");
+  expect_rejected("[a]\nsize=99999999999g\n", "overflows 64 bits");
+}
+
+TEST(JobFileEdgeCases, LineNumbersPointAtTheOffendingLine) {
+  try {
+    io::parse_job_file("[a]\nioengine=rdma\niodepth=-1\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace numaio

@@ -12,14 +12,20 @@
 //
 // Everything runs against the simulated DL585 testbed; on real hardware
 // the same library calls would sit on top of libnuma (see DESIGN.md).
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
 #include "io/jobfile.h"
+#include "io/nic.h"
 #include "io/trace.h"
 #include "io/testbed.h"
 #include "mem/membench.h"
@@ -36,6 +42,23 @@ namespace {
 
 using namespace numaio;
 
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 missing or
+// unreadable file, 4 malformed input file. Scripts can branch on them.
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitNoFile = 3;
+constexpr int kExitParse = 4;
+
+/// Bad flags / missing operands; main() maps it to exit code 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Missing or unreadable input file; main() maps it to exit code 3.
+struct FileError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 int usage() {
   std::printf(
       "usage: numaio_cli <command> [options]\n"
@@ -49,12 +72,16 @@ int usage() {
       "                                   inspect a saved host model\n"
       "  demo [--node N]                  numademo policy table\n"
       "  fio <jobfile>                    run a fio-format job file\n"
+      "  faults [--seed S] [--events N] [--jobfile FILE]\n"
+      "                                   run I/O under an injected fault plan\n"
       "  replay <trace.csv>               replay a transfer trace\n"
       "  validate [--reps N]              check the methodology end to end\n"
       "  asymmetry [--target N] [--min-ratio R]\n"
       "                                   hunt directional asymmetries\n"
-      "  help                             this text\n");
-  return 2;
+      "  help                             this text\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 unreadable file,\n"
+      "            4 malformed input file\n");
+  return kExitUsage;
 }
 
 std::string flag_value(const std::vector<std::string>& args,
@@ -63,6 +90,62 @@ std::string flag_value(const std::vector<std::string>& args,
     if (args[i] == flag) return args[i + 1];
   }
   return fallback;
+}
+
+/// Integer flag with a one-line actionable error instead of a bare stoi
+/// exception escaping as a generic runtime failure.
+int int_flag(const std::vector<std::string>& args, const std::string& flag,
+             int fallback) {
+  const std::string text =
+      flag_value(args, flag, std::to_string(fallback));
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(flag + " wants an integer, got '" + text + "'");
+  }
+}
+
+double double_flag(const std::vector<std::string>& args,
+                   const std::string& flag, double fallback) {
+  const std::string text = flag_value(args, flag, "");
+  if (text.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(flag + " wants a number, got '" + text + "'");
+  }
+}
+
+std::uint64_t u64_flag(const std::vector<std::string>& args,
+                       const std::string& flag, std::uint64_t fallback) {
+  const std::string text =
+      flag_value(args, flag, std::to_string(fallback));
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(flag + " wants an unsigned integer, got '" + text +
+                     "'");
+  }
+}
+
+/// Slurps a file or throws FileError with the OS reason attached.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw FileError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
 }
 
 int cmd_hardware(io::Testbed& tb) {
@@ -81,7 +164,7 @@ int cmd_stream_matrix(io::Testbed& tb) {
 }
 
 int cmd_iomodel(io::Testbed& tb, const std::vector<std::string>& args) {
-  const int target = std::stoi(flag_value(args, "--target", "7"));
+  const int target = int_flag(args, "--target", 7);
   const std::string dir = flag_value(args, "--direction", "write");
   if (target < 0 || target >= tb.machine().num_nodes()) {
     std::fprintf(stderr, "iomodel: target node out of range\n");
@@ -120,7 +203,7 @@ int cmd_iomodel(io::Testbed& tb, const std::vector<std::string>& args) {
 }
 
 int cmd_demo(io::Testbed& tb, const std::vector<std::string>& args) {
-  const int node = std::stoi(flag_value(args, "--node", "7"));
+  const int node = int_flag(args, "--node", 7);
   if (node < 0 || node >= tb.machine().num_nodes()) {
     std::fprintf(stderr, "demo: node out of range\n");
     return 2;
@@ -149,8 +232,7 @@ void print_classes(const model::Classification& classes) {
 
 int cmd_characterize(io::Testbed& tb, const std::vector<std::string>& args) {
   model::CharacterizeConfig config;
-  config.iomodel.repetitions =
-      std::stoi(flag_value(args, "--reps", "100"));
+  config.iomodel.repetitions = int_flag(args, "--reps", 100);
   const model::HostModel host_model = model::characterize_host(
       tb.host(), config);
   std::printf("characterized %s: %d nodes, both directions\n",
@@ -181,15 +263,8 @@ int cmd_classes(const std::vector<std::string>& args) {
     std::fprintf(stderr, "classes: --in FILE is required\n");
     return 2;
   }
-  std::ifstream file(in);
-  if (!file) {
-    std::fprintf(stderr, "classes: cannot open '%s'\n", in.c_str());
-    return 2;
-  }
-  std::ostringstream text;
-  text << file.rdbuf();
-  const model::HostModel host_model = model::parse_host_model(text.str());
-  const int target = std::stoi(flag_value(args, "--target", "7"));
+  const model::HostModel host_model = model::parse_host_model(read_file(in));
+  const int target = int_flag(args, "--target", 7);
   const std::string dir = flag_value(args, "--direction", "read");
   if (target < 0 || target >= host_model.num_nodes) {
     std::fprintf(stderr, "classes: target out of range\n");
@@ -204,8 +279,8 @@ int cmd_classes(const std::vector<std::string>& args) {
 }
 
 int cmd_asymmetry(io::Testbed& tb, const std::vector<std::string>& args) {
-  const int target = std::stoi(flag_value(args, "--target", "7"));
-  const double min_ratio = std::stod(flag_value(args, "--min-ratio", "1.15"));
+  const int target = int_flag(args, "--target", 7);
+  const double min_ratio = double_flag(args, "--min-ratio", 1.15);
   if (target < 0 || target >= tb.machine().num_nodes()) {
     std::fprintf(stderr, "asymmetry: target out of range\n");
     return 2;
@@ -225,7 +300,7 @@ int cmd_asymmetry(io::Testbed& tb, const std::vector<std::string>& args) {
 
 int cmd_validate(io::Testbed& tb, const std::vector<std::string>& args) {
   model::ValidateConfig config;
-  config.iomodel_repetitions = std::stoi(flag_value(args, "--reps", "100"));
+  config.iomodel_repetitions = int_flag(args, "--reps", 100);
   const model::ValidationReport report =
       model::validate_methodology(tb, config);
   std::printf("%s", report.to_string().c_str());
@@ -235,16 +310,9 @@ int cmd_validate(io::Testbed& tb, const std::vector<std::string>& args) {
 int cmd_replay(io::Testbed& tb, const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr, "replay: missing trace path\n");
-    return 2;
+    return kExitUsage;
   }
-  std::ifstream in(args.front());
-  if (!in) {
-    std::fprintf(stderr, "replay: cannot open '%s'\n", args.front().c_str());
-    return 2;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  const auto entries = io::parse_trace(text.str());
+  const auto entries = io::parse_trace(read_file(args.front()));
   const auto jobs = io::trace_to_jobs(entries, &tb.nic(), tb.ssds());
   io::FioRunner fio(tb.host());
   const auto results = fio.run_timed(jobs);
@@ -270,20 +338,12 @@ int cmd_replay(io::Testbed& tb, const std::vector<std::string>& args) {
 int cmd_fio(io::Testbed& tb, const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr, "fio: missing job file path\n");
-    return 2;
+    return kExitUsage;
   }
-  std::ifstream in(args.front());
-  if (!in) {
-    std::fprintf(stderr, "fio: cannot open '%s'\n", args.front().c_str());
-    return 2;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-
   io::DeviceSet set;
   set.nic = &tb.nic();
   set.ssds = tb.ssds();
-  const io::JobFile file = io::parse_job_file(text.str());
+  const io::JobFile file = io::parse_job_file(read_file(args.front()));
   const auto jobs = io::resolve_jobs(file, set);
 
   io::FioRunner fio(tb.host());
@@ -298,6 +358,80 @@ int cmd_fio(io::Testbed& tb, const std::vector<std::string>& args) {
     std::printf("%-20s %53.3f Gbps\n", "combined",
                 io::combined_aggregate(results));
   }
+  return 0;
+}
+
+int cmd_faults(io::Testbed& tb, const std::vector<std::string>& args) {
+  const std::uint64_t seed = u64_flag(args, "--seed", 42);
+  const int events = int_flag(args, "--events", 4);
+  if (events < 1) throw UsageError("--events wants a positive count");
+
+  faults::RandomPlanConfig plan_config;
+  plan_config.num_events = events;
+  const int num_devices = 1 + static_cast<int>(tb.ssds().size());
+  faults::FaultPlan plan = faults::FaultPlan::random(
+      seed, tb.machine().num_nodes(), num_devices, plan_config);
+  std::printf("fault plan (seed %llu, %d events):\n%s",
+              static_cast<unsigned long long>(seed), events,
+              plan.to_string().c_str());
+
+  faults::FaultInjector injector(tb.machine(), std::move(plan));
+  injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                           tb.nic().fault_resources());
+  for (const io::PcieDevice* ssd : tb.ssds()) {
+    injector.register_device(ssd->name(), ssd->attach_node(),
+                             ssd->fault_resources());
+  }
+
+  std::vector<io::FioJob> jobs;
+  std::vector<std::string> names;
+  const std::string jobfile = flag_value(args, "--jobfile", "");
+  if (!jobfile.empty()) {
+    io::DeviceSet set;
+    set.nic = &tb.nic();
+    set.ssds = tb.ssds();
+    const io::JobFile file = io::parse_job_file(read_file(jobfile));
+    jobs = io::resolve_jobs(file, set);
+    for (const auto& job : file.jobs) names.push_back(job.name);
+  } else {
+    io::FioJob job;
+    job.devices = {&tb.nic()};
+    job.engine = io::kRdmaRead;
+    job.cpu_node = 2;
+    job.num_streams = 4;
+    job.bytes_per_stream = 40 * sim::kGiB;
+    jobs.push_back(job);
+    names.emplace_back("degraded-rdma");
+  }
+  // Degraded-mode runs need a per-attempt budget; leave explicit jobfile
+  // timeouts alone but give timeout-less jobs a 30 s one so stalls abort
+  // and retry instead of hanging the stream forever.
+  for (io::FioJob& job : jobs) {
+    if (job.retry.timeout <= 0.0) job.retry.timeout = 30.0e9;
+  }
+
+  io::FioRunner fio(tb.host());
+  fio.set_fault_injector(&injector);
+  const auto results = fio.run_concurrent(jobs);
+  std::printf("\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const io::FioResult& r = results[i];
+    std::printf("%-20s engine=%-10s node=%d  %8.3f Gbps  %s"
+                " (retries %d, aborted %d/%zu)\n",
+                names[i].c_str(), jobs[i].engine.c_str(), jobs[i].cpu_node,
+                r.aggregate, r.degraded ? "DEGRADED" : "clean",
+                r.total_retries, r.aborted_streams, r.streams.size());
+    for (std::size_t s = 0; s < r.streams.size(); ++s) {
+      const io::FioStreamStats& st = r.streams[s];
+      std::printf("  stream %zu: mem node %d  %7.3f Gbps  %6.1f GiB  %s\n",
+                  s, st.mem_node, st.avg_rate,
+                  static_cast<double>(st.bytes_moved) /
+                      static_cast<double>(sim::kGiB),
+                  sim::to_string(st.outcome).c_str());
+    }
+  }
+  std::printf("\napplied fault transitions:\n%s",
+              injector.trace_to_string().c_str());
   return 0;
 }
 
@@ -320,14 +454,29 @@ int main(int argc, char** argv) {
     if (cmd == "iomodel") return cmd_iomodel(tb, args);
     if (cmd == "demo") return cmd_demo(tb, args);
     if (cmd == "fio") return cmd_fio(tb, args);
+    if (cmd == "faults") return cmd_faults(tb, args);
     if (cmd == "characterize") return cmd_characterize(tb, args);
     if (cmd == "classes") return cmd_classes(args);
     if (cmd == "replay") return cmd_replay(tb, args);
     if (cmd == "validate") return cmd_validate(tb, args);
     if (cmd == "asymmetry") return cmd_asymmetry(tb, args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
+    return kExitUsage;
+  } catch (const FileError& e) {
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
+    return kExitNoFile;
+  } catch (const std::invalid_argument& e) {
+    // Parsers (jobfile, host model, trace) throw invalid_argument with a
+    // line number attached — malformed input, not a tool failure.
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
+    return kExitParse;
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
+    return kExitParse;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
-    return 1;
+    return kExitRuntime;
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return usage();
