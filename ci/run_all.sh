@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full CI pipeline. Usage: ci/run_all.sh [build-dir]
+#
+# 1. configure + build the default tree,
+# 2. run the full ctest suite,
+# 3. check the public API surface (ci/check_api.sh),
+# 4. rebuild and re-test under ASan+UBSan (ci/sanitize.sh).
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build-ci"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+"$ROOT/ci/check_api.sh"
+"$ROOT/ci/sanitize.sh" "$BUILD_DIR-sanitize"
+
+echo "run_all: build, tests, API check and sanitizers all green"

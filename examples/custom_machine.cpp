@@ -8,11 +8,7 @@
 // weaker class that even shows through the device ceiling.
 #include <cstdio>
 
-#include "fabric/calibration.h"
-#include "io/fio.h"
-#include "io/nic.h"
-#include "model/classify.h"
-#include "nm/hwloc_view.h"
+#include "numaio.h"
 
 int main() {
   using namespace numaio;

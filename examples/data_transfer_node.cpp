@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "io/testbed.h"
-#include "model/classify.h"
-#include "model/online.h"
+#include "numaio.h"
 
 namespace {
 

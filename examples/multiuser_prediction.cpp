@@ -8,9 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "io/testbed.h"
-#include "model/classify.h"
-#include "model/predictor.h"
+#include "numaio.h"
 
 int main() {
   using namespace numaio;

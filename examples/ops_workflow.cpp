@@ -11,10 +11,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "io/testbed.h"
-#include "io/trace.h"
-#include "model/characterize.h"
-#include "model/mitigate.h"
+#include "numaio.h"
 
 int main() {
   using namespace numaio;

@@ -10,9 +10,7 @@
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "io/testbed.h"
-#include "model/classify.h"
-#include "model/predictor.h"
+#include "numaio.h"
 
 int main() {
   using namespace numaio;

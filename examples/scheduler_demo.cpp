@@ -9,9 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "io/testbed.h"
-#include "model/classify.h"
-#include "model/scheduler.h"
+#include "numaio.h"
 
 namespace {
 

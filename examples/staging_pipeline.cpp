@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "io/testbed.h"
+#include "numaio.h"
 
 int main() {
   using namespace numaio;

@@ -7,13 +7,7 @@
 // candidate layouts.
 #include <cstdio>
 
-#include "fabric/calibration.h"
-#include "mem/membench.h"
-#include "model/inference.h"
-#include "nm/hwloc_view.h"
-#include "nm/policy.h"
-#include "topo/latency.h"
-#include "topo/presets.h"
+#include "numaio.h"
 
 int main() {
   using namespace numaio;

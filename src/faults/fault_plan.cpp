@@ -75,10 +75,20 @@ void FaultPlan::validate(int num_nodes, int num_devices) const {
 
 FaultPlan FaultPlan::random(std::uint64_t seed, int num_nodes,
                             int num_devices, const RandomPlanConfig& config) {
+  RandomPlanConfig merged = config;
+  merged.seed = seed;
+  merged.num_nodes = num_nodes;
+  merged.num_devices = num_devices;
+  return random(merged);
+}
+
+FaultPlan FaultPlan::random(const RandomPlanConfig& config) {
+  const int num_nodes = config.num_nodes;
+  const int num_devices = config.num_devices;
   if (num_nodes < 2) {
     throw std::invalid_argument("random fault plan needs >= 2 nodes");
   }
-  sim::Rng rng = sim::Rng(seed).fork(0x6661756c74u);  // "fault"
+  sim::Rng rng = sim::Rng(config.seed).fork(0x6661756c74u);  // "fault"
   FaultPlan plan;
   for (int i = 0; i < config.num_events; ++i) {
     FaultEvent e;

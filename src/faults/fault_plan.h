@@ -57,6 +57,12 @@ struct FaultEvent {
 };
 
 struct RandomPlanConfig {
+  /// Seed and host shape for the config-aggregate random() overload; the
+  /// deprecated positional overload overwrites these from its arguments.
+  std::uint64_t seed = 0;
+  int num_nodes = 0;
+  /// Device-stall events are only drawn when num_devices > 0.
+  int num_devices = 0;
   int num_events = 4;
   sim::Ns horizon = 30.0e9;         ///< Events start within [0, horizon).
   sim::Ns min_duration = 0.5e9;
@@ -81,8 +87,15 @@ class FaultPlan {
   /// node ids, negative windows, out-of-range severity, ...).
   void validate(int num_nodes, int num_devices) const;
 
-  /// A seeded random plan: identical arguments yield an identical plan.
-  /// Device-stall events are only drawn when num_devices > 0.
+  /// A seeded random plan: identical configs yield an identical plan. The
+  /// config aggregate carries the seed and host shape (seed / num_nodes /
+  /// num_devices) alongside the event-distribution knobs.
+  static FaultPlan random(const RandomPlanConfig& config);
+
+  /// Deprecated: positional seed/shape arguments predate the config
+  /// aggregate; prefer random(RandomPlanConfig). This overload copies
+  /// `config` and overwrites its seed/num_nodes/num_devices fields from
+  /// the positional arguments.
   static FaultPlan random(std::uint64_t seed, int num_nodes, int num_devices,
                           const RandomPlanConfig& config = {});
 

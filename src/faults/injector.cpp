@@ -74,6 +74,12 @@ void FaultInjector::set_stall_handler(StallHandler handler) {
   stall_handler_ = std::move(handler);
 }
 
+void FaultInjector::set_observer(obs::Context* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  m_transitions_ = obs_->metrics.counter("faults.transitions");
+}
+
 bool FaultInjector::event_active(const FaultEvent& e, sim::Ns t) const {
   if (t < e.start || t >= e.start + e.duration) return false;
   if (e.kind != FaultKind::kLinkFlap) return true;
@@ -196,6 +202,38 @@ void FaultInjector::apply_transition(std::size_t index) {
       break;
   }
   trace_.emplace_back(buf);
+
+  if (obs_ != nullptr) {
+    obs_->metrics.add(m_transitions_);
+    if (obs_->trace.enabled()) {
+      obs::EventFields fields;
+      fields.t_sim = tr.at;
+      std::string detail = to_string(e.kind);
+      switch (e.kind) {
+        case FaultKind::kLinkDegrade:
+        case FaultKind::kLinkFlap:
+          fields.node_a = e.src;
+          fields.node_b = e.dst;
+          break;
+        case FaultKind::kMcThrottle:
+        case FaultKind::kIrqStorm:
+          fields.node_a = e.node;
+          break;
+        case FaultKind::kDeviceStall:
+          if (e.device < static_cast<int>(devices_.size())) {
+            const Device& dev = devices_[static_cast<std::size_t>(e.device)];
+            fields.node_a = dev.attach_node;
+            detail += " " + dev.name;
+          }
+          break;
+        case FaultKind::kMeasureNoise:
+          break;
+      }
+      fields.detail = detail;
+      last_transition_event_ = obs_->trace.event(
+          "fault.transition", 0, 0, tr.on ? "on" : "off", fields);
+    }
+  }
 
   if (tr.on && e.kind == FaultKind::kDeviceStall && stall_handler_) {
     stall_handler_(e.device, tr.at);

@@ -28,6 +28,7 @@
 
 #include "fabric/machine.h"
 #include "faults/fault_plan.h"
+#include "obs/obs.h"
 #include "simcore/fluid_sim.h"
 
 namespace numaio::faults {
@@ -93,6 +94,18 @@ class FaultInjector {
   std::string trace_to_string() const;
   std::size_t transitions_applied() const { return cursor_; }
 
+  /// Attaches an observability context (nullptr detaches). Every applied
+  /// transition then emits a `fault.transition` instant event and bumps
+  /// `faults.transitions`; consumers correlate their abort/retry events to
+  /// the transition that caused them via last_transition_event().
+  void set_observer(obs::Context* obs);
+  /// Trace-event id of the most recently applied transition (0 when none
+  /// was recorded). The stall handler runs after the transition event is
+  /// emitted, so it can already cite this id.
+  obs::EventId last_transition_event() const {
+    return last_transition_event_;
+  }
+
  private:
   struct Transition {
     sim::Ns at = 0.0;
@@ -121,6 +134,10 @@ class FaultInjector {
   StallHandler stall_handler_;
   std::size_t cursor_ = 0;               // next transition to apply
   std::vector<std::string> trace_;
+
+  obs::Context* obs_ = nullptr;
+  obs::MetricsRegistry::Id m_transitions_ = obs::MetricsRegistry::kNone;
+  obs::EventId last_transition_event_ = 0;
 };
 
 }  // namespace numaio::faults

@@ -61,9 +61,22 @@ struct StreamSetup {
   sim::Ns final_end = 0.0;       ///< End time when finished/gave_up is set.
   int fault_device = -1;         ///< Injector device index, -1 = untracked.
   sim::Rng backoff_rng{0};
+  obs::SpanId span = 0;          ///< `fio.stream` trace span, 0 = untraced.
 };
 
 }  // namespace
+
+StreamShape shape_stream(fabric::Machine& machine, const StreamSpec& spec) {
+  assert(spec.device != nullptr);
+  if (spec.placements.empty()) {
+    return shape_stream(machine, *spec.device, spec.engine, spec.cpu_node,
+                        spec.mem_node, spec.options);
+  }
+  return shape_stream(
+      machine, *spec.device, spec.engine, spec.cpu_node,
+      std::span<const std::pair<NodeId, sim::Bytes>>(spec.placements),
+      spec.options);
+}
 
 StreamShape shape_stream(fabric::Machine& machine, const PcieDevice& device,
                          const std::string& engine, NodeId cpu_node,
@@ -146,6 +159,16 @@ sim::Gbps combined_aggregate(const std::vector<FioResult>& results) {
   return makespan > 0.0 ? total_bits / makespan : 0.0;
 }
 
+void FioRunner::set_observer(obs::Context* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  m_streams_ = obs_->metrics.counter("fio.streams");
+  m_attempts_ = obs_->metrics.counter("fio.attempts");
+  m_retries_ = obs_->metrics.counter("fio.retries");
+  m_aborted_ = obs_->metrics.counter("fio.aborted_streams");
+  m_degraded_jobs_ = obs_->metrics.counter("fio.degraded_jobs");
+}
+
 FioResult FioRunner::run(const FioJob& job) {
   return run_concurrent({job}).front();
 }
@@ -162,7 +185,10 @@ std::vector<FioResult> FioRunner::run_timed(
     const std::vector<TimedJob>& jobs) {
   fabric::Machine& machine = host_.machine();
   auto& solver = machine.solver();
+  obs::TraceRecorder* trace =
+      obs_ != nullptr && obs_->trace.enabled() ? &obs_->trace : nullptr;
 
+  std::vector<obs::SpanId> job_spans(jobs.size(), 0);
   std::vector<StreamSetup> setups;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const FioJob& job = jobs[j].job;
@@ -177,6 +203,21 @@ std::vector<FioResult> FioRunner::run_timed(
       // The paper's SSD tests use at least one process per card (§IV-B3).
       throw std::invalid_argument(
           "SSD jobs need at least one stream per card");
+    }
+    const char job_dir =
+        job.devices.front()->has_engine(job.engine)
+            ? (job.devices.front()->engine(job.engine).to_device ? 'w' : 'r')
+            : '-';
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.node_a = job.cpu_node;
+      fields.node_b = job.devices.front()->attach_node();
+      fields.dir = job_dir;
+      fields.bytes = static_cast<long long>(job.bytes_per_stream) *
+                     job.num_streams;
+      fields.t_sim = jobs[j].start;
+      fields.detail = job.engine;
+      job_spans[j] = trace->begin_span("fio.job", 0, fields);
     }
     sim::Rng job_rng =
         sim::Rng(job.seed).fork(static_cast<std::uint64_t>(job.cpu_node));
@@ -251,6 +292,17 @@ std::vector<FioResult> FioRunner::run_timed(
       if (faults_ != nullptr) {
         setup.fault_device = faults_->device_index(setup.device->name());
       }
+      if (obs_ != nullptr) obs_->metrics.add(m_streams_);
+      if (trace != nullptr) {
+        obs::EventFields fields;
+        fields.node_a = job.cpu_node;
+        fields.node_b = setup.buffer.home();
+        fields.dir = job_dir;
+        fields.bytes = static_cast<long long>(job.bytes_per_stream);
+        fields.t_sim = jobs[j].start;
+        fields.detail = setup.device->name();
+        setup.span = trace->begin_span("fio.stream", job_spans[j], fields);
+      }
       setups.push_back(std::move(setup));
     }
   }
@@ -289,7 +341,7 @@ std::vector<FioResult> FioRunner::run_timed(
   // up once the retry budget is spent. Both live as std::functions so they
   // can recurse into each other from inside control events.
   std::function<void(StreamSetup&, sim::Ns)> launch_stream;
-  std::function<void(StreamSetup&, sim::Ns)> handle_failure;
+  std::function<void(StreamSetup&, sim::Ns, obs::EventId)> handle_failure;
 
   launch_stream = [&](StreamSetup& s, sim::Ns at) {
     const FioJob& job = jobs[s.job_index].job;
@@ -304,6 +356,15 @@ std::vector<FioResult> FioRunner::run_timed(
     s.transfer =
         fluid.start_transfer_at(at, s.shape.usages, remaining, s.shape.rate_cap);
     ++s.attempts;
+    if (obs_ != nullptr) obs_->metrics.add(m_attempts_);
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.bytes = static_cast<long long>(remaining);
+      fields.t_sim = at;
+      const std::string detail = "attempt " + std::to_string(s.attempts);
+      fields.detail = detail;
+      trace->event("fio.attempt", s.span, 0, {}, fields);
+    }
     if (job.retry.timeout > 0.0) {
       const auto tid = s.transfer;
       const sim::Ns deadline = at + job.retry.timeout;
@@ -311,12 +372,19 @@ std::vector<FioResult> FioRunner::run_timed(
         if (s.transfer != tid || s.finished || s.gave_up) return;
         if (fluid.stats(tid).done) return;  // beat its deadline
         fluid.abort_transfer(tid);
-        handle_failure(s, deadline);
+        // A deadline miss under an active capacity fault is attributed to
+        // the most recent fault transition; a miss on a healthy machine
+        // (plain congestion) carries no cause.
+        const obs::EventId cause =
+            faults_ != nullptr && faults_->any_capacity_fault_active(deadline)
+                ? faults_->last_transition_event()
+                : 0;
+        handle_failure(s, deadline, cause);
       });
     }
   };
 
-  handle_failure = [&](StreamSetup& s, sim::Ns now) {
+  handle_failure = [&](StreamSetup& s, sim::Ns now, obs::EventId cause) {
     const FioJob& job = jobs[s.job_index].job;
     s.bytes_done += fluid.stats(s.transfer).bytes_moved;
     if (s.bytes_done >= job.bytes_per_stream) {
@@ -327,10 +395,28 @@ std::vector<FioResult> FioRunner::run_timed(
     if (s.attempts > job.retry.max_retries) {
       s.gave_up = true;
       s.final_end = now;
+      if (obs_ != nullptr) obs_->metrics.add(m_aborted_);
+      if (trace != nullptr) {
+        obs::EventFields fields;
+        fields.bytes = static_cast<long long>(s.bytes_done);
+        fields.t_sim = now;
+        fields.detail = "retry budget exhausted";
+        trace->event("fio.abort", s.span, cause, "abort", fields);
+      }
       return;
     }
     const sim::Ns delay =
         sim::backoff_delay(job.retry, s.attempts, s.backoff_rng);
+    if (obs_ != nullptr) obs_->metrics.add(m_retries_);
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.bytes = static_cast<long long>(s.bytes_done);
+      fields.t_sim = now;
+      const std::string detail =
+          "backoff " + std::to_string(static_cast<long long>(delay)) + " ns";
+      fields.detail = detail;
+      trace->event("fio.retry", s.span, cause, "retry", fields);
+    }
     launch_stream(s, now + delay);
   };
 
@@ -342,13 +428,17 @@ std::vector<FioResult> FioRunner::run_timed(
     // pending (waiting out a backoff) are left alone — they will start
     // into the stall and crawl until their own deadline or the stall end.
     faults_->set_stall_handler([&](int device, sim::Ns at) {
+      // The injector emits its fault.transition trace event before
+      // invoking this handler, so the id below names the stall that is
+      // killing these transfers.
+      const obs::EventId cause = faults_->last_transition_event();
       for (StreamSetup& s : setups) {
         if (s.fault_device != device || s.attempts == 0) continue;
         if (s.finished || s.gave_up) continue;
         const auto& st = fluid.stats(s.transfer);
         if (st.done || st.start > at) continue;
         fluid.abort_transfer(s.transfer);
-        handle_failure(s, at);
+        handle_failure(s, at, cause);
       }
     });
   }
@@ -395,6 +485,13 @@ std::vector<FioResult> FioRunner::run_timed(
       end = st.end;
     }
 
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.bytes = static_cast<long long>(s.bytes_done);
+      fields.t_sim = end;
+      trace->end_span(s.span, s.gave_up ? "aborted" : "ok", fields);
+    }
+
     FioStreamStats stream;
     stream.mem_node = s.buffer.home();
     stream.device = s.device;
@@ -437,6 +534,16 @@ std::vector<FioResult> FioRunner::run_timed(
         results[j].duration > 0.0
             ? sim::gbps(total_bytes[j], results[j].duration)
             : 0.0;
+    if (obs_ != nullptr && results[j].degraded) {
+      obs_->metrics.add(m_degraded_jobs_);
+    }
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.bytes = static_cast<long long>(total_bytes[j]);
+      fields.t_sim = last_end[j];
+      trace->end_span(job_spans[j], results[j].degraded ? "degraded" : "ok",
+                      fields);
+    }
   }
 
   for (sim::ResourceId res : penalized) solver.set_capacity(res, 1.0);

@@ -21,6 +21,7 @@
 #include "faults/injector.h"
 #include "io/device.h"
 #include "nm/host.h"
+#include "obs/obs.h"
 #include "simcore/retry.h"
 
 namespace numaio::io {
@@ -121,14 +122,31 @@ struct StreamShape {
   double tau = 0.0;                ///< Engine seconds-per-bit weight used.
 };
 
+/// Config-aggregate description of one stream; the preferred shape_stream
+/// entry point. When `placements` is empty the buffer lives whole on
+/// `mem_node`; otherwise it spans the listed (node, bytes) shares
+/// (interleaved policy) and DMA traffic splits across the per-node paths
+/// in proportion to the page shares, with the engine occupancy / window
+/// limits composing harmonically over them.
+struct StreamSpec {
+  const PcieDevice* device = nullptr;
+  std::string engine;
+  NodeId cpu_node = 0;
+  NodeId mem_node = 0;
+  std::vector<std::pair<NodeId, sim::Bytes>> placements;
+  StreamOptions options{};
+};
+
+StreamShape shape_stream(fabric::Machine& machine, const StreamSpec& spec);
+
+/// Deprecated: positional form kept for existing callers; prefer the
+/// StreamSpec overload above.
 StreamShape shape_stream(fabric::Machine& machine, const PcieDevice& device,
                          const std::string& engine, NodeId cpu_node,
                          NodeId mem_node, const StreamOptions& options = {});
 
-/// Placement-aware variant: the stream's buffer spans several nodes
-/// (interleaved policy); DMA traffic splits across the per-node paths in
-/// proportion to the page shares and the engine occupancy / window limits
-/// compose harmonically over them.
+/// Deprecated: positional placement-aware form kept for existing callers;
+/// prefer the StreamSpec overload above.
 StreamShape shape_stream(
     fabric::Machine& machine, const PcieDevice& device,
     const std::string& engine, NodeId cpu_node,
@@ -154,6 +172,13 @@ class FioRunner {
   void set_fault_injector(faults::FaultInjector* injector) {
     faults_ = injector;
   }
+
+  /// Attaches an observability context (nullptr detaches). Runs then open
+  /// a `fio.job` span per job and a `fio.stream` span per stream, emit
+  /// `fio.attempt` / `fio.retry` / `fio.abort` instant events (aborts and
+  /// fault-triggered retries cite the causing `fault.transition` event),
+  /// and maintain the fio.* counters. The context must outlive the runs.
+  void set_observer(obs::Context* obs);
 
   /// Runs one job alone on the host.
   FioResult run(const FioJob& job);
@@ -183,6 +208,13 @@ class FioRunner {
  private:
   nm::Host& host_;
   faults::FaultInjector* faults_ = nullptr;
+
+  obs::Context* obs_ = nullptr;
+  obs::MetricsRegistry::Id m_streams_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_attempts_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_retries_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_aborted_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_degraded_jobs_ = obs::MetricsRegistry::kNone;
 };
 
 }  // namespace numaio::io

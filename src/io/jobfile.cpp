@@ -6,16 +6,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <fstream>
+
 #include "io/nic.h"
 #include "io/ssd.h"
+#include "simcore/status.h"
 
 namespace numaio::io {
 
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw std::invalid_argument("job file line " + std::to_string(line) +
-                              ": " + what);
+  throw StatusError(StatusCode::kParse, "job file line " +
+                                            std::to_string(line) + ": " +
+                                            what);
 }
 
 std::string trim(const std::string& s) {
@@ -278,6 +282,16 @@ JobFile parse_job_file(const std::string& text) {
     file.jobs.push_back(std::move(entry));
   }
   return file;
+}
+
+JobFile load_job_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StatusError(StatusCode::kNoFile, "cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_job_file(text.str());  // throws StatusError kParse
 }
 
 std::vector<FioJob> resolve_jobs(const JobFile& file, const DeviceSet& set) {

@@ -42,8 +42,14 @@ struct JobFile {
   std::vector<JobFileEntry> jobs;
 };
 
-/// Parses the INI text. Throws std::invalid_argument on malformed input.
+/// Parses the INI text. Throws StatusError (StatusCode::kParse, which
+/// is-a std::invalid_argument) with a line number on malformed input.
 JobFile parse_job_file(const std::string& text);
+
+/// Reads and parses a job file from disk. Throws StatusError:
+/// StatusCode::kNoFile when the file cannot be read, StatusCode::kParse
+/// when its contents are malformed.
+JobFile load_job_file(const std::string& path);
 
 /// Parses a fio-style size literal: plain bytes or binary k/m/g suffix
 /// (case-insensitive). Throws std::invalid_argument on garbage.

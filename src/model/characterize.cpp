@@ -4,18 +4,22 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "simcore/status.h"
 
 namespace numaio::model {
 
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw std::invalid_argument("host model line " + std::to_string(line) +
-                              ": " + what);
+  throw StatusError(StatusCode::kParse, "host model line " +
+                                            std::to_string(line) + ": " +
+                                            what);
 }
 
 const char* dir_name(Direction dir) {
@@ -51,19 +55,39 @@ Classification rebuild_classification(
 
 HostModel characterize_host(nm::Host& host,
                             const CharacterizeConfig& config) {
+  obs::Context* obs = config.iomodel.obs;
+  obs::SpanId span = 0;
+  if (obs != nullptr) {
+    obs->metrics.add(obs->metrics.counter("characterize.hosts"));
+    if (obs->trace.enabled()) {
+      obs::EventFields fields;
+      fields.detail = host.machine().profile().name;
+      span = obs->trace.begin_span("characterize.host",
+                                   config.iomodel.obs_parent, fields);
+    }
+  }
+  IoModelConfig iomodel = config.iomodel;
+  iomodel.obs_parent = span;
+
   HostModel model;
   model.host_name = host.machine().profile().name;
   model.num_nodes = host.num_configured_nodes();
   const topo::Topology& topo = host.machine().topology();
   for (NodeId target = 0; target < model.num_nodes; ++target) {
     model.write_models.push_back(build_iomodel(
-        host, target, Direction::kDeviceWrite, config.iomodel));
+        host, target, Direction::kDeviceWrite, iomodel));
     model.read_models.push_back(build_iomodel(
-        host, target, Direction::kDeviceRead, config.iomodel));
+        host, target, Direction::kDeviceRead, iomodel));
     model.write_classes.push_back(
         classify(model.write_models.back(), topo, config.classify));
     model.read_classes.push_back(
         classify(model.read_models.back(), topo, config.classify));
+  }
+  if (obs != nullptr && obs->trace.enabled()) {
+    bool degraded = false;
+    for (const IoModelResult& m : model.write_models) degraded |= m.degraded;
+    for (const IoModelResult& m : model.read_models) degraded |= m.degraded;
+    obs->trace.end_span(span, degraded ? "degraded" : "ok");
   }
   return model;
 }
@@ -88,6 +112,13 @@ DriftReport check_drift(nm::Host& host, HostModel& model, NodeId target,
   const IoModelResult& stored = model.model_for(target, dir);
   const Classification& classes = model.classes_for(target, dir);
 
+  obs::Context* obs = config.iomodel.obs;
+  obs::TraceRecorder* trace =
+      obs != nullptr && obs->trace.enabled() ? &obs->trace : nullptr;
+  const auto m_drift_flags =
+      obs != nullptr ? obs->metrics.counter("characterize.drift_flags")
+                     : obs::MetricsRegistry::kNone;
+
   // One fresh measurement run covers every class's representative.
   const IoModelResult fresh = build_iomodel(host, target, dir, config.iomodel);
 
@@ -102,6 +133,14 @@ DriftReport check_drift(nm::Host& host, HostModel& model, NodeId target,
                     "class %d node %d probe aborted (%d retries)", cls,
                     probe, fresh.outcomes[p].retries);
       report.notes.emplace_back(buf);
+      if (trace != nullptr) {
+        obs::EventFields fields;
+        fields.node_a = probe;
+        fields.node_b = target;
+        fields.detail = report.notes.back();
+        trace->event("drift.probe", config.iomodel.obs_parent, 0, "aborted",
+                     fields);
+      }
       continue;
     }
     const double old_bw = stored.bw[p];
@@ -121,7 +160,18 @@ DriftReport check_drift(nm::Host& host, HostModel& model, NodeId target,
                   probe, old_bw, new_bw, 100.0 * (new_bw - old_bw) / old_bw,
                   moved ? " DRIFT" : "");
     report.notes.emplace_back(buf);
-    if (moved) report.drifted = true;
+    if (moved) {
+      report.drifted = true;
+      if (obs != nullptr) obs->metrics.add(m_drift_flags);
+    }
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.node_a = probe;
+      fields.node_b = target;
+      fields.detail = report.notes.back();
+      trace->event("drift.probe", config.iomodel.obs_parent, 0,
+                   moved ? "drift" : "steady", fields);
+    }
   }
   if (report.drifted) model.stale = true;
   return report;
@@ -142,6 +192,15 @@ bool refresh_if_drifted(nm::Host& host, HostModel& model,
   model = characterize_host(host, config);
   model.revision = revision + 1;
   model.stale = false;
+  if (obs::Context* obs = config.iomodel.obs; obs != nullptr) {
+    obs->metrics.add(obs->metrics.counter("model.refreshes"));
+    if (obs->trace.enabled()) {
+      obs::EventFields fields;
+      fields.detail = "revision " + std::to_string(model.revision);
+      obs->trace.event("model.refresh", config.iomodel.obs_parent, 0,
+                       "refreshed", fields);
+    }
+  }
   return true;
 }
 
@@ -305,6 +364,28 @@ HostModel parse_host_model(const std::string& text) {
     }
   }
   return model;
+}
+
+HostModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StatusError(StatusCode::kNoFile, "cannot read '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_host_model(text.str());  // throws StatusError kParse
+}
+
+void save_model(const HostModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw StatusError(StatusCode::kNoFile, "cannot write '" + path + "'");
+  }
+  out << serialize(model);
+  out.flush();
+  if (!out) {
+    throw StatusError(StatusCode::kNoFile, "failed writing '" + path + "'");
+  }
 }
 
 }  // namespace numaio::model

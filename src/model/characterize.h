@@ -105,8 +105,17 @@ bool refresh_if_drifted(nm::Host& host, HostModel& model,
 /// Serializes to the versioned text format above.
 std::string serialize(const HostModel& model);
 
-/// Parses the text format; throws std::invalid_argument with a line
-/// number on malformed input.
+/// Parses the text format; throws StatusError (StatusCode::kParse, which
+/// is-a std::invalid_argument) with a line number on malformed input.
 HostModel parse_host_model(const std::string& text);
+
+/// Reads and parses a host-model file. Throws StatusError:
+/// StatusCode::kNoFile when the file cannot be read, StatusCode::kParse
+/// when its contents are malformed.
+HostModel load_model(const std::string& path);
+
+/// Writes serialize(model) to `path`. Throws StatusError
+/// (StatusCode::kNoFile) when the file cannot be written.
+void save_model(const HostModel& model, const std::string& path);
 
 }  // namespace numaio::model

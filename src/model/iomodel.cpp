@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "mem/copy.h"
@@ -28,6 +29,31 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
   result.outcomes.assign(static_cast<std::size_t>(n),
                          sim::MeasurementOutcome{});
 
+  obs::Context* obs = config.obs;
+  obs::TraceRecorder* trace =
+      obs != nullptr && obs->trace.enabled() ? &obs->trace : nullptr;
+  auto m_reps = obs::MetricsRegistry::kNone;
+  auto m_dropped = obs::MetricsRegistry::kNone;
+  auto m_retries = obs::MetricsRegistry::kNone;
+  auto m_probes_aborted = obs::MetricsRegistry::kNone;
+  if (obs != nullptr) {
+    m_reps = obs->metrics.counter("iomodel.reps");
+    m_dropped = obs->metrics.counter("iomodel.reps_dropped");
+    m_retries = obs->metrics.counter("iomodel.retries");
+    m_probes_aborted = obs->metrics.counter("iomodel.probes_aborted");
+  }
+  const char dir_char = direction == Direction::kDeviceWrite ? 'w' : 'r';
+  obs::SpanId build_span = 0;
+  if (trace != nullptr) {
+    obs::EventFields fields;
+    fields.node_a = target;
+    fields.dir = dir_char;
+    fields.t_sim = config.start_time;
+    fields.detail = direction == Direction::kDeviceWrite ? "write-model"
+                                                         : "read-model";
+    build_span = trace->begin_span("iomodel.build", config.obs_parent, fields);
+  }
+
   sim::Ns clock = config.start_time;
   sim::Rng master =
       sim::Rng(config.seed).fork(static_cast<std::uint64_t>(target),
@@ -37,6 +63,16 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
   for (NodeId i = 0; i < n; ++i) {                    // line 3
     const NodeId src = direction == Direction::kDeviceWrite ? i : target;
     const NodeId snk = direction == Direction::kDeviceWrite ? target : i;
+
+    obs::SpanId probe_span = 0;
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.node_a = src;
+      fields.node_b = snk;
+      fields.dir = dir_char;
+      fields.t_sim = clock;
+      probe_span = trace->begin_span("iomodel.probe", build_span, fields);
+    }
 
     // Lines 4-10: one src/snk buffer pair per thread, placed per mode.
     std::vector<nm::Buffer> buffers;
@@ -72,6 +108,16 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
     };
 
     faults::FaultInjector* injector = config.injector;
+    // Attribute a drop/retry to the most recent fault transition only when
+    // a fault (capacity or measurement noise) is actually active.
+    const auto fault_cause = [&](sim::Ns t) -> obs::EventId {
+      if (injector == nullptr) return 0;
+      if (!injector->any_capacity_fault_active(t) &&
+          injector->noise_amplification(t) <= 1.0) {
+        return 0;
+      }
+      return injector->last_transition_event();
+    };
     if (injector != nullptr) injector->advance_to(clock);
     sim::Gbps aggregate = solve_aggregate();
     std::size_t solved_at =
@@ -114,15 +160,40 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
             config.retry.timeout > 0.0 && duration > config.retry.timeout;
         if (!timed_out) {
           samples.push_back(sample);
+          if (obs != nullptr) obs->metrics.add(m_reps);
+          if (trace != nullptr) {
+            obs::EventFields fields;
+            fields.t_sim = clock;
+            trace->event("iomodel.rep", probe_span, 0, "ok", fields);
+          }
           clock += std::isfinite(duration) ? duration : 0.0;
           recorded = true;
           break;
         }
         if (attempt >= config.retry.max_retries) {
+          if (obs != nullptr) {
+            obs->metrics.add(m_reps);
+            obs->metrics.add(m_dropped);
+          }
+          if (trace != nullptr) {
+            obs::EventFields fields;
+            fields.t_sim = clock;
+            fields.detail = "timeout, retry budget exhausted";
+            trace->event("iomodel.rep", probe_span, fault_cause(clock),
+                         "drop", fields);
+          }
           clock += config.retry.timeout;  // the abort itself took this long
           break;
         }
         ++retries_total;
+        if (obs != nullptr) obs->metrics.add(m_retries);
+        if (trace != nullptr) {
+          obs::EventFields fields;
+          fields.t_sim = clock;
+          fields.detail = "timeout";
+          trace->event("iomodel.retry", probe_span, fault_cause(clock),
+                       "retry", fields);
+        }
         clock += config.retry.timeout +
                  sim::backoff_delay(config.retry, attempt + 1, retry_rng);
       }
@@ -136,6 +207,7 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
       outcome.aborted = true;
       outcome.confidence = 0.0;
       result.bw[static_cast<std::size_t>(i)] = 0.0;
+      if (obs != nullptr) obs->metrics.add(m_probes_aborted);
     } else {
       const sim::RobustSummary robust = sim::robust_summarize(samples);
       result.bw[static_cast<std::size_t>(i)] = robust.trimmed_mean;
@@ -145,13 +217,33 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
               static_cast<double>(config.repetitions);
       conf -= std::min(0.2, 0.02 * retries_total);
       outcome.confidence = std::clamp(conf, 0.05, 1.0);
+      if (trace != nullptr) {
+        obs::EventFields fields;
+        fields.t_sim = clock;
+        const std::string detail =
+            "trimmed_mean over " + std::to_string(samples.size()) + " of " +
+            std::to_string(config.repetitions) + " reps";
+        fields.detail = detail;
+        trace->event("iomodel.estimator", probe_span, 0,
+                     robust.low_confidence ? "low-confidence" : "ok", fields);
+      }
     }
     if (!outcome.ok || outcome.retries > 0 || outcome.confidence < 0.5) {
       result.degraded = true;
     }
     result.outcomes[static_cast<std::size_t>(i)] = outcome;
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.t_sim = clock;
+      trace->end_span(probe_span, outcome.aborted ? "aborted" : "ok", fields);
+    }
 
     for (auto& b : buffers) host.free(b);
+  }
+  if (trace != nullptr) {
+    obs::EventFields fields;
+    fields.t_sim = clock;
+    trace->end_span(build_span, result.degraded ? "degraded" : "ok", fields);
   }
   return result;
 }

@@ -19,6 +19,7 @@
 
 #include "faults/injector.h"
 #include "nm/host.h"
+#include "obs/obs.h"
 #include "simcore/retry.h"
 #include "simcore/units.h"
 
@@ -49,6 +50,12 @@ struct IoModelConfig {
   /// whose projected duration exceeds the timeout is retried with backoff
   /// and, once the budget is spent, dropped as an aborted sample).
   sim::RetryPolicy retry{};
+  /// Optional observability: an `iomodel.build` span wrapping per-node
+  /// `iomodel.probe` spans with per-rep accept/drop events and the
+  /// estimator choice, plus the iomodel.* counters. nullptr = silent.
+  obs::Context* obs = nullptr;
+  /// Parent span for the `iomodel.build` span (e.g. a characterize span).
+  obs::SpanId obs_parent = 0;
 };
 
 struct IoModelResult {

@@ -62,6 +62,15 @@ OnlineScheduler::OnlineScheduler(nm::Host& host,
   read_pool_ = build_pool(read_classes_, config_.class_tolerance);
 }
 
+void OnlineScheduler::set_observer(obs::Context* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  m_tasks_ = obs_->metrics.counter("sched.tasks");
+  m_chunks_ = obs_->metrics.counter("sched.chunks");
+  m_migrations_ = obs_->metrics.counter("sched.migrations");
+  m_pool_shrunk_ = obs_->metrics.counter("sched.pool_shrunk");
+}
+
 const std::vector<NodeId>& OnlineScheduler::pool_for(
     const std::string& engine) const {
   return device_.engine(engine).to_device ? write_pool_ : read_pool_;
@@ -83,19 +92,43 @@ std::vector<NodeId> OnlineScheduler::usable_pool(
 }
 
 NodeId OnlineScheduler::choose_node(const std::string& engine,
-                                    int task_index, sim::Ns now) {
+                                    int task_index, sim::Ns now,
+                                    obs::SpanId span) {
+  // Notes when degraded nodes were dropped from the candidate pool — the
+  // moment the policy visibly deviates from its fault-free choice.
+  const auto note_shrunk = [&](const std::vector<NodeId>& full,
+                               const std::vector<NodeId>& usable) {
+    if (obs_ == nullptr || usable.size() >= full.size()) return;
+    obs_->metrics.add(m_pool_shrunk_);
+    if (obs_->trace.enabled()) {
+      obs::EventFields fields;
+      fields.t_sim = now;
+      const std::string detail =
+          std::to_string(full.size() - usable.size()) + " degraded of " +
+          std::to_string(full.size()) + " pooled nodes";
+      fields.detail = detail;
+      obs_->trace.event("sched.avoid_degraded", span,
+                        faults_ != nullptr ? faults_->last_transition_event()
+                                           : 0,
+                        "avoided", fields);
+    }
+  };
   switch (config_.policy) {
     case OnlinePolicy::kAllLocal:
       return device_.attach_node();  // the naive baseline never reacts
     case OnlinePolicy::kRoundRobin:
       return (rr_cursor_++) % host_.num_configured_nodes();
     case OnlinePolicy::kModelSpread: {
-      const auto pool = usable_pool(pool_for(engine), now);
+      const auto& full = pool_for(engine);
+      const auto pool = usable_pool(full, now);
+      note_shrunk(full, pool);
       return pool[static_cast<std::size_t>(task_index) % pool.size()];
     }
     case OnlinePolicy::kModelAdaptive: {
       // Least-loaded non-degraded node of the pool (ties: lowest id).
-      const auto pool = usable_pool(pool_for(engine), now);
+      const auto& full = pool_for(engine);
+      const auto pool = usable_pool(full, now);
+      note_shrunk(full, pool);
       NodeId best = pool.front();
       for (NodeId node : pool) {
         if (active_[static_cast<std::size_t>(node)] <
@@ -113,6 +146,16 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
   fabric::Machine& machine = host_.machine();
   sim::FluidSimulation fluid(machine.solver());
   if (faults_ != nullptr) faults_->arm(fluid);
+
+  obs::TraceRecorder* trace =
+      obs_ != nullptr && obs_->trace.enabled() ? &obs_->trace : nullptr;
+  obs::SpanId run_span = 0;
+  if (trace != nullptr) {
+    obs::EventFields fields;
+    fields.node_a = device_.attach_node();
+    fields.detail = to_string(config_.policy);
+    run_span = trace->begin_span("online.run", 0, fields);
+  }
 
   struct TaskState {
     const IoTask* task = nullptr;
@@ -137,10 +180,14 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
         const sim::Bytes bytes = state.chunks_left == 1
                                      ? state.last_chunk_bytes
                                      : state.chunk_bytes;
-        const auto shape =
-            io::shape_stream(machine, device_, state.task->engine,
-                             state.node, state.buffer.home());
+        io::StreamSpec spec;
+        spec.device = &device_;
+        spec.engine = state.task->engine;
+        spec.cpu_node = state.node;
+        spec.mem_node = state.buffer.home();
+        const auto shape = io::shape_stream(machine, spec);
         ++active_[static_cast<std::size_t>(state.node)];
+        if (obs_ != nullptr) obs_->metrics.add(m_chunks_);
         fluid.start_transfer_at(
             at, shape.usages, bytes, shape.rate_cap,
             [&, bytes](sim::FluidSimulation::TransferId, sim::Ns now) {
@@ -155,12 +202,30 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
               sim::Ns next_start = now;
               if (config_.policy == OnlinePolicy::kModelAdaptive) {
                 const NodeId better =
-                    choose_node(state.task->engine, state.index, now);
+                    choose_node(state.task->engine, state.index, now,
+                                run_span);
                 if (better != state.node) {
                   // Migrate: re-home the buffer, pay the pause.
                   host_.free(state.buffer);
                   state.buffer = host_.alloc_local(
                       128 * sim::kKiB * 16, better);
+                  if (obs_ != nullptr) obs_->metrics.add(m_migrations_);
+                  if (trace != nullptr) {
+                    obs::EventFields fields;
+                    fields.node_a = state.node;
+                    fields.node_b = better;
+                    fields.t_sim = now;
+                    const std::string detail =
+                        "task " + std::to_string(state.index);
+                    fields.detail = detail;
+                    const obs::EventId cause =
+                        faults_ != nullptr &&
+                                faults_->any_capacity_fault_active(now)
+                            ? faults_->last_transition_event()
+                            : 0;
+                    trace->event("sched.migrate", run_span, cause,
+                                 "migrated", fields);
+                  }
                   state.node = better;
                   ++state.outcome.migrations;
                   next_start = now + config_.migration_cost;
@@ -184,11 +249,21 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
     state.last_chunk_bytes =
         tasks[i].bytes -
         state.chunk_bytes * static_cast<sim::Bytes>(chunks - 1);
-    state.node = choose_node(tasks[i].engine, state.index, tasks[i].arrival);
+    state.node = choose_node(tasks[i].engine, state.index, tasks[i].arrival,
+                             run_span);
     state.outcome.arrival = tasks[i].arrival;
     state.outcome.first_node = state.node;
     state.buffer = host_.alloc_local(128 * sim::kKiB * 16, state.node);
     total_bytes += tasks[i].bytes;
+    if (obs_ != nullptr) obs_->metrics.add(m_tasks_);
+    if (trace != nullptr) {
+      obs::EventFields fields;
+      fields.node_a = state.node;
+      fields.bytes = static_cast<long long>(tasks[i].bytes);
+      fields.t_sim = tasks[i].arrival;
+      fields.detail = tasks[i].engine;
+      trace->event("online.place", run_span, 0, "placed", fields);
+    }
     launch_chunk(state, tasks[i].arrival);
   }
 
@@ -208,6 +283,12 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
   }
   if (report.makespan > 0.0) {
     report.aggregate = sim::gbps(total_bytes, report.makespan);
+  }
+  if (trace != nullptr) {
+    obs::EventFields fields;
+    fields.bytes = static_cast<long long>(total_bytes);
+    fields.t_sim = report.makespan;
+    trace->end_span(run_span, "ok", fields);
   }
   return report;
 }

@@ -82,10 +82,19 @@ class OnlineScheduler {
     faults_ = injector;
   }
 
+  /// Attaches an observability context (nullptr detaches). run() then
+  /// opens an `online.run` span, emits `online.place` per task,
+  /// `sched.migrate` per migration (citing the causing fault transition
+  /// when one is active) and `sched.avoid_degraded` when the candidate
+  /// pool shrank, and maintains the sched.* counters. The context must
+  /// outlive run().
+  void set_observer(obs::Context* obs);
+
   OnlineReport run(std::span<const IoTask> tasks);
 
  private:
-  NodeId choose_node(const std::string& engine, int task_index, sim::Ns now);
+  NodeId choose_node(const std::string& engine, int task_index, sim::Ns now,
+                     obs::SpanId span = 0);
 
   const std::vector<NodeId>& pool_for(const std::string& engine) const;
   /// The pool minus currently-degraded nodes; falls back to the full pool
@@ -103,6 +112,12 @@ class OnlineScheduler {
   std::vector<NodeId> read_pool_;
   std::vector<int> active_;  ///< Running chunks per node.
   int rr_cursor_ = 0;
+
+  obs::Context* obs_ = nullptr;
+  obs::MetricsRegistry::Id m_tasks_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_chunks_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_migrations_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_pool_shrunk_ = obs::MetricsRegistry::kNone;
 };
 
 }  // namespace numaio::model

@@ -106,10 +106,24 @@ RobustPlacement schedule_robust(const HostModel& model,
     result.placement =
         schedule_spread(model.classes_for(target, dir), class_values,
                         num_processes, config.spread);
-    return result;
+  } else {
+    result.used_fallback = true;
+    result.placement = spread_by_hops(topo, target, num_processes);
   }
-  result.used_fallback = true;
-  result.placement = spread_by_hops(topo, target, num_processes);
+  if (obs::Context* obs = config.obs; obs != nullptr) {
+    obs->metrics.add(obs->metrics.counter("sched.placements"));
+    if (result.used_fallback) {
+      obs->metrics.add(obs->metrics.counter("sched.fallbacks"));
+    }
+    if (obs->trace.enabled()) {
+      obs::EventFields fields;
+      fields.node_a = target;
+      fields.dir = dir == Direction::kDeviceWrite ? 'w' : 'r';
+      fields.detail = result.reason;
+      obs->trace.event("sched.place", config.obs_parent, 0,
+                       result.used_fallback ? "fallback" : "model", fields);
+    }
+  }
   return result;
 }
 

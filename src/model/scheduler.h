@@ -49,6 +49,12 @@ struct RobustScheduleConfig {
   /// A model whose probe confidence for the target fell below this is
   /// treated as unusable and triggers the hop-distance fallback.
   double min_confidence = 0.5;
+  /// Optional observability: each call emits a `sched.place` event
+  /// (outcome "model" or "fallback" with the reason) and maintains the
+  /// sched.placements / sched.fallbacks counters. nullptr = silent.
+  obs::Context* obs = nullptr;
+  /// Span the `sched.place` event is recorded under.
+  obs::SpanId obs_parent = 0;
 };
 
 struct RobustPlacement {

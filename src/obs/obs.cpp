@@ -1,0 +1,48 @@
+#include "obs/obs.h"
+
+namespace numaio::obs {
+
+std::vector<MetricInfo> known_metrics() {
+  return {
+      {"characterize.drift_flags", "counter",
+       "class probes whose drift check exceeded the relative tolerance"},
+      {"characterize.hosts", "counter", "full Algorithm 1 characterizations"},
+      {"faults.transitions", "counter",
+       "fault on/off transitions applied to the machine"},
+      {"fio.aborted_streams", "counter",
+       "streams that exhausted retries or hit the job deadline"},
+      {"fio.attempts", "counter",
+       "stream launch attempts, including retries"},
+      {"fio.degraded_jobs", "counter",
+       "jobs that finished with at least one aborted stream"},
+      {"fio.retries", "counter", "stream relaunches after a failed attempt"},
+      {"fio.streams", "counter", "streams shaped and launched by FioRunner"},
+      {"iomodel.probes_aborted", "counter",
+       "per-node probes with zero usable repetitions"},
+      {"iomodel.reps", "counter", "Algorithm 1 repetitions attempted"},
+      {"iomodel.reps_dropped", "counter",
+       "repetitions discarded (timeout, abort, or trimmed by the robust "
+       "estimator)"},
+      {"iomodel.retries", "counter", "repetition retries under faults"},
+      {"model.refreshes", "counter",
+       "stale host models re-characterized by refresh_if_drifted"},
+      {"sched.chunks", "counter", "task chunks launched by OnlineScheduler"},
+      {"sched.fallbacks", "counter",
+       "robust placements that fell back to hop distance"},
+      {"sched.migrations", "counter",
+       "mid-task node migrations by the adaptive online policy"},
+      {"sched.placements", "counter", "robust placement decisions"},
+      {"sched.pool_shrunk", "counter",
+       "online placements whose candidate pool lost degraded nodes"},
+      {"sched.tasks", "counter", "tasks run by OnlineScheduler"},
+      {"solver.iterations", "counter",
+       "water-filling rounds across all solves"},
+      {"solver.iterations_per_solve", "histogram",
+       "water-filling rounds per FlowSolver::solve call"},
+      {"solver.solve_us", "histogram",
+       "wall-clock microseconds per FlowSolver::solve call"},
+      {"solver.solves", "counter", "FlowSolver::solve calls"},
+  };
+}
+
+}  // namespace numaio::obs

@@ -1,0 +1,38 @@
+// Entry point of the observability layer: one Context bundling the trace
+// recorder and the metrics registry, plus the catalogue of metric names
+// the toolkit emits.
+//
+// A Context is plumbed as a nullable pointer: library code treats
+// `obs == nullptr` exactly like an attached-but-sinkless recorder (record
+// nothing, cost nothing). The CLI owns one Context per invocation and
+// wires `--trace-out` / `--metrics-out` to it; tests attach a MemorySink.
+#pragma once
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace numaio::obs {
+
+struct Context {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+};
+
+/// One entry of the metric-name registry (docs/OBSERVABILITY.md keeps the
+/// prose version). `numaio_cli metrics` prints this table when invoked
+/// without a snapshot file.
+struct MetricInfo {
+  const char* name;
+  const char* kind;  ///< "counter", "gauge" or "histogram".
+  const char* help;
+};
+
+/// Every metric name the library emits, sorted by name. Instrumented code
+/// registers lazily, so a given run's snapshot holds the subset of these
+/// that the exercised paths touched.
+std::vector<MetricInfo> known_metrics();
+
+}  // namespace numaio::obs

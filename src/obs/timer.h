@@ -1,0 +1,48 @@
+// Scoped wall-clock timer feeding the metrics registry.
+//
+// Intended for hot paths (e.g. one FlowSolver::solve call): construction
+// and destruction each cost one steady_clock read when a registry is
+// attached, and nothing at all when `metrics` is nullptr — the null-sink
+// guarantee extends to timers.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace numaio::obs {
+
+class ScopedTimer {
+ public:
+  /// Observes the scope's elapsed time on destruction: microseconds into
+  /// `histogram_us` (if not kNone) and nanoseconds onto the counter
+  /// `total_ns` (if not kNone). A nullptr registry disables the timer
+  /// entirely, including the clock reads.
+  ScopedTimer(MetricsRegistry* metrics, MetricsRegistry::Id histogram_us,
+              MetricsRegistry::Id total_ns = MetricsRegistry::kNone)
+      : metrics_(metrics), histogram_us_(histogram_us), total_ns_(total_ns) {
+    if (metrics_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (metrics_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    if (histogram_us_ != MetricsRegistry::kNone) {
+      metrics_->observe(histogram_us_, ns / 1000.0);
+    }
+    if (total_ns_ != MetricsRegistry::kNone) metrics_->add(total_ns_, ns);
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  MetricsRegistry::Id histogram_us_;
+  MetricsRegistry::Id total_ns_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace numaio::obs

@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace numaio::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON string escaping for the small character set our names/details use;
+/// anything below 0x20 goes out as \u00XX.
+void json_escape(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// CSV field quoting: always quoted, inner quotes doubled, so commas and
+/// newlines in details cannot shear a row.
+void csv_quote(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+/// Shortest round-trip-safe rendering of a double (%.17g trims trailing
+/// noise for the integral values timestamps usually are).
+void number(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void JsonlSink::write(const Event& e) {
+  out_ << "{\"id\":" << e.id << ",\"span\":" << e.span
+       << ",\"parent\":" << e.parent << ",\"kind\":\"" << e.kind
+       << "\",\"name\":\"";
+  json_escape(out_, e.name);
+  out_ << "\",\"node_a\":" << e.node_a << ",\"node_b\":" << e.node_b
+       << ",\"dir\":\"" << e.dir << "\",\"bytes\":" << e.bytes << ",\"t\":";
+  number(out_, e.t_sim);
+  out_ << ",\"outcome\":\"";
+  json_escape(out_, e.outcome);
+  out_ << "\",\"detail\":\"";
+  json_escape(out_, e.detail);
+  out_ << "\",\"wall_us\":";
+  number(out_, e.wall_us);
+  out_ << "}\n";
+}
+
+void CsvSink::write(const Event& e) {
+  if (!header_written_) {
+    out_ << "id,span,parent,kind,name,node_a,node_b,dir,bytes,t,outcome,"
+            "detail,wall_us\n";
+    header_written_ = true;
+  }
+  out_ << e.id << ',' << e.span << ',' << e.parent << ',' << e.kind << ',';
+  csv_quote(out_, e.name);
+  out_ << ',' << e.node_a << ',' << e.node_b << ',' << e.dir << ','
+       << e.bytes << ',';
+  number(out_, e.t_sim);
+  out_ << ',';
+  csv_quote(out_, e.outcome);
+  out_ << ',';
+  csv_quote(out_, e.detail);
+  out_ << ',';
+  number(out_, e.wall_us);
+  out_ << '\n';
+}
+
+void TraceRecorder::set_sink(TraceSink* sink) {
+  sink_ = sink;
+  if (sink_ != nullptr && epoch_ns_ < 0) epoch_ns_ = steady_ns();
+}
+
+EventId TraceRecorder::emit(char kind, std::string_view name, SpanId span,
+                            EventId parent, std::string_view outcome,
+                            const EventFields& fields) {
+  Event e;
+  e.id = next_id_++;
+  e.span = span == 0 && kind == 'B' ? e.id : span;
+  e.parent = parent;
+  e.kind = kind;
+  e.name.assign(name);
+  e.node_a = fields.node_a;
+  e.node_b = fields.node_b;
+  e.dir = fields.dir;
+  e.bytes = fields.bytes;
+  e.t_sim = fields.t_sim;
+  e.outcome.assign(outcome);
+  e.detail.assign(fields.detail);
+  e.wall_us = static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+  sink_->write(e);
+  return e.id;
+}
+
+SpanId TraceRecorder::begin_span(std::string_view name, SpanId parent,
+                                 const EventFields& fields) {
+  if (sink_ == nullptr) return 0;
+  return emit('B', name, 0, parent, {}, fields);
+}
+
+void TraceRecorder::end_span(SpanId span, std::string_view outcome,
+                             const EventFields& fields) {
+  if (sink_ == nullptr || span == 0) return;
+  emit('E', {}, span, 0, outcome, fields);
+}
+
+EventId TraceRecorder::event(std::string_view name, SpanId span,
+                             EventId cause, std::string_view outcome,
+                             const EventFields& fields) {
+  if (sink_ == nullptr) return 0;
+  return emit('I', name, span, cause, outcome, fields);
+}
+
+}  // namespace numaio::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <utility>
 
@@ -73,7 +74,20 @@ bool FlowSolver::flow_alive(FlowId id) const {
   return flows_[id].alive;
 }
 
+void FlowSolver::set_observer(obs::Context* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  m_solves_ = obs_->metrics.counter("solver.solves");
+  m_iterations_ = obs_->metrics.counter("solver.iterations");
+  m_iters_hist_ = obs_->metrics.histogram(
+      "solver.iterations_per_solve", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  m_solve_us_ = obs_->metrics.histogram(
+      "solver.solve_us", {1.0, 10.0, 100.0, 1000.0, 10000.0});
+}
+
 std::vector<Gbps> FlowSolver::solve() const {
+  obs::ScopedTimer timer(obs_ != nullptr ? &obs_->metrics : nullptr,
+                         m_solve_us_);
   std::vector<Gbps> rate(flows_.size(), 0.0);
   if (live_flows_ == 0) return rate;
 
@@ -99,7 +113,9 @@ std::vector<Gbps> FlowSolver::solve() const {
   }
 
   std::size_t unfrozen = live_flows_;
+  std::uint64_t rounds = 0;
   while (unfrozen > 0) {
+    ++rounds;
     // Largest uniform rate increment delta all unfrozen flows can take.
     double delta = std::numeric_limits<double>::infinity();
     for (ResourceId r = 0; r < resources_.size(); ++r) {
@@ -163,6 +179,11 @@ std::vector<Gbps> FlowSolver::solve() const {
       assert(false && "flow solver failed to make progress");
       break;
     }
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics.add(m_solves_);
+    obs_->metrics.add(m_iterations_, static_cast<double>(rounds));
+    obs_->metrics.observe(m_iters_hist_, static_cast<double>(rounds));
   }
   return rate;
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "simcore/units.h"
 
 namespace numaio::sim {
@@ -61,6 +62,12 @@ class FlowSolver {
   bool flow_alive(FlowId id) const;
   std::size_t live_flow_count() const { return live_flows_; }
 
+  /// Attaches an observability context (nullptr detaches). Each solve()
+  /// then counts its water-filling rounds (`solver.iterations`,
+  /// `solver.iterations_per_solve`) and wall time (`solver.solve_us`).
+  /// The context must outlive the solver or be detached first.
+  void set_observer(obs::Context* obs);
+
   /// Computes the max-min-fair allocation for all live flows.
   /// The returned vector is indexed by FlowId; removed flows report 0.
   std::vector<Gbps> solve() const;
@@ -86,6 +93,14 @@ class FlowSolver {
   std::vector<Resource> resources_;
   std::vector<Flow> flows_;
   std::size_t live_flows_ = 0;
+
+  // Metric ids are resolved once in set_observer; solve() is const, so it
+  // reaches the registry through this pointer without touching solver state.
+  obs::Context* obs_ = nullptr;
+  obs::MetricsRegistry::Id m_solves_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_iterations_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_iters_hist_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_solve_us_ = obs::MetricsRegistry::kNone;
 };
 
 }  // namespace numaio::sim

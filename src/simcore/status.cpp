@@ -1,0 +1,29 @@
+#include "simcore/status.h"
+
+namespace numaio {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kRuntime:
+      return "runtime";
+    case StatusCode::kUsage:
+      return "usage";
+    case StatusCode::kNoFile:
+      return "no-file";
+    case StatusCode::kParse:
+      return "parse";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (message.empty()) return status_code_name(code);
+  return std::string(status_code_name(code)) + ": " + message;
+}
+
+StatusError::StatusError(Status status)
+    : std::invalid_argument(status.to_string()), status_(std::move(status)) {}
+
+}  // namespace numaio

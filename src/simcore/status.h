@@ -1,0 +1,58 @@
+// Unified error reporting for the library's fallible entry points.
+//
+// A Status pairs a coarse code — aligned one-to-one with the CLI's exit
+// codes (docs, README §exit codes) — with a human-readable message.
+// Library code that fails throws StatusError, which carries a Status;
+// tools/numaio_cli.cpp catches it and maps `status().exit_code()`
+// straight to the process exit code, so file-not-found (3) and malformed
+// input (4) stay distinguishable without per-tool exception taxonomies.
+//
+// StatusError derives from std::invalid_argument: the parsers
+// (io::parse_job_file, model::parse_host_model) historically threw that,
+// and a large body of callers and tests catches it. Deriving keeps every
+// existing `catch (const std::invalid_argument&)` working while new code
+// can catch StatusError for the structured code.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace numaio {
+
+/// Matches the CLI exit-code scheme byte for byte.
+enum class StatusCode : int {
+  kOk = 0,       ///< Success.
+  kRuntime = 1,  ///< Internal/runtime failure.
+  kUsage = 2,    ///< Bad command line.
+  kNoFile = 3,   ///< File missing or unreadable.
+  kParse = 4,    ///< File readable but malformed.
+};
+
+/// Stable lowercase name ("ok", "runtime", "usage", "no-file", "parse").
+const char* status_code_name(StatusCode code);
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  int exit_code() const { return static_cast<int>(code); }
+
+  /// "<name>: <message>", or just the name when the message is empty.
+  std::string to_string() const;
+};
+
+class StatusError : public std::invalid_argument {
+ public:
+  explicit StatusError(Status status);
+  StatusError(StatusCode code, const std::string& message)
+      : StatusError(Status{code, message}) {}
+
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace numaio

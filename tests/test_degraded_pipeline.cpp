@@ -18,6 +18,7 @@
 #include "model/online.h"
 #include "model/scheduler.h"
 #include "model/workload.h"
+#include "obs/obs.h"
 
 namespace numaio {
 namespace {
@@ -117,6 +118,161 @@ TEST(DegradedFio, DeviceStallAbortsInFlightStreamsThenRecovers) {
     EXPECT_EQ(st.bytes_moved, 40 * sim::kGiB);
     EXPECT_LT(st.outcome.confidence, 1.0);
   }
+}
+
+// --- observability of degraded runs ---------------------------------------
+
+TEST(DegradedObservability, AbortedStreamsEmitCorrelatedRetryEvents) {
+  io::Testbed tb = io::Testbed::dl585();
+  faults::FaultPlan plan;
+  faults::FaultEvent stall;
+  stall.kind = faults::FaultKind::kDeviceStall;
+  stall.device = 0;
+  stall.start = 5.0e9;
+  stall.duration = 2.0e9;
+  plan.add(stall);
+  faults::FaultInjector injector(tb.machine(), std::move(plan));
+  injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                           tb.nic().fault_resources());
+
+  obs::MemorySink sink;
+  obs::Context ctx;
+  ctx.trace.set_sink(&sink);
+  injector.set_observer(&ctx);
+
+  io::FioJob job = basic_job(tb, 2, 40 * sim::kGiB);
+  job.retry.timeout = 30.0e9;
+  job.retry.max_retries = 3;
+
+  io::FioRunner fio(tb.host());
+  fio.set_fault_injector(&injector);
+  fio.set_observer(&ctx);
+  const io::FioResult result = fio.run(job);
+  EXPECT_TRUE(result.degraded);
+
+  // The device stall's transition event must precede (and be cited by)
+  // every retry the aborted attempts triggered.
+  obs::EventId transition = 0;
+  for (const obs::Event& e : sink.events) {
+    if (e.name == "fault.transition" && e.outcome == "on") {
+      transition = e.id;
+      break;
+    }
+  }
+  ASSERT_NE(transition, 0u);
+  int correlated_retries = 0;
+  for (const obs::Event& e : sink.events) {
+    if (e.name != "fio.retry") continue;
+    EXPECT_EQ(e.parent, transition);
+    EXPECT_GT(e.id, transition);
+    ++correlated_retries;
+  }
+  EXPECT_GE(correlated_retries, 1);
+  EXPECT_EQ(ctx.metrics.value("fio.retries"),
+            static_cast<double>(result.total_retries));
+  EXPECT_EQ(ctx.metrics.value("faults.transitions"), 2.0);  // on + off
+
+  // Span sanity: every stream span nests under a job span.
+  obs::SpanId job_span = 0;
+  for (const obs::Event& e : sink.events) {
+    if (e.kind == 'B' && e.name == "fio.job") job_span = e.id;
+    if (e.kind == 'B' && e.name == "fio.stream") {
+      EXPECT_EQ(e.parent, job_span);
+    }
+  }
+  ASSERT_NE(job_span, 0u);
+}
+
+TEST(DegradedObservability, RetryBudgetExhaustionEmitsAbortWithCause) {
+  io::Testbed tb = io::Testbed::dl585();
+  faults::FaultPlan plan;
+  plan.add(mc_throttle(2, 0.0, 1.0e15, 0.95));  // cripples node 2 forever
+  faults::FaultInjector injector(tb.machine(), std::move(plan));
+
+  obs::MemorySink sink;
+  obs::Context ctx;
+  ctx.trace.set_sink(&sink);
+  injector.set_observer(&ctx);
+
+  io::FioJob job = basic_job(tb, 1, 40 * sim::kGiB);
+  job.retry.timeout = 5.0e9;  // generous healthy, hopeless throttled
+  job.retry.max_retries = 1;
+
+  io::FioRunner fio(tb.host());
+  fio.set_fault_injector(&injector);
+  fio.set_observer(&ctx);
+  const io::FioResult result = fio.run(job);
+  ASSERT_EQ(result.aborted_streams, 1);
+
+  obs::EventId transition = 0;
+  const obs::Event* abort_event = nullptr;
+  for (const obs::Event& e : sink.events) {
+    if (e.name == "fault.transition" && e.outcome == "on") transition = e.id;
+    if (e.name == "fio.abort") abort_event = &e;
+  }
+  ASSERT_NE(transition, 0u);
+  ASSERT_NE(abort_event, nullptr);
+  // The abort cites the capacity fault that was active at the deadline.
+  EXPECT_EQ(abort_event->parent, transition);
+  EXPECT_EQ(abort_event->outcome, "abort");
+  EXPECT_EQ(ctx.metrics.value("fio.aborted_streams"), 1.0);
+}
+
+TEST(DegradedObservability, OnlineMigrationCitesActiveFault) {
+  io::Testbed tb = io::Testbed::dl585();
+  const auto write_model =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceWrite);
+  const auto read_model =
+      model::build_iomodel(tb.host(), 7, Direction::kDeviceRead);
+  const auto write_classes =
+      model::classify(write_model, tb.machine().topology());
+  const auto read_classes =
+      model::classify(read_model, tb.machine().topology());
+
+  std::vector<model::IoTask> tasks(1);
+  tasks[0].engine = io::kRdmaRead;
+  tasks[0].bytes = 64 * sim::kGiB;
+  tasks[0].arrival = 0.0;
+
+  model::OnlineConfig config;
+  config.policy = model::OnlinePolicy::kModelAdaptive;
+  model::OnlineScheduler plain(tb.host(), tb.nic(), write_classes,
+                               read_classes, config);
+  const topo::NodeId home = plain.run(tasks).tasks[0].first_node;
+
+  faults::FaultPlan plan;
+  plan.add(mc_throttle(home, 0.05e9, 1.0e15, 0.9));
+  faults::FaultInjector injector(tb.machine(), std::move(plan));
+
+  obs::MemorySink sink;
+  obs::Context ctx;
+  ctx.trace.set_sink(&sink);
+  injector.set_observer(&ctx);
+
+  model::OnlineScheduler degraded(tb.host(), tb.nic(), write_classes,
+                                  read_classes, config);
+  degraded.set_fault_injector(&injector);
+  degraded.set_observer(&ctx);
+  const auto report = degraded.run(tasks);
+  ASSERT_GE(report.total_migrations, 1);
+
+  obs::EventId transition = 0;
+  const obs::Event* migrate = nullptr;
+  obs::SpanId run_span = 0;
+  for (const obs::Event& e : sink.events) {
+    if (e.kind == 'B' && e.name == "online.run") run_span = e.id;
+    if (e.name == "fault.transition" && e.outcome == "on") transition = e.id;
+    if (e.name == "sched.migrate" && migrate == nullptr) migrate = &e;
+  }
+  ASSERT_NE(run_span, 0u);
+  ASSERT_NE(transition, 0u);
+  ASSERT_NE(migrate, nullptr);
+  EXPECT_EQ(migrate->span, run_span);
+  EXPECT_EQ(migrate->parent, transition);  // migration blamed on the fault
+  EXPECT_EQ(migrate->node_a, home);
+  EXPECT_NE(migrate->node_b, home);
+  EXPECT_EQ(ctx.metrics.value("sched.migrations"),
+            static_cast<double>(report.total_migrations));
 }
 
 // --- characterization under faults ---------------------------------------

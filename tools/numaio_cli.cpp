@@ -8,7 +8,13 @@
 //                                        Algorithm 1 + classes (Fig 10)
 //   numaio_cli demo [--node N]           numademo policy table
 //   numaio_cli fio <jobfile>             run a fio-format job file
+//   numaio_cli metrics [--in FILE]       metric registry / captured summary
 //   numaio_cli help
+//
+// Every subcommand accepts --trace-out FILE (structured span/event trace,
+// JSONL by default, CSV when FILE ends in .csv) and --metrics-out FILE
+// (counters/gauges/histograms as JSON) — the observability layer of
+// src/obs threaded through the measurement pipeline.
 //
 // Everything runs against the simulated DL585 testbed; on real hardware
 // the same library calls would sit on top of libnuma (see DESIGN.md).
@@ -17,26 +23,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "faults/fault_plan.h"
-#include "faults/injector.h"
-#include "io/jobfile.h"
-#include "io/nic.h"
-#include "io/trace.h"
-#include "io/testbed.h"
-#include "mem/membench.h"
-#include "mem/numademo.h"
-#include "model/asymmetry.h"
-#include "model/characterize.h"
-#include "model/classify.h"
-#include "model/report.h"
-#include "model/validate.h"
-#include "nm/hwloc_view.h"
-#include "nm/slit.h"
+#include "numaio.h"
 
 namespace {
 
@@ -44,20 +37,16 @@ using namespace numaio;
 
 // Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 missing or
 // unreadable file, 4 malformed input file. Scripts can branch on them.
-constexpr int kExitRuntime = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitNoFile = 3;
-constexpr int kExitParse = 4;
+// The codes are simply numaio::StatusCode values; errors are raised as
+// StatusError and mapped back in main().
+constexpr int kExitRuntime = static_cast<int>(StatusCode::kRuntime);
+constexpr int kExitUsage = static_cast<int>(StatusCode::kUsage);
+constexpr int kExitParse = static_cast<int>(StatusCode::kParse);
 
 /// Bad flags / missing operands; main() maps it to exit code 2.
-struct UsageError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-/// Missing or unreadable input file; main() maps it to exit code 3.
-struct FileError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+[[noreturn]] void usage_error(const std::string& what) {
+  throw StatusError(StatusCode::kUsage, what);
+}
 
 int usage() {
   std::printf(
@@ -78,7 +67,13 @@ int usage() {
       "  validate [--reps N]              check the methodology end to end\n"
       "  asymmetry [--target N] [--min-ratio R]\n"
       "                                   hunt directional asymmetries\n"
+      "  metrics [--in FILE]              list known metrics, or summarize a\n"
+      "                                   --metrics-out capture\n"
       "  help                             this text\n"
+      "global options (any subcommand):\n"
+      "  --trace-out FILE                 write a span/event trace (JSONL;\n"
+      "                                   CSV when FILE ends in .csv)\n"
+      "  --metrics-out FILE               write counters/histograms as JSON\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 unreadable file,\n"
       "            4 malformed input file\n");
   return kExitUsage;
@@ -90,6 +85,24 @@ std::string flag_value(const std::vector<std::string>& args,
     if (args[i] == flag) return args[i + 1];
   }
   return fallback;
+}
+
+/// Removes `flag VALUE` from args and returns VALUE ("" when absent).
+/// Used for the global --trace-out/--metrics-out options so subcommand
+/// parsers never see them.
+std::string take_flag(std::vector<std::string>& args,
+                      const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    if (i + 1 >= args.size()) {
+      usage_error(flag + " wants a file path");
+    }
+    const std::string value = args[i + 1];
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return value;
+  }
+  return "";
 }
 
 /// Integer flag with a one-line actionable error instead of a bare stoi
@@ -104,7 +117,7 @@ int int_flag(const std::vector<std::string>& args, const std::string& flag,
     if (pos != text.size()) throw std::invalid_argument(text);
     return v;
   } catch (const std::exception&) {
-    throw UsageError(flag + " wants an integer, got '" + text + "'");
+    usage_error(flag + " wants an integer, got '" + text + "'");
   }
 }
 
@@ -118,7 +131,7 @@ double double_flag(const std::vector<std::string>& args,
     if (pos != text.size()) throw std::invalid_argument(text);
     return v;
   } catch (const std::exception&) {
-    throw UsageError(flag + " wants a number, got '" + text + "'");
+    usage_error(flag + " wants a number, got '" + text + "'");
   }
 }
 
@@ -132,16 +145,16 @@ std::uint64_t u64_flag(const std::vector<std::string>& args,
     if (pos != text.size()) throw std::invalid_argument(text);
     return v;
   } catch (const std::exception&) {
-    throw UsageError(flag + " wants an unsigned integer, got '" + text +
-                     "'");
+    usage_error(flag + " wants an unsigned integer, got '" + text + "'");
   }
 }
 
-/// Slurps a file or throws FileError with the OS reason attached.
+/// Slurps a file or throws StatusError(kNoFile) with the OS reason.
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw FileError("cannot open '" + path + "': " + std::strerror(errno));
+    throw StatusError(StatusCode::kNoFile, "cannot open '" + path + "': " +
+                                               std::strerror(errno));
   }
   std::ostringstream text;
   text << in.rdbuf();
@@ -163,7 +176,8 @@ int cmd_stream_matrix(io::Testbed& tb) {
   return 0;
 }
 
-int cmd_iomodel(io::Testbed& tb, const std::vector<std::string>& args) {
+int cmd_iomodel(io::Testbed& tb, obs::Context& ctx,
+                const std::vector<std::string>& args) {
   const int target = int_flag(args, "--target", 7);
   const std::string dir = flag_value(args, "--direction", "write");
   if (target < 0 || target >= tb.machine().num_nodes()) {
@@ -176,7 +190,9 @@ int cmd_iomodel(io::Testbed& tb, const std::vector<std::string>& args) {
   }
   const auto direction = dir == "write" ? model::Direction::kDeviceWrite
                                         : model::Direction::kDeviceRead;
-  const auto m = model::build_iomodel(tb.host(), target, direction);
+  model::IoModelConfig config;
+  config.obs = &ctx;
+  const auto m = model::build_iomodel(tb.host(), target, direction, config);
   std::printf("%s",
               model::format_series("device-" + dir + " model of node " +
                                        std::to_string(target),
@@ -230,9 +246,11 @@ void print_classes(const model::Classification& classes) {
   }
 }
 
-int cmd_characterize(io::Testbed& tb, const std::vector<std::string>& args) {
+int cmd_characterize(io::Testbed& tb, obs::Context& ctx,
+                     const std::vector<std::string>& args) {
   model::CharacterizeConfig config;
   config.iomodel.repetitions = int_flag(args, "--reps", 100);
+  config.iomodel.obs = &ctx;
   const model::HostModel host_model = model::characterize_host(
       tb.host(), config);
   std::printf("characterized %s: %d nodes, both directions\n",
@@ -246,12 +264,7 @@ int cmd_characterize(io::Testbed& tb, const std::vector<std::string>& args) {
   }
   const std::string out = flag_value(args, "--out", "");
   if (!out.empty()) {
-    std::ofstream file(out);
-    if (!file) {
-      std::fprintf(stderr, "characterize: cannot write '%s'\n", out.c_str());
-      return 2;
-    }
-    file << model::serialize(host_model);
+    model::save_model(host_model, out);  // StatusError(kNoFile) on failure
     std::printf("saved to %s\n", out.c_str());
   }
   return 0;
@@ -263,7 +276,7 @@ int cmd_classes(const std::vector<std::string>& args) {
     std::fprintf(stderr, "classes: --in FILE is required\n");
     return 2;
   }
-  const model::HostModel host_model = model::parse_host_model(read_file(in));
+  const model::HostModel host_model = model::load_model(in);
   const int target = int_flag(args, "--target", 7);
   const std::string dir = flag_value(args, "--direction", "read");
   if (target < 0 || target >= host_model.num_nodes) {
@@ -307,7 +320,8 @@ int cmd_validate(io::Testbed& tb, const std::vector<std::string>& args) {
   return report.all_passed() ? 0 : 1;
 }
 
-int cmd_replay(io::Testbed& tb, const std::vector<std::string>& args) {
+int cmd_replay(io::Testbed& tb, obs::Context& ctx,
+               const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr, "replay: missing trace path\n");
     return kExitUsage;
@@ -315,6 +329,7 @@ int cmd_replay(io::Testbed& tb, const std::vector<std::string>& args) {
   const auto entries = io::parse_trace(read_file(args.front()));
   const auto jobs = io::trace_to_jobs(entries, &tb.nic(), tb.ssds());
   io::FioRunner fio(tb.host());
+  fio.set_observer(&ctx);
   const auto results = fio.run_timed(jobs);
   double total_gib = 0.0;
   sim::Ns last_end = 0.0;
@@ -335,7 +350,8 @@ int cmd_replay(io::Testbed& tb, const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_fio(io::Testbed& tb, const std::vector<std::string>& args) {
+int cmd_fio(io::Testbed& tb, obs::Context& ctx,
+            const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr, "fio: missing job file path\n");
     return kExitUsage;
@@ -343,10 +359,11 @@ int cmd_fio(io::Testbed& tb, const std::vector<std::string>& args) {
   io::DeviceSet set;
   set.nic = &tb.nic();
   set.ssds = tb.ssds();
-  const io::JobFile file = io::parse_job_file(read_file(args.front()));
+  const io::JobFile file = io::load_job_file(args.front());
   const auto jobs = io::resolve_jobs(file, set);
 
   io::FioRunner fio(tb.host());
+  fio.set_observer(&ctx);
   const auto results = fio.run_concurrent(jobs);
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::printf("%-20s engine=%-10s node=%d streams=%d  %8.3f Gbps\n",
@@ -361,21 +378,24 @@ int cmd_fio(io::Testbed& tb, const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_faults(io::Testbed& tb, const std::vector<std::string>& args) {
+int cmd_faults(io::Testbed& tb, obs::Context& ctx,
+               const std::vector<std::string>& args) {
   const std::uint64_t seed = u64_flag(args, "--seed", 42);
   const int events = int_flag(args, "--events", 4);
-  if (events < 1) throw UsageError("--events wants a positive count");
+  if (events < 1) usage_error("--events wants a positive count");
 
   faults::RandomPlanConfig plan_config;
+  plan_config.seed = seed;
+  plan_config.num_nodes = tb.machine().num_nodes();
+  plan_config.num_devices = 1 + static_cast<int>(tb.ssds().size());
   plan_config.num_events = events;
-  const int num_devices = 1 + static_cast<int>(tb.ssds().size());
-  faults::FaultPlan plan = faults::FaultPlan::random(
-      seed, tb.machine().num_nodes(), num_devices, plan_config);
+  faults::FaultPlan plan = faults::FaultPlan::random(plan_config);
   std::printf("fault plan (seed %llu, %d events):\n%s",
               static_cast<unsigned long long>(seed), events,
               plan.to_string().c_str());
 
   faults::FaultInjector injector(tb.machine(), std::move(plan));
+  injector.set_observer(&ctx);
   injector.register_device(tb.nic().name(), tb.nic().attach_node(),
                            tb.nic().fault_resources());
   for (const io::PcieDevice* ssd : tb.ssds()) {
@@ -390,7 +410,7 @@ int cmd_faults(io::Testbed& tb, const std::vector<std::string>& args) {
     io::DeviceSet set;
     set.nic = &tb.nic();
     set.ssds = tb.ssds();
-    const io::JobFile file = io::parse_job_file(read_file(jobfile));
+    const io::JobFile file = io::load_job_file(jobfile);
     jobs = io::resolve_jobs(file, set);
     for (const auto& job : file.jobs) names.push_back(job.name);
   } else {
@@ -412,6 +432,7 @@ int cmd_faults(io::Testbed& tb, const std::vector<std::string>& args) {
 
   io::FioRunner fio(tb.host());
   fio.set_fault_injector(&injector);
+  fio.set_observer(&ctx);
   const auto results = fio.run_concurrent(jobs);
   std::printf("\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -435,6 +456,55 @@ int cmd_faults(io::Testbed& tb, const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_metrics(const std::vector<std::string>& args) {
+  const std::string in = flag_value(args, "--in", "");
+  if (in.empty()) {
+    // No capture file: print the registry of metric names the pipeline
+    // can emit, so scripts know what to look for in --metrics-out files.
+    std::printf("%-28s %-10s %s\n", "metric", "kind", "description");
+    for (const obs::MetricInfo& m : obs::known_metrics()) {
+      std::printf("%-28s %-10s %s\n", m.name, m.kind, m.help);
+    }
+    return 0;
+  }
+  const obs::MetricsRegistry registry = obs::parse_metrics_json(read_file(in));
+  if (registry.empty()) {
+    std::printf("no metrics recorded in %s\n", in.c_str());
+    return 0;
+  }
+  std::printf("%s", registry.summary().c_str());
+  return 0;
+}
+
+}  // namespace
+
+namespace {
+
+/// Dispatches the subcommand with observability wired through the whole
+/// measurement pipeline; returns the exit code or -1 for unknown commands.
+/// `observing` gates the solver's per-solve timer (the one instrumentation
+/// hook with a wall-clock read on a hot path) so runs without --trace-out/
+/// --metrics-out cost nothing measurable.
+int dispatch(const std::string& cmd, std::vector<std::string>& args,
+             obs::Context& ctx, bool observing) {
+  if (cmd == "metrics") return cmd_metrics(args);
+  if (cmd == "classes") return cmd_classes(args);
+
+  io::Testbed tb = io::Testbed::dl585();
+  if (observing) tb.machine().solver().set_observer(&ctx);
+  if (cmd == "hardware") return cmd_hardware(tb);
+  if (cmd == "stream-matrix") return cmd_stream_matrix(tb);
+  if (cmd == "iomodel") return cmd_iomodel(tb, ctx, args);
+  if (cmd == "demo") return cmd_demo(tb, args);
+  if (cmd == "fio") return cmd_fio(tb, ctx, args);
+  if (cmd == "faults") return cmd_faults(tb, ctx, args);
+  if (cmd == "characterize") return cmd_characterize(tb, ctx, args);
+  if (cmd == "replay") return cmd_replay(tb, ctx, args);
+  if (cmd == "validate") return cmd_validate(tb, args);
+  if (cmd == "asymmetry") return cmd_asymmetry(tb, args);
+  return -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -447,25 +517,50 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  io::Testbed tb = io::Testbed::dl585();
   try {
-    if (cmd == "hardware") return cmd_hardware(tb);
-    if (cmd == "stream-matrix") return cmd_stream_matrix(tb);
-    if (cmd == "iomodel") return cmd_iomodel(tb, args);
-    if (cmd == "demo") return cmd_demo(tb, args);
-    if (cmd == "fio") return cmd_fio(tb, args);
-    if (cmd == "faults") return cmd_faults(tb, args);
-    if (cmd == "characterize") return cmd_characterize(tb, args);
-    if (cmd == "classes") return cmd_classes(args);
-    if (cmd == "replay") return cmd_replay(tb, args);
-    if (cmd == "validate") return cmd_validate(tb, args);
-    if (cmd == "asymmetry") return cmd_asymmetry(tb, args);
-  } catch (const UsageError& e) {
+    // Global observability options, valid on every subcommand.
+    const std::string trace_out = take_flag(args, "--trace-out");
+    const std::string metrics_out = take_flag(args, "--metrics-out");
+
+    obs::Context ctx;
+    std::ofstream trace_file;
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!trace_out.empty()) {
+      trace_file.open(trace_out, std::ios::binary);
+      if (!trace_file) {
+        throw StatusError(StatusCode::kNoFile,
+                          "cannot write '" + trace_out + "'");
+      }
+      const bool csv = trace_out.size() >= 4 &&
+                       trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+      if (csv) {
+        sink = std::make_unique<obs::CsvSink>(trace_file);
+      } else {
+        sink = std::make_unique<obs::JsonlSink>(trace_file);
+      }
+      ctx.trace.set_sink(sink.get());
+    }
+
+    const int rc = dispatch(cmd, args, ctx,
+                            !trace_out.empty() || !metrics_out.empty());
+    if (rc < 0) {
+      std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+      return usage();
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream metrics_file(metrics_out, std::ios::binary);
+      if (!metrics_file) {
+        throw StatusError(StatusCode::kNoFile,
+                          "cannot write '" + metrics_out + "'");
+      }
+      metrics_file << ctx.metrics.to_json() << "\n";
+    }
+    return rc;
+  } catch (const StatusError& e) {
+    // Library and CLI errors carry their exit code: 2 usage, 3 missing or
+    // unwritable file, 4 malformed input.
     std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
-    return kExitUsage;
-  } catch (const FileError& e) {
-    std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
-    return kExitNoFile;
+    return e.status().exit_code();
   } catch (const std::invalid_argument& e) {
     // Parsers (jobfile, host model, trace) throw invalid_argument with a
     // line number attached — malformed input, not a tool failure.
@@ -478,6 +573,4 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", cmd.c_str(), e.what());
     return kExitRuntime;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-  return usage();
 }
