@@ -1,0 +1,538 @@
+// Perf-regression harness: a curated bench subset with machine-checkable
+// output, the teeth behind ci/perf_guard.sh.
+//
+// The table/figure binaries in this directory regenerate the paper's
+// numbers for humans; this harness runs a small, fast subset of the same
+// pipeline and writes BENCH_numaio.json — per bench, the wall time and a
+// set of simulated metrics (bandwidths, retry counts, trace-derived stall
+// fractions). A committed baseline plus `compare` turns that into a perf
+// gate:
+//
+//   bench_harness run [--out FILE] [--reps N]      measure, write JSON
+//   bench_harness compare BASE CUR [--wall-tol F] [--metric-tol F]
+//                 [--stall-tol F] [--skip-wall]    gate CUR against BASE
+//   bench_harness perturb IN OUT --wall-scale F    self-test helper
+//
+// compare fails (exit 1) when a bench disappeared, a wall time regressed
+// past --wall-tol (relative, slowdowns only — getting faster never
+// fails), a simulated metric moved past --metric-tol (relative, both
+// directions: these are deterministic, drift means behavior changed), or
+// a *_stall_frac metric moved past --stall-tol (absolute). --skip-wall
+// drops the wall check for noisy shared CI runners; run_all.sh uses it.
+// `perturb` rescales every wall_ms so CI can prove the gate actually
+// fails on an injected slowdown (see tools/CMakeLists.txt).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "numaio.h"
+
+namespace {
+
+using namespace numaio;
+
+// ---------------------------------------------------------------------
+// Bench results and their JSON serialization (docs/FORMATS.md §5c).
+
+struct BenchResult {
+  double wall_ms = 0.0;
+  /// Name-sorted; values are simulated (deterministic) measurements.
+  std::map<std::string, double> metrics;
+};
+
+using BenchSet = std::map<std::string, BenchResult>;
+
+constexpr char kSchema[] = "numaio-bench v1";
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void write_bench_json(const BenchSet& benches, std::ostream& out) {
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"benches\": {";
+  bool first_bench = true;
+  for (const auto& [name, r] : benches) {
+    out << (first_bench ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"wall_ms\": " << num(r.wall_ms) << ", \"metrics\": {";
+    bool first_metric = true;
+    for (const auto& [key, value] : r.metrics) {
+      out << (first_metric ? "" : ", ") << "\"" << key
+          << "\": " << num(value);
+      first_metric = false;
+    }
+    out << "}}";
+    first_bench = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader for the schema above: objects, strings, numbers.
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      if (pos_ < text_.size()) out += text_[pos_++];
+    }
+    expect('"');
+    return out;
+  }
+  double number() {
+    skip_ws();
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(text_.substr(pos_), &used);
+    } catch (const std::exception&) {
+      fail("expected a number");
+    }
+    pos_ += used;
+    return v;
+  }
+  void end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("bench json, offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+BenchSet parse_bench_json(const std::string& text) {
+  JsonCursor c(text);
+  BenchSet benches;
+  c.expect('{');
+  bool saw_schema = false;
+  while (true) {
+    const std::string key = c.string();
+    c.expect(':');
+    if (key == "schema") {
+      if (c.string() != kSchema) {
+        throw std::invalid_argument("bench json: unsupported schema");
+      }
+      saw_schema = true;
+    } else if (key == "benches") {
+      c.expect('{');
+      if (!c.accept('}')) {
+        do {
+          const std::string name = c.string();
+          c.expect(':');
+          c.expect('{');
+          BenchResult r;
+          do {
+            const std::string field = c.string();
+            c.expect(':');
+            if (field == "wall_ms") {
+              r.wall_ms = c.number();
+            } else if (field == "metrics") {
+              c.expect('{');
+              if (!c.accept('}')) {
+                do {
+                  const std::string metric = c.string();
+                  c.expect(':');
+                  r.metrics[metric] = c.number();
+                } while (c.accept(','));
+                c.expect('}');
+              }
+            } else {
+              throw std::invalid_argument("bench json: unknown field '" +
+                                          field + "'");
+            }
+          } while (c.accept(','));
+          c.expect('}');
+          benches[name] = r;
+        } while (c.accept(','));
+        c.expect('}');
+      }
+    } else {
+      throw std::invalid_argument("bench json: unknown key '" + key + "'");
+    }
+    if (!c.accept(',')) break;
+  }
+  c.expect('}');
+  c.end();
+  if (!saw_schema) throw std::invalid_argument("bench json: no schema");
+  return benches;
+}
+
+BenchSet load_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_bench_json(text.str());
+}
+
+// ---------------------------------------------------------------------
+// The curated benches. Each exercises one pipeline layer end to end and
+// reports simulated metrics that a behavior change would move.
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Runs `body` `iterations` times under one timer; the metrics of the
+/// last iteration win (every iteration is deterministic, so they all
+/// agree). Single runs finish in microseconds — too little signal for a
+/// relative wall gate — so each bench repeats enough to make wall_ms a
+/// tens-of-milliseconds number.
+template <typename Body>
+BenchResult timed(int iterations, Body&& body) {
+  BenchResult r;
+  const auto start = Clock::now();
+  for (int i = 0; i < iterations; ++i) r.metrics = body();
+  r.wall_ms = ms_since(start);
+  return r;
+}
+
+/// Total attributed stall over total busy time across the capture's
+/// contention cells — the trace-derived "how contended was this run".
+double overall_stall_frac(const std::vector<obs::Event>& events) {
+  const obs::TraceAnalysis analysis = obs::analyze_trace(events);
+  double busy = 0.0;
+  double stall = 0.0;
+  for (const obs::ContentionCell& cell : analysis.contention) {
+    busy += cell.busy_ns;
+    stall += cell.stall_ns;
+  }
+  return busy > 0.0 ? stall / busy : 0.0;
+}
+
+BenchResult bench_stream_matrix(io::Testbed& tb) {
+  return timed(10, [&] {
+    const mem::BandwidthMatrix m = mem::stream_matrix(tb.host());
+    double local = 0.0;
+    double remote_min = 1e18;
+    for (topo::NodeId cpu = 0; cpu < m.num_nodes(); ++cpu) {
+      local += m.at(cpu, cpu);
+      for (topo::NodeId memn = 0; memn < m.num_nodes(); ++memn) {
+        if (memn != cpu) remote_min = std::min(remote_min, m.at(cpu, memn));
+      }
+    }
+    return std::map<std::string, double>{
+        {"local_avg_gbps", local / m.num_nodes()},
+        {"remote_min_gbps", remote_min}};
+  });
+}
+
+BenchResult bench_iomodel_node7(io::Testbed& tb, int reps) {
+  return timed(50, [&] {
+    obs::Context ctx;
+    obs::MemorySink capture;
+    ctx.trace.set_deterministic(true);
+    ctx.trace.set_sink(&capture);
+    model::IoModelConfig config;
+    config.repetitions = reps;
+    config.obs = &ctx;
+    const model::IoModelResult m = model::build_iomodel(
+        tb.host(), 7, model::Direction::kDeviceWrite, config);
+    const model::Classification classes =
+        model::classify(m, tb.machine().topology());
+    return std::map<std::string, double>{
+        {"class1_avg_gbps", classes.class_avg.front()},
+        {"num_classes", static_cast<double>(classes.num_classes())},
+        {"probe_stall_frac", overall_stall_frac(capture.events)}};
+  });
+}
+
+io::FioJob rdma_job(io::Testbed& tb) {
+  io::FioJob job;
+  job.devices = {&tb.nic()};
+  job.engine = io::kRdmaRead;
+  job.cpu_node = 2;
+  job.num_streams = 4;
+  job.bytes_per_stream = 40 * sim::kGiB;
+  return job;
+}
+
+BenchResult bench_fio_clean(io::Testbed& tb) {
+  return timed(200, [&] {
+    obs::Context ctx;
+    obs::MemorySink capture;
+    ctx.trace.set_deterministic(true);
+    ctx.trace.set_sink(&capture);
+    io::FioRunner fio(tb.host());
+    fio.set_observer(&ctx);
+    const io::FioResult result = fio.run(rdma_job(tb));
+    return std::map<std::string, double>{
+        {"aggregate_gbps", result.aggregate},
+        {"io_stall_frac", overall_stall_frac(capture.events)}};
+  });
+}
+
+BenchResult bench_fio_degraded(io::Testbed& tb) {
+  return timed(50, [&] {
+    obs::Context ctx;
+    obs::MemorySink capture;
+    ctx.trace.set_deterministic(true);
+    ctx.trace.set_sink(&capture);
+
+    faults::RandomPlanConfig plan_config;
+    plan_config.seed = 42;
+    plan_config.num_nodes = tb.machine().num_nodes();
+    plan_config.num_devices = 1 + static_cast<int>(tb.ssds().size());
+    plan_config.num_events = 4;
+    faults::FaultInjector injector(tb.machine(),
+                                   faults::FaultPlan::random(plan_config));
+    injector.set_observer(&ctx);
+    injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                             tb.nic().fault_resources());
+    for (const io::PcieDevice* ssd : tb.ssds()) {
+      injector.register_device(ssd->name(), ssd->attach_node(),
+                               ssd->fault_resources());
+    }
+
+    io::FioJob job = rdma_job(tb);
+    job.retry.timeout = 30.0e9;
+    io::FioRunner fio(tb.host());
+    fio.set_fault_injector(&injector);
+    fio.set_observer(&ctx);
+    const io::FioResult result = fio.run(job);
+    injector.restore();
+    return std::map<std::string, double>{
+        {"aggregate_gbps", result.aggregate},
+        {"retries", static_cast<double>(result.total_retries)},
+        {"io_stall_frac", overall_stall_frac(capture.events)}};
+  });
+}
+
+BenchResult bench_multiuser(io::Testbed& tb) {
+  return timed(200, [&] {
+    io::FioRunner fio(tb.host());
+    io::FioJob net = rdma_job(tb);
+    io::FioJob disk;
+    disk.devices = tb.ssds();
+    disk.engine = io::kSsdWrite;
+    disk.cpu_node = 6;
+    disk.num_streams = 4;
+    disk.bytes_per_stream = 40 * sim::kGiB;
+    const auto results = fio.run_concurrent({net, disk});
+    return std::map<std::string, double>{
+        {"combined_gbps", io::combined_aggregate(results)}};
+  });
+}
+
+BenchSet run_benches(int reps) {
+  io::Testbed tb = io::Testbed::dl585();
+  BenchSet out;
+  out["stream_matrix"] = bench_stream_matrix(tb);
+  out["iomodel_node7_write"] = bench_iomodel_node7(tb, reps);
+  out["fio_rdma_clean"] = bench_fio_clean(tb);
+  out["fio_rdma_degraded_seed42"] = bench_fio_degraded(tb);
+  out["multiuser_nic_ssd"] = bench_multiuser(tb);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// compare / perturb.
+
+struct CompareOptions {
+  double wall_tol = 0.20;    ///< Relative; slowdowns only.
+  double metric_tol = 0.01;  ///< Relative, either direction.
+  double stall_tol = 0.02;   ///< Absolute, for *_stall_frac metrics.
+  bool skip_wall = false;
+};
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(),
+                      suffix) == 0;
+}
+
+int compare(const BenchSet& base, const BenchSet& current,
+            const CompareOptions& options) {
+  int failures = 0;
+  for (const auto& [name, b] : base) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("FAIL %-26s missing from current results\n",
+                  name.c_str());
+      ++failures;
+      continue;
+    }
+    const BenchResult& c = it->second;
+
+    if (!options.skip_wall && b.wall_ms > 0.0) {
+      const double rel = c.wall_ms / b.wall_ms - 1.0;
+      if (rel > options.wall_tol) {
+        std::printf("FAIL %-26s wall %.3f ms -> %.3f ms (+%.0f%% > %.0f%%)\n",
+                    name.c_str(), b.wall_ms, c.wall_ms, 100.0 * rel,
+                    100.0 * options.wall_tol);
+        ++failures;
+      } else {
+        std::printf("ok   %-26s wall %.3f ms -> %.3f ms (%+.0f%%)\n",
+                    name.c_str(), b.wall_ms, c.wall_ms, 100.0 * rel);
+      }
+    }
+
+    for (const auto& [metric, base_value] : b.metrics) {
+      const auto mit = c.metrics.find(metric);
+      if (mit == c.metrics.end()) {
+        std::printf("FAIL %-26s metric %s missing\n", name.c_str(),
+                    metric.c_str());
+        ++failures;
+        continue;
+      }
+      const double cur_value = mit->second;
+      bool bad = false;
+      if (ends_with(metric, "stall_frac")) {
+        bad = std::fabs(cur_value - base_value) > options.stall_tol;
+      } else if (base_value != 0.0) {
+        bad = std::fabs(cur_value / base_value - 1.0) > options.metric_tol;
+      } else {
+        bad = std::fabs(cur_value) > options.metric_tol;
+      }
+      if (bad) {
+        std::printf("FAIL %-26s %s %.6g -> %.6g\n", name.c_str(),
+                    metric.c_str(), base_value, cur_value);
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("perf guard: %zu benches within tolerance\n", base.size());
+    return 0;
+  }
+  std::printf("perf guard: %d failure(s)\n", failures);
+  return 1;
+}
+
+// ---------------------------------------------------------------------
+// CLI plumbing (kept flag-compatible with numaio_cli's conventions).
+
+std::string flag_value(std::vector<std::string>& args,
+                       const std::string& flag,
+                       const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    const std::string value = args[i + 1];
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return value;
+  }
+  return fallback;
+}
+
+bool take_switch(std::vector<std::string>& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_harness run [--out FILE] [--reps N]\n"
+      "       bench_harness compare BASELINE CURRENT [--wall-tol F]\n"
+      "               [--metric-tol F] [--stall-tol F] [--skip-wall]\n"
+      "       bench_harness perturb IN OUT --wall-scale F\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "run") {
+      const std::string out_path = flag_value(args, "--out", "");
+      const int reps = std::stoi(flag_value(args, "--reps", "25"));
+      if (!args.empty() || reps < 1) return usage();
+      const BenchSet benches = run_benches(reps);
+      if (out_path.empty()) {
+        write_bench_json(benches, std::cout);
+      } else {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+          throw std::runtime_error("cannot write '" + out_path + "'");
+        }
+        write_bench_json(benches, out);
+        std::printf("wrote %zu benches to %s\n", benches.size(),
+                    out_path.c_str());
+      }
+      return 0;
+    }
+    if (cmd == "compare") {
+      CompareOptions options;
+      options.wall_tol =
+          std::stod(flag_value(args, "--wall-tol", "0.20"));
+      options.metric_tol =
+          std::stod(flag_value(args, "--metric-tol", "0.01"));
+      options.stall_tol =
+          std::stod(flag_value(args, "--stall-tol", "0.02"));
+      options.skip_wall = take_switch(args, "--skip-wall");
+      if (args.size() != 2) return usage();
+      return compare(load_bench_json(args[0]), load_bench_json(args[1]),
+                     options);
+    }
+    if (cmd == "perturb") {
+      const double scale =
+          std::stod(flag_value(args, "--wall-scale", "1.0"));
+      if (args.size() != 2) return usage();
+      BenchSet benches = load_bench_json(args[0]);
+      for (auto& [name, r] : benches) r.wall_ms *= scale;
+      std::ofstream out(args[1], std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write '" + args[1] + "'");
+      write_bench_json(benches, out);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_harness %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

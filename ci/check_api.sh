@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Public-API hygiene check. Usage: ci/check_api.sh [compiler]
 #
 # Compiles a tiny translation unit that includes ONLY the umbrella header
@@ -7,7 +7,7 @@
 # no longer gets transitively, or a warning-dirty inline definition —
 # exactly the failures a downstream consumer of `#include "numaio.h"`
 # would hit first.
-set -eu
+set -euo pipefail
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 CXX=${1:-${CXX:-c++}}

@@ -1,11 +1,16 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Full CI pipeline. Usage: ci/run_all.sh [build-dir]
 #
 # 1. configure + build the default tree,
 # 2. run the full ctest suite,
 # 3. check the public API surface (ci/check_api.sh),
-# 4. rebuild and re-test under ASan+UBSan (ci/sanitize.sh).
-set -eu
+# 4. gate perf against the committed baseline (ci/perf_guard.sh;
+#    metrics-only by default — see that script for wall-time gating),
+# 5. rebuild and re-test under ASan+UBSan (ci/sanitize.sh).
+#
+# bash + `set -euo pipefail` so a failing stage — including one on the
+# left side of a pipe — fails the pipeline instead of scrolling past.
+set -euo pipefail
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$ROOT/build-ci"}
@@ -16,6 +21,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 "$ROOT/ci/check_api.sh"
+"$ROOT/ci/perf_guard.sh" "$BUILD_DIR"
 "$ROOT/ci/sanitize.sh" "$BUILD_DIR-sanitize"
 
-echo "run_all: build, tests, API check and sanitizers all green"
+echo "run_all: build, tests, API check, perf guard and sanitizers all green"

@@ -1,10 +1,10 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # ASan+UBSan build and test run. Usage: ci/sanitize.sh [build-dir]
 #
 # Configures a separate build tree with AddressSanitizer and
 # UndefinedBehaviorSanitizer enabled, builds everything and runs the full
 # ctest suite with sanitizer errors promoted to hard failures.
-set -eu
+set -euo pipefail
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$ROOT/build-sanitize"}

@@ -1,0 +1,307 @@
+#include "model/perf_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "simcore/units.h"
+
+namespace numaio::model {
+
+namespace {
+
+const char* dir_name(Direction dir) {
+  return dir == Direction::kDeviceWrite ? "write" : "read";
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string ms(double ns) { return fixed(ns / 1e6, 3); }
+
+std::string gib(long long bytes) {
+  return fixed(static_cast<double>(bytes) / static_cast<double>(sim::kGiB),
+               2);
+}
+
+/// "{0 1} {4 5 6 7} {2 3}" — the serialized-model class syntax.
+std::string classes_text(const Classification& c) {
+  std::string out;
+  for (const auto& members : c.classes) {
+    if (!out.empty()) out += ' ';
+    out += '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i != 0) out += ' ';
+      out += std::to_string(members[i]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+std::string class_avgs_text(const Classification& c) {
+  std::string out;
+  for (std::size_t i = 0; i < c.class_avg.size(); ++i) {
+    if (i != 0) out += " / ";
+    out += fixed(c.class_avg[i], 1);
+  }
+  return out;
+}
+
+void json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+RunReport build_run_report(std::string command, const HostModel* model,
+                           const std::vector<obs::Event>& events,
+                           const obs::MetricsRegistry* metrics) {
+  RunReport report;
+  report.command = std::move(command);
+  if (model != nullptr) {
+    report.has_model = true;
+    report.model = *model;
+  }
+  report.analysis = obs::analyze_trace(events);
+  if (metrics != nullptr) report.counters = metrics->counter_values();
+  return report;
+}
+
+std::string render_markdown(const RunReport& report,
+                            const RunReportOptions& options) {
+  const obs::TraceAnalysis& a = report.analysis;
+  std::ostringstream out;
+  out << "# numaio run report\n\n";
+  out << "- command: `" << report.command << "`\n";
+  out << "- trace records: " << a.num_records;
+  if (a.last_ns >= 0.0) {
+    out << ", simulated window: " << ms(a.first_ns) << " – " << ms(a.last_ns)
+        << " ms";
+  }
+  out << "\n- critical path: " << ms(a.critical_path_ns)
+      << " ms end-to-end over " << a.critical_path.size() << " steps\n";
+
+  if (report.has_model) {
+    out << "\n## Performance classes (" << report.model.host_name << ", "
+        << report.model.num_nodes << " nodes, revision "
+        << report.model.revision << (report.model.stale ? ", STALE" : "")
+        << ")\n\n";
+    out << "| target | dir | classes | class avg Gbps |\n";
+    out << "|---|---|---|---|\n";
+    for (NodeId t = 0; t < report.model.num_nodes; ++t) {
+      for (const Direction dir :
+           {Direction::kDeviceWrite, Direction::kDeviceRead}) {
+        const Classification& c = report.model.classes_for(t, dir);
+        out << "| " << t << " | " << dir_name(dir) << " | "
+            << classes_text(c) << " | " << class_avgs_text(c) << " |\n";
+      }
+    }
+  }
+
+  if (!a.span_kinds.empty()) {
+    out << "\n## Span summary\n\n";
+    out << "| span | count | total ms | max ms | GiB | outcomes |\n";
+    out << "|---|---|---|---|---|---|\n";
+    for (const obs::SpanKindStats& k : a.span_kinds) {
+      out << "| " << k.name << " | " << k.count << " | " << ms(k.total_ns)
+          << " | " << ms(k.max_ns) << " | " << gib(k.bytes) << " | ";
+      for (std::size_t i = 0; i < k.outcomes.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << k.outcomes[i].first << " × "
+            << k.outcomes[i].second;
+      }
+      out << " |\n";
+    }
+  }
+
+  if (!a.critical_path.empty()) {
+    out << "\n## Critical path\n\n";
+    out << "| # | record | name | self ms | outcome | detail |\n";
+    out << "|---|---|---|---|---|---|\n";
+    int step_no = 0;
+    for (const obs::CriticalPathStep& step : a.critical_path) {
+      if (++step_no > options.max_path_steps) {
+        out << "| … | | ("
+            << static_cast<int>(a.critical_path.size()) - step_no + 1
+            << " more steps) | | | |\n";
+        break;
+      }
+      out << "| " << step_no << " | id " << step.id << " | " << step.name
+          << " | " << ms(step.self_ns) << " | " << step.outcome << " | "
+          << step.detail << " |\n";
+    }
+  }
+
+  if (!a.contention.empty()) {
+    out << "\n## Contention (top " << options.top_contended
+        << " node pairs by attributed stall)\n\n";
+    out << "| pair | spans | GiB | busy ms | stall ms | stall % |\n";
+    out << "|---|---|---|---|---|---|\n";
+    int rows = 0;
+    for (const obs::ContentionCell& cell : a.contention) {
+      if (++rows > options.top_contended) break;
+      out << "| " << cell.node_a << " → " << cell.node_b << " | "
+          << cell.spans << " | " << gib(cell.bytes) << " | "
+          << ms(cell.busy_ns) << " | " << ms(cell.stall_ns) << " | "
+          << fixed(100.0 * cell.stall_frac(), 1) << " |\n";
+    }
+  }
+
+  out << "\n## Faults & retries\n\n";
+  out << "- transitions: " << a.faults.transitions
+      << ", retries: " << a.faults.retries << ", aborts: " << a.faults.aborts
+      << ", records caused by faults: " << a.faults.caused << "\n";
+  if (!a.faults.by_fault.empty()) {
+    out << "\n| fault transition | consequences |\n|---|---|\n";
+    for (const auto& [label, count] : a.faults.by_fault) {
+      out << "| " << label << " | " << count << " |\n";
+    }
+  }
+
+  if (!report.counters.empty()) {
+    out << "\n## Counters\n\n| counter | value |\n|---|---|\n";
+    for (const auto& c : report.counters) {
+      out << "| " << c.name << " | " << g17(c.value) << " |\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_json(const RunReport& report,
+                        const RunReportOptions& options) {
+  const obs::TraceAnalysis& a = report.analysis;
+  std::ostringstream out;
+  out << "{\n  \"command\": ";
+  json_string(out, report.command);
+  out << ",\n  \"records\": " << a.num_records;
+  out << ",\n  \"sim_first_ns\": " << g17(a.first_ns);
+  out << ",\n  \"sim_last_ns\": " << g17(a.last_ns);
+  out << ",\n  \"critical_path_ns\": " << g17(a.critical_path_ns);
+
+  out << ",\n  \"classes\": [";
+  if (report.has_model) {
+    bool first = true;
+    for (NodeId t = 0; t < report.model.num_nodes; ++t) {
+      for (const Direction dir :
+           {Direction::kDeviceWrite, Direction::kDeviceRead}) {
+        const Classification& c = report.model.classes_for(t, dir);
+        out << (first ? "\n" : ",\n") << "    {\"target\": " << t
+            << ", \"dir\": \"" << dir_name(dir) << "\", \"classes\": [";
+        for (std::size_t i = 0; i < c.classes.size(); ++i) {
+          out << (i == 0 ? "[" : ", [");
+          for (std::size_t j = 0; j < c.classes[i].size(); ++j) {
+            out << (j == 0 ? "" : ", ") << c.classes[i][j];
+          }
+          out << "]";
+        }
+        out << "], \"avg_gbps\": [";
+        for (std::size_t i = 0; i < c.class_avg.size(); ++i) {
+          out << (i == 0 ? "" : ", ") << g17(c.class_avg[i]);
+        }
+        out << "]}";
+        first = false;
+      }
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "]";
+
+  out << ",\n  \"span_kinds\": [";
+  for (std::size_t i = 0; i < a.span_kinds.size(); ++i) {
+    const obs::SpanKindStats& k = a.span_kinds[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    json_string(out, k.name);
+    out << ", \"count\": " << k.count << ", \"unclosed\": " << k.unclosed
+        << ", \"total_ns\": " << g17(k.total_ns) << ", \"max_ns\": "
+        << g17(k.max_ns) << ", \"bytes\": " << k.bytes << ", \"outcomes\": {";
+    for (std::size_t j = 0; j < k.outcomes.size(); ++j) {
+      out << (j == 0 ? "" : ", ");
+      json_string(out, k.outcomes[j].first);
+      out << ": " << k.outcomes[j].second;
+    }
+    out << "}}";
+  }
+  out << (a.span_kinds.empty() ? "]" : "\n  ]");
+
+  out << ",\n  \"critical_path\": [";
+  const std::size_t steps =
+      std::min(a.critical_path.size(),
+               static_cast<std::size_t>(options.max_path_steps));
+  for (std::size_t i = 0; i < steps; ++i) {
+    const obs::CriticalPathStep& s = a.critical_path[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << s.id
+        << ", \"name\": ";
+    json_string(out, s.name);
+    out << ", \"self_ns\": " << g17(s.self_ns) << ", \"start_ns\": "
+        << g17(s.start_ns) << ", \"end_ns\": " << g17(s.end_ns)
+        << ", \"outcome\": ";
+    json_string(out, s.outcome);
+    out << ", \"detail\": ";
+    json_string(out, s.detail);
+    out << "}";
+  }
+  out << (steps == 0 ? "]" : "\n  ]");
+
+  out << ",\n  \"contention\": [";
+  const std::size_t cells =
+      std::min(a.contention.size(),
+               static_cast<std::size_t>(options.top_contended));
+  for (std::size_t i = 0; i < cells; ++i) {
+    const obs::ContentionCell& c = a.contention[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"node_a\": " << c.node_a
+        << ", \"node_b\": " << c.node_b << ", \"spans\": " << c.spans
+        << ", \"bytes\": " << c.bytes << ", \"busy_ns\": " << g17(c.busy_ns)
+        << ", \"stall_ns\": " << g17(c.stall_ns) << ", \"stall_frac\": "
+        << g17(c.stall_frac()) << "}";
+  }
+  out << (cells == 0 ? "]" : "\n  ]");
+
+  out << ",\n  \"faults\": {\"transitions\": " << a.faults.transitions
+      << ", \"retries\": " << a.faults.retries << ", \"aborts\": "
+      << a.faults.aborts << ", \"caused\": " << a.faults.caused
+      << ", \"by_fault\": [";
+  for (std::size_t i = 0; i < a.faults.by_fault.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "{\"fault\": ";
+    json_string(out, a.faults.by_fault[i].first);
+    out << ", \"caused\": " << a.faults.by_fault[i].second << "}";
+  }
+  out << "]}";
+
+  out << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    out << (i == 0 ? "" : ", ");
+    json_string(out, report.counters[i].name);
+    out << ": " << g17(report.counters[i].value);
+  }
+  out << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace numaio::model

@@ -14,7 +14,11 @@
 // the include order documents the dependency order.
 #pragma once
 
-// Observability: structured tracing, metrics registry, scoped timers.
+// Observability: structured tracing, metrics registry, scoped timers,
+// trace analysis (critical path, contention) and exporters (Chrome trace
+// JSON for Perfetto, Prometheus text exposition).
+#include "obs/analysis.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 
 // Simulation core: units, RNG, statistics, retry policy, status codes.
@@ -75,6 +79,7 @@
 #include "model/iomodel.h"
 #include "model/mitigate.h"
 #include "model/online.h"
+#include "model/perf_report.h"
 #include "model/predictor.h"
 #include "model/report.h"
 #include "model/scheduler.h"

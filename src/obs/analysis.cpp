@@ -1,0 +1,410 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string_view>
+
+namespace numaio::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// JSONL parse-back: the exact object layout JsonlSink writes, one record
+// per line, keys accepted in any order so hand-edited fixtures also load.
+
+class ObjectCursor {
+ public:
+  ObjectCursor(std::string_view line, int line_no)
+      : line_(line), line_no_(line_no) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("trace line " + std::to_string(line_no_) +
+                                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!try_consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= line_.size()) fail("dangling escape");
+        const char esc = line_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            if (pos_ + 4 > line_.size()) fail("short \\u escape");
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = line_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            c = static_cast<char>(value);  // sinks only escape < 0x20
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= line_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(std::string(line_.substr(pos_)), &consumed);
+    } catch (const std::exception&) {
+      fail("expected a number");
+    }
+    pos_ += consumed;
+    return value;
+  }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+  int line_no_;
+};
+
+Event parse_record(std::string_view line, int line_no) {
+  ObjectCursor cur(line, line_no);
+  Event e;
+  e.wall_us = -1.0;  // deterministic traces omit the field
+  cur.expect('{');
+  bool first = true;
+  while (!cur.try_consume('}')) {
+    if (!first) cur.expect(',');
+    first = false;
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    if (key == "id") {
+      e.id = static_cast<EventId>(cur.parse_number());
+    } else if (key == "span") {
+      e.span = static_cast<SpanId>(cur.parse_number());
+    } else if (key == "parent") {
+      e.parent = static_cast<EventId>(cur.parse_number());
+    } else if (key == "kind") {
+      const std::string v = cur.parse_string();
+      if (v.size() != 1) cur.fail("kind must be one character");
+      e.kind = v[0];
+    } else if (key == "name") {
+      e.name = cur.parse_string();
+    } else if (key == "node_a") {
+      e.node_a = static_cast<int>(cur.parse_number());
+    } else if (key == "node_b") {
+      e.node_b = static_cast<int>(cur.parse_number());
+    } else if (key == "dir") {
+      const std::string v = cur.parse_string();
+      if (v.size() != 1) cur.fail("dir must be one character");
+      e.dir = v[0];
+    } else if (key == "bytes") {
+      e.bytes = static_cast<long long>(cur.parse_number());
+    } else if (key == "t") {
+      e.t_sim = cur.parse_number();
+    } else if (key == "outcome") {
+      e.outcome = cur.parse_string();
+    } else if (key == "detail") {
+      e.detail = cur.parse_string();
+    } else if (key == "wall_us") {
+      e.wall_us = cur.parse_number();
+    } else {
+      cur.fail("unknown field '" + key + "'");
+    }
+  }
+  if (e.id == 0) cur.fail("record without an id");
+  return e;
+}
+
+// ---------------------------------------------------------------------
+// Analysis proper.
+
+/// One reassembled span: its begin/end records and tree links.
+struct SpanInfo {
+  const Event* begin = nullptr;
+  const Event* end = nullptr;
+  std::vector<EventId> child_spans;     ///< In id (= begin) order.
+  std::vector<const Event*> instants;   ///< Instants inside, id order.
+  double t0 = -1.0;
+  double t1 = -1.0;
+  double dur = 0.0;
+};
+
+/// "a dominates b" for root/descent choice: later end time, then longer
+/// duration, then the earlier record. Untimed spans (t1 = -1) lose to any
+/// timed one.
+bool dominates(const SpanInfo& a, EventId a_id, const SpanInfo& b,
+               EventId b_id) {
+  if (a.t1 != b.t1) return a.t1 > b.t1;
+  if (a.dur != b.dur) return a.dur > b.dur;
+  return a_id < b_id;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+std::vector<Event> parse_trace_jsonl(const std::string& text) {
+  std::vector<Event> events;
+  std::size_t start = 0;
+  int line_no = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    const std::string_view line(text.data() + start, end - start);
+    if (!line.empty()) events.push_back(parse_record(line, line_no));
+    start = end + 1;
+  }
+  return events;
+}
+
+TraceAnalysis analyze_trace(const std::vector<Event>& events) {
+  TraceAnalysis out;
+  out.num_records = static_cast<int>(events.size());
+
+  // Reassemble spans and the id index. std::map keeps ids ordered, which
+  // pins every later tie-break to record order.
+  std::map<EventId, const Event*> by_id;
+  std::map<EventId, SpanInfo> spans;
+  for (const Event& e : events) {
+    by_id.emplace(e.id, &e);
+    if (e.kind == 'B') {
+      spans[e.id].begin = &e;
+    } else if (e.kind == 'E') {
+      spans[e.span].end = &e;
+    } else if (e.span != 0) {
+      spans[e.span].instants.push_back(&e);
+    }
+    if (e.t_sim >= 0.0) {
+      if (out.first_ns < 0.0 || e.t_sim < out.first_ns) out.first_ns = e.t_sim;
+      if (e.t_sim > out.last_ns) out.last_ns = e.t_sim;
+    }
+  }
+  for (auto& [id, info] : spans) {
+    if (info.begin == nullptr) continue;  // partial capture: end only
+    if (info.begin->parent != 0) {
+      const auto parent = spans.find(info.begin->parent);
+      if (parent != spans.end()) parent->second.child_spans.push_back(id);
+    }
+    info.t0 = info.begin->t_sim;
+    if (info.end != nullptr) info.t1 = info.end->t_sim;
+    if (info.t0 >= 0.0 && info.t1 >= info.t0) info.dur = info.t1 - info.t0;
+  }
+
+  // 1. Per-span-kind aggregates.
+  std::map<std::string, SpanKindStats> kinds;
+  std::map<std::string, std::map<std::string, int>> kind_outcomes;
+  for (const auto& [id, info] : spans) {
+    if (info.begin == nullptr) continue;
+    SpanKindStats& k = kinds[info.begin->name];
+    k.name = info.begin->name;
+    ++k.count;
+    k.total_ns += info.dur;
+    k.max_ns = std::max(k.max_ns, info.dur);
+    if (info.end == nullptr) {
+      ++k.unclosed;
+      ++kind_outcomes[k.name]["(open)"];
+    } else {
+      if (info.end->bytes > 0) k.bytes += info.end->bytes;
+      ++kind_outcomes[k.name][info.end->outcome];
+    }
+  }
+  for (auto& [name, k] : kinds) {
+    for (const auto& [outcome, n] : kind_outcomes[name]) {
+      k.outcomes.emplace_back(outcome, n);
+    }
+    out.span_kinds.push_back(std::move(k));
+  }
+
+  // 2. Critical path: dominant root span, descend through the dominant
+  // child at each level, then extend through the leaf's latest cause edge
+  // to the record (typically a fault.transition) that shaped it.
+  EventId root = 0;
+  for (const auto& [id, info] : spans) {
+    if (info.begin == nullptr) continue;
+    const bool is_root = info.begin->parent == 0 ||
+                         spans.find(info.begin->parent) == spans.end();
+    if (!is_root) continue;
+    if (root == 0 || dominates(info, id, spans.at(root), root)) root = id;
+  }
+  if (root != 0) {
+    out.critical_path_ns = spans.at(root).dur;
+    EventId cur = root;
+    while (cur != 0) {
+      const SpanInfo& info = spans.at(cur);
+      EventId next = 0;
+      for (const EventId child : info.child_spans) {
+        if (next == 0 ||
+            dominates(spans.at(child), child, spans.at(next), next)) {
+          next = child;
+        }
+      }
+      CriticalPathStep step;
+      step.id = cur;
+      step.name = info.begin->name;
+      step.outcome = info.end != nullptr ? info.end->outcome : "(open)";
+      step.detail = info.begin->detail;
+      step.start_ns = info.t0;
+      step.end_ns = info.t1;
+      step.self_ns =
+          std::max(0.0, info.dur - (next != 0 ? spans.at(next).dur : 0.0));
+      out.critical_path.push_back(std::move(step));
+      if (next == 0) {
+        // Leaf: follow the latest instant that cites a cause.
+        const Event* pivot = nullptr;
+        for (const Event* i : info.instants) {
+          if (i->parent == 0) continue;
+          if (pivot == nullptr || i->t_sim > pivot->t_sim ||
+              (i->t_sim == pivot->t_sim && i->id < pivot->id)) {
+            pivot = i;
+          }
+        }
+        // Walk the cause chain; ids strictly decrease along real cause
+        // edges (a cause is emitted before its consequence), which also
+        // guards against cycles in corrupt input.
+        EventId guard = pivot != nullptr ? pivot->id : 0;
+        const Event* link = pivot;
+        while (link != nullptr) {
+          CriticalPathStep cause_step;
+          cause_step.id = link->id;
+          cause_step.name = link->name;
+          cause_step.outcome = link->outcome;
+          cause_step.detail = link->detail;
+          cause_step.start_ns = link->t_sim;
+          out.critical_path.push_back(std::move(cause_step));
+          const auto it =
+              link->parent != 0 && link->parent < guard
+                  ? by_id.find(link->parent)
+                  : by_id.end();
+          guard = link->parent;
+          link = it != by_id.end() ? it->second : nullptr;
+        }
+      }
+      cur = next;
+    }
+  }
+
+  // 3. Contention heatmap. A transfer span is any span carrying a node
+  // pair and a positive duration. Within each (name, dir) group the
+  // fastest observed transfer defines the uncontended ideal — by rate
+  // when payload bytes are recorded, by duration otherwise — and every
+  // span's time beyond its ideal is stall attributed to its node pair.
+  struct Xfer {
+    const SpanInfo* info;
+    long long bytes;
+  };
+  std::map<std::string, std::vector<Xfer>> groups;
+  for (const auto& [id, info] : spans) {
+    if (info.begin == nullptr || info.dur <= 0.0) continue;
+    if (info.begin->node_a < 0 || info.begin->node_b < 0) continue;
+    long long bytes = -1;
+    if (info.end != nullptr && info.end->bytes > 0) bytes = info.end->bytes;
+    else if (info.begin->bytes > 0) bytes = info.begin->bytes;
+    groups[info.begin->name + '|' + info.begin->dir].push_back(
+        {&info, bytes});
+  }
+  std::map<std::pair<int, int>, ContentionCell> cells;
+  for (const auto& [key, xfers] : groups) {
+    double ref_rate = 0.0;  // bytes per simulated ns, best in group
+    double min_dur = 0.0;
+    for (const Xfer& x : xfers) {
+      if (x.bytes > 0) {
+        ref_rate =
+            std::max(ref_rate, static_cast<double>(x.bytes) / x.info->dur);
+      }
+      if (min_dur == 0.0 || x.info->dur < min_dur) min_dur = x.info->dur;
+    }
+    for (const Xfer& x : xfers) {
+      const double ideal = x.bytes > 0 && ref_rate > 0.0
+                               ? static_cast<double>(x.bytes) / ref_rate
+                               : min_dur;
+      ContentionCell& cell =
+          cells[{x.info->begin->node_a, x.info->begin->node_b}];
+      cell.node_a = x.info->begin->node_a;
+      cell.node_b = x.info->begin->node_b;
+      ++cell.spans;
+      if (x.bytes > 0) cell.bytes += x.bytes;
+      cell.busy_ns += x.info->dur;
+      cell.stall_ns += std::max(0.0, x.info->dur - ideal);
+    }
+  }
+  for (const auto& [pair, cell] : cells) out.contention.push_back(cell);
+  std::sort(out.contention.begin(), out.contention.end(),
+            [](const ContentionCell& a, const ContentionCell& b) {
+              if (a.stall_ns != b.stall_ns) return a.stall_ns > b.stall_ns;
+              if (a.node_a != b.node_a) return a.node_a < b.node_a;
+              return a.node_b < b.node_b;
+            });
+
+  // 4. Fault/retry audit.
+  std::map<EventId, std::pair<std::string, int>> transitions;
+  for (const Event& e : events) {
+    if (e.name == "fault.transition") {
+      ++out.faults.transitions;
+      transitions[e.id] = {e.detail + ' ' + e.outcome + " (id " +
+                               std::to_string(e.id) + ')',
+                           0};
+    }
+    if (e.kind == 'I' && ends_with(e.name, ".retry")) ++out.faults.retries;
+    if (e.kind == 'I' && ends_with(e.name, ".abort")) ++out.faults.aborts;
+    if (e.kind == 'E' && e.outcome == "aborted") ++out.faults.aborts;
+    if (e.kind == 'I' && e.parent != 0) {
+      const auto it = transitions.find(e.parent);
+      if (it != transitions.end()) {
+        ++out.faults.caused;
+        ++it->second.second;
+      }
+    }
+  }
+  for (const auto& [id, labelled] : transitions) {
+    out.faults.by_fault.push_back(labelled);
+  }
+  std::sort(out.faults.by_fault.begin(), out.faults.by_fault.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return out;
+}
+
+}  // namespace numaio::obs

@@ -1,0 +1,218 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace numaio::obs {
+
+namespace {
+
+void json_escape(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Simulated ns -> the trace-event format's microsecond timestamps, at
+/// nanosecond (3-decimal) resolution. Untimed records render at 0.
+std::string ts_us(double t_sim_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", t_sim_ns >= 0.0 ? t_sim_ns / 1e3
+                                                         : 0.0);
+  return buf;
+}
+
+/// Records without a node binding share one dedicated track, numbered
+/// past any plausible NUMA node id.
+constexpr int kUnboundTid = 4096;
+
+int tid_of(const Event& e) { return e.node_a >= 0 ? e.node_a : kUnboundTid; }
+
+/// Common tail of every emitted trace event: the span/instant payload as
+/// importer-visible args.
+void write_args(std::ostream& out, const Event& begin, const Event* end) {
+  out << "\"args\":{\"record\":" << begin.id << ",\"outcome\":\"";
+  json_escape(out, end != nullptr ? end->outcome : begin.outcome);
+  out << "\",\"detail\":\"";
+  json_escape(out, begin.detail);
+  const long long bytes =
+      end != nullptr && end->bytes > 0 ? end->bytes : begin.bytes;
+  out << "\",\"node_a\":" << begin.node_a << ",\"node_b\":" << begin.node_b
+      << ",\"dir\":\"" << begin.dir << "\",\"bytes\":" << bytes << "}}";
+}
+
+}  // namespace
+
+void export_chrome_trace(const std::vector<Event>& events,
+                         std::ostream& out) {
+  // Pair ends with begins, index records for cause lookups, and collect
+  // the tracks in use.
+  std::map<SpanId, const Event*> ends;
+  std::map<EventId, const Event*> by_id;
+  std::map<int, bool> tids;
+  for (const Event& e : events) {
+    by_id.emplace(e.id, &e);
+    if (e.kind == 'E') ends[e.span] = &e;
+    else tids[tid_of(e)] = true;
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&]() {
+    out << (first ? "" : ",\n");
+    first = false;
+  };
+
+  sep();
+  out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"numaio\"}}";
+  for (const auto& [tid, used] : tids) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (tid == kUnboundTid) out << "unbound";
+    else out << "node " << tid;
+    out << "\"}}";
+  }
+
+  for (const Event& e : events) {
+    if (e.kind == 'E') continue;  // folded into its begin record
+    if (e.kind == 'B') {
+      const auto end_it = ends.find(e.id);
+      const Event* end = end_it != ends.end() ? end_it->second : nullptr;
+      sep();
+      if (end != nullptr) {
+        const double dur_ns =
+            e.t_sim >= 0.0 && end->t_sim >= e.t_sim ? end->t_sim - e.t_sim
+                                                    : 0.0;
+        out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(e)
+            << ",\"ts\":" << ts_us(e.t_sim) << ",\"dur\":" << ts_us(dur_ns)
+            << ",\"cat\":\"span\",\"name\":\"";
+      } else {
+        // Unclosed span: an open slice the importer extends to the end.
+        out << "{\"ph\":\"B\",\"pid\":0,\"tid\":" << tid_of(e)
+            << ",\"ts\":" << ts_us(e.t_sim) << ",\"cat\":\"span\",\"name\":\"";
+      }
+      json_escape(out, e.name);
+      out << "\",";
+      write_args(out, e, end);
+      continue;
+    }
+    // Instant record.
+    sep();
+    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid_of(e)
+        << ",\"ts\":" << ts_us(e.t_sim) << ",\"cat\":\"instant\",\"name\":\"";
+    json_escape(out, e.name);
+    out << "\",";
+    write_args(out, e, nullptr);
+    // Cause edge -> a flow arrow from the causing record to this one.
+    // The flow id is the consequence's record id, unique per edge.
+    if (e.parent != 0) {
+      const auto cause_it = by_id.find(e.parent);
+      const Event* cause =
+          cause_it != by_id.end() ? cause_it->second : nullptr;
+      if (cause != nullptr) {
+        sep();
+        out << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << tid_of(*cause)
+            << ",\"ts\":" << ts_us(cause->t_sim)
+            << ",\"cat\":\"cause\",\"name\":\"cause\",\"id\":" << e.id << "}";
+        sep();
+        out << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" << tid_of(e)
+            << ",\"ts\":" << ts_us(e.t_sim)
+            << ",\"cat\":\"cause\",\"name\":\"cause\",\"id\":" << e.id << "}";
+      }
+    }
+  }
+  out << "\n]}\n";
+}
+
+namespace {
+
+/// Prometheus metric name: "numaio_" + the registry name with every
+/// character outside [a-zA-Z0-9_:] mapped to '_'.
+std::string prom_name(std::string_view name) {
+  std::string out = "numaio_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// HELP text from the known_metrics() catalogue; registry names outside
+/// the catalogue (tests, future metrics) fall back to the raw name.
+std::string help_for(std::string_view name) {
+  for (const MetricInfo& m : known_metrics()) {
+    if (name == m.name) return m.help;
+  }
+  return "numaio metric " + std::string(name);
+}
+
+void write_header(std::ostream& out, const std::string& family,
+                  std::string_view source_name, const char* type) {
+  out << "# HELP " << family << ' ';
+  // Exposition format: escape backslash and newline in help text.
+  for (const char c : help_for(source_name)) {
+    if (c == '\\') out << "\\\\";
+    else if (c == '\n') out << "\\n";
+    else out << c;
+  }
+  out << "\n# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void export_prometheus(const MetricsRegistry& metrics, std::ostream& out) {
+  for (const auto& [name, value] : metrics.counter_values()) {
+    const std::string family = prom_name(name) + "_total";
+    write_header(out, family, name, "counter");
+    out << family << ' ' << number(value) << '\n';
+  }
+  for (const auto& [name, value] : metrics.gauge_values()) {
+    const std::string family = prom_name(name);
+    write_header(out, family, name, "gauge");
+    out << family << ' ' << number(value) << '\n';
+  }
+  for (const MetricsRegistry::Histogram* h : metrics.histograms_sorted()) {
+    const std::string family = prom_name(h->name);
+    write_header(out, family, h->name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->counts.size(); ++i) {
+      cumulative += h->counts[i];
+      out << family << "_bucket{le=\"";
+      if (i < h->bounds.size()) out << number(h->bounds[i]);
+      else out << "+Inf";
+      out << "\"} " << cumulative << '\n';
+    }
+    out << family << "_sum " << number(h->sum) << '\n';
+    out << family << "_count " << h->count << '\n';
+  }
+}
+
+}  // namespace numaio::obs

@@ -1,0 +1,39 @@
+// Exporters: render captures in formats external tools already speak.
+//
+// - export_chrome_trace(): Chrome trace-event JSON ("JSON Array Format"),
+//   loadable in Perfetto and chrome://tracing. Spans map to complete
+//   ("X") slices on tid = the span's NUMA node, instants to thread-scoped
+//   "i" marks, and cause edges (retry/abort/migration citing a
+//   fault.transition) to flow-event pairs ("s" -> "f"), so a degraded run
+//   renders with arrows from each fault to everything it broke.
+//   Simulated nanoseconds map to the format's microsecond `ts` field.
+// - export_prometheus(): a MetricsRegistry snapshot in Prometheus text
+//   exposition format 0.0.4 — counters as `numaio_*_total`, gauges
+//   plain, histograms as cumulative `_bucket{le=...}` series with `_sum`
+//   and `_count`. HELP lines come from the known_metrics() catalogue.
+//
+// Both exporters are pure serializers over deterministic inputs: the
+// golden-file tests in tests/test_export.cpp pin the exact rendering.
+// docs/FORMATS.md §5 documents the mappings.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace numaio::obs {
+
+/// Writes the capture as Chrome trace-event JSON. Records without a node
+/// binding land on the dedicated "unbound" track; records without a
+/// simulated timestamp render at ts 0.
+void export_chrome_trace(const std::vector<Event>& events,
+                         std::ostream& out);
+
+/// Writes the registry snapshot in Prometheus text exposition format.
+/// Metric names are prefixed "numaio_" with '.' mapped to '_'; families
+/// render name-sorted so same-seed runs export byte-identically.
+void export_prometheus(const MetricsRegistry& metrics, std::ostream& out);
+
+}  // namespace numaio::obs

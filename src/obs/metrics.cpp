@@ -130,6 +130,58 @@ const MetricsRegistry::Histogram* MetricsRegistry::find_histogram(
   return nullptr;
 }
 
+double MetricsRegistry::Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cum + in_bucket < rank || in_bucket == 0.0) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) return bounds.back();  // +inf overflow bucket
+    const double hi = bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+    return lo + (hi - lo) * ((rank - cum) / in_bucket);
+  }
+  return bounds.back();
+}
+
+std::vector<MetricsRegistry::NamedValue> MetricsRegistry::counter_values()
+    const {
+  std::vector<NamedValue> out;
+  for (const Scalar& c : counters_) out.push_back({c.name, c.value});
+  std::sort(out.begin(), out.end(),
+            [](const NamedValue& a, const NamedValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<MetricsRegistry::NamedValue> MetricsRegistry::gauge_values()
+    const {
+  std::vector<NamedValue> out;
+  for (const Scalar& g : gauges_) out.push_back({g.name, g.value});
+  std::sort(out.begin(), out.end(),
+            [](const NamedValue& a, const NamedValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<const MetricsRegistry::Histogram*>
+MetricsRegistry::histograms_sorted() const {
+  std::vector<const Histogram*> out;
+  for (const Histogram& h : histograms_) out.push_back(&h);
+  std::sort(out.begin(), out.end(),
+            [](const Histogram* a, const Histogram* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
 std::string MetricsRegistry::to_json() const {
   // Sorted maps make the snapshot independent of registration order, so
   // same-seed runs diff clean.
@@ -203,6 +255,9 @@ std::string MetricsRegistry::summary() const {
           << number(h->sum);
       if (h->count > 0) {
         out << ", mean " << number(h->sum / static_cast<double>(h->count));
+        out << ", p50 " << number(h->quantile(0.50)) << ", p95 "
+            << number(h->quantile(0.95)) << ", p99 "
+            << number(h->quantile(0.99));
       }
       out << ")\n";
       for (std::size_t i = 0; i < h->counts.size(); ++i) {

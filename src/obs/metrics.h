@@ -54,9 +54,26 @@ class MetricsRegistry {
     std::vector<std::uint64_t> counts;
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Quantile estimate by linear interpolation inside the bucket the
+    /// rank q*count lands in (Prometheus histogram_quantile style). The
+    /// first bucket interpolates from min(0, bounds[0]); ranks landing in
+    /// the +inf overflow bucket report bounds.back() — the estimate is
+    /// clamped to the observable range. Returns 0 for an empty histogram.
+    double quantile(double q) const;
   };
   /// nullptr when no histogram of that name exists.
   const Histogram* find_histogram(std::string_view name) const;
+
+  /// Name-sorted snapshots, the exporters' iteration surface (the JSON
+  /// and Prometheus renderings must not depend on registration order).
+  struct NamedValue {
+    std::string name;
+    double value = 0.0;
+  };
+  std::vector<NamedValue> counter_values() const;
+  std::vector<NamedValue> gauge_values() const;
+  std::vector<const Histogram*> histograms_sorted() const;
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();

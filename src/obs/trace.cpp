@@ -78,9 +78,15 @@ void JsonlSink::write(const Event& e) {
   json_escape(out_, e.outcome);
   out_ << "\",\"detail\":\"";
   json_escape(out_, e.detail);
-  out_ << "\",\"wall_us\":";
-  number(out_, e.wall_us);
-  out_ << "}\n";
+  // Deterministic records (wall_us < 0) omit the one nondeterministic
+  // field so same-seed trace files compare byte-equal.
+  if (e.wall_us >= 0.0) {
+    out_ << "\",\"wall_us\":";
+    number(out_, e.wall_us);
+    out_ << "}\n";
+  } else {
+    out_ << "\"}\n";
+  }
 }
 
 void CsvSink::write(const Event& e) {
@@ -99,13 +105,15 @@ void CsvSink::write(const Event& e) {
   out_ << ',';
   csv_quote(out_, e.detail);
   out_ << ',';
-  number(out_, e.wall_us);
+  if (e.wall_us >= 0.0) number(out_, e.wall_us);  // empty when deterministic
   out_ << '\n';
 }
 
 void TraceRecorder::set_sink(TraceSink* sink) {
   sink_ = sink;
-  if (sink_ != nullptr && epoch_ns_ < 0) epoch_ns_ = steady_ns();
+  if (sink_ != nullptr && !deterministic_ && epoch_ns_ < 0) {
+    epoch_ns_ = steady_ns();
+  }
 }
 
 EventId TraceRecorder::emit(char kind, std::string_view name, SpanId span,
@@ -124,7 +132,12 @@ EventId TraceRecorder::emit(char kind, std::string_view name, SpanId span,
   e.t_sim = fields.t_sim;
   e.outcome.assign(outcome);
   e.detail.assign(fields.detail);
-  e.wall_us = static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+  if (deterministic_) {
+    e.wall_us = -1.0;
+  } else {
+    if (epoch_ns_ < 0) epoch_ns_ = steady_ns();  // deterministic-then-not
+    e.wall_us = static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+  }
   sink_->write(e);
   return e.id;
 }

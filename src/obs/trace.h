@@ -25,9 +25,12 @@
 // nothing allocates), so instrumented code paths can stay instrumented in
 // production builds. Sinks receive each record as it is emitted; JSONL and
 // CSV sinks serialize them line by line (docs/FORMATS.md §4), MemorySink
-// keeps them for tests. All fields except `wall_us` (a steady-clock
-// timestamp) are deterministic for deterministic workloads: two same-seed
-// runs produce identical traces modulo wall_us.
+// keeps them for tests, TeeSink fans one stream out to several. All
+// fields except `wall_us` (a steady-clock timestamp) are deterministic
+// for deterministic workloads: two same-seed runs produce identical
+// traces modulo wall_us — and byte-identical ones under
+// set_deterministic(true), which never samples the clock and makes the
+// serializers omit the field entirely (the CLI's --trace-deterministic).
 #pragma once
 
 #include <cstdint>
@@ -66,7 +69,9 @@ struct Event {
   double t_sim = -1.0;
   std::string outcome;  ///< "ok", "retry", "abort", "fallback", ...
   std::string detail;
-  double wall_us = 0.0;  ///< Steady-clock microseconds since recorder start.
+  /// Steady-clock microseconds since recorder start; -1 in deterministic
+  /// mode (serializers omit the field for negative values).
+  double wall_us = 0.0;
 };
 
 /// Receives records as they are emitted. Implementations must not call
@@ -100,11 +105,27 @@ class CsvSink : public TraceSink {
   bool header_written_ = false;
 };
 
-/// Keeps everything in memory; for tests and in-process consumers.
+/// Keeps everything in memory; for tests and in-process consumers (the
+/// CLI's `report` subcommand analyzes a run through one of these).
 class MemorySink : public TraceSink {
  public:
   void write(const Event& event) override { events.push_back(event); }
   std::vector<Event> events;
+};
+
+/// Fans each record out to every attached sink, in attachment order; lets
+/// one run feed a file serializer and an in-process MemorySink at once.
+class TeeSink : public TraceSink {
+ public:
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void write(const Event& event) override {
+    for (TraceSink* sink : sinks_) sink->write(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 class TraceRecorder {
@@ -113,6 +134,13 @@ class TraceRecorder {
   /// must outlive recording.
   void set_sink(TraceSink* sink);
   bool enabled() const { return sink_ != nullptr; }
+
+  /// Deterministic mode: never sample the wall clock; every record carries
+  /// wall_us = -1 and the JSONL/CSV serializers omit the field, so two
+  /// same-seed runs produce byte-identical trace files with no textual
+  /// post-processing. Set before (or with) the sink.
+  void set_deterministic(bool deterministic) { deterministic_ = deterministic; }
+  bool deterministic() const { return deterministic_; }
 
   /// Opens a span; the returned id doubles as the record id. Returns 0
   /// (and records nothing) when no sink is attached.
@@ -140,6 +168,7 @@ class TraceRecorder {
 
   TraceSink* sink_ = nullptr;
   EventId next_id_ = 1;
+  bool deterministic_ = false;
   std::int64_t epoch_ns_ = -1;  ///< Steady-clock origin, set on first sink.
 };
 

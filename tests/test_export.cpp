@@ -1,0 +1,234 @@
+// Exporter tests: an exact golden rendering of a hand-built capture in
+// Chrome trace-event JSON (metadata, X/B/i phases, flow-event cause
+// edges), and Prometheus text exposition pinned by golden plus a
+// parse-back validator that re-checks the format rules (TYPE headers,
+// cumulative buckets, +Inf terminator, _sum/_count consistency).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace numaio::obs {
+namespace {
+
+Event make(EventId id, SpanId span, EventId parent, char kind,
+           const std::string& name, double t_sim,
+           const std::string& outcome = "",
+           const std::string& detail = "") {
+  Event e;
+  e.id = id;
+  e.span = span;
+  e.parent = parent;
+  e.kind = kind;
+  e.name = name;
+  e.t_sim = t_sim;
+  e.outcome = outcome;
+  e.detail = detail;
+  e.wall_us = -1.0;
+  return e;
+}
+
+// --- Chrome trace-event JSON ----------------------------------------------
+
+TEST(ChromeTraceExport, GoldenRendering) {
+  std::vector<Event> events;
+  Event job = make(1, 1, 0, 'B', "fio.job", 0.0);
+  job.node_a = 2;
+  job.node_b = 7;
+  job.dir = 'r';
+  job.bytes = 1000;
+  events.push_back(job);
+  events.push_back(
+      make(2, 0, 0, 'I', "fault.transition", 500.0, "on", "device-stall nic"));
+  Event retry = make(3, 1, 2, 'I', "fio.retry", 1000.0, "retry");
+  retry.node_a = 2;
+  events.push_back(retry);
+  Event end = make(4, 1, 0, 'E', "", 2000.0, "degraded");
+  end.bytes = 900;
+  events.push_back(end);
+
+  std::ostringstream out;
+  export_chrome_trace(events, out);
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"numaio\"}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"node 2\"}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":4096,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"unbound\"}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":2,\"ts\":0.000,\"dur\":2.000,"
+      "\"cat\":\"span\",\"name\":\"fio.job\",\"args\":{\"record\":1,"
+      "\"outcome\":\"degraded\",\"detail\":\"\",\"node_a\":2,\"node_b\":7,"
+      "\"dir\":\"r\",\"bytes\":900}},\n"
+      "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":4096,\"ts\":0.500,"
+      "\"cat\":\"instant\",\"name\":\"fault.transition\",\"args\":"
+      "{\"record\":2,\"outcome\":\"on\",\"detail\":\"device-stall nic\","
+      "\"node_a\":-1,\"node_b\":-1,\"dir\":\"-\",\"bytes\":-1}},\n"
+      "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":2,\"ts\":1.000,"
+      "\"cat\":\"instant\",\"name\":\"fio.retry\",\"args\":{\"record\":3,"
+      "\"outcome\":\"retry\",\"detail\":\"\",\"node_a\":2,\"node_b\":-1,"
+      "\"dir\":\"-\",\"bytes\":-1}},\n"
+      "{\"ph\":\"s\",\"pid\":0,\"tid\":4096,\"ts\":0.500,\"cat\":\"cause\","
+      "\"name\":\"cause\",\"id\":3},\n"
+      "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":2,\"ts\":1.000,"
+      "\"cat\":\"cause\",\"name\":\"cause\",\"id\":3}\n"
+      "]}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ChromeTraceExport, UnclosedSpanRendersAsOpenSlice) {
+  std::vector<Event> events;
+  Event open = make(1, 1, 0, 'B', "fio.stream", 100.0);
+  open.node_a = 3;
+  events.push_back(open);
+
+  std::ostringstream out;
+  export_chrome_trace(events, out);
+  EXPECT_NE(out.str().find("{\"ph\":\"B\",\"pid\":0,\"tid\":3,\"ts\":0.100"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(ChromeTraceExport, UntimedRecordsLandAtTsZero) {
+  std::vector<Event> events;
+  events.push_back(make(1, 0, 0, 'I', "note", -1.0));
+  std::ostringstream out;
+  export_chrome_trace(events, out);
+  EXPECT_NE(out.str().find("\"ts\":0.000"), std::string::npos) << out.str();
+}
+
+// --- Prometheus text exposition -------------------------------------------
+
+TEST(PrometheusExport, GoldenRendering) {
+  MetricsRegistry metrics;
+  metrics.add(metrics.counter("test.count"), 3.0);
+  metrics.set(metrics.gauge("test.gauge"), 2.5);
+  const auto h = metrics.histogram("test.lat", {1.0, 2.0});
+  metrics.observe(h, 0.5);
+  metrics.observe(h, 1.5);
+  metrics.observe(h, 5.0);
+
+  std::ostringstream out;
+  export_prometheus(metrics, out);
+  const std::string expected =
+      "# HELP numaio_test_count_total numaio metric test.count\n"
+      "# TYPE numaio_test_count_total counter\n"
+      "numaio_test_count_total 3\n"
+      "# HELP numaio_test_gauge numaio metric test.gauge\n"
+      "# TYPE numaio_test_gauge gauge\n"
+      "numaio_test_gauge 2.5\n"
+      "# HELP numaio_test_lat numaio metric test.lat\n"
+      "# TYPE numaio_test_lat histogram\n"
+      "numaio_test_lat_bucket{le=\"1\"} 1\n"
+      "numaio_test_lat_bucket{le=\"2\"} 2\n"
+      "numaio_test_lat_bucket{le=\"+Inf\"} 3\n"
+      "numaio_test_lat_sum 7\n"
+      "numaio_test_lat_count 3\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+/// Minimal exposition-format parser: validates comment/TYPE structure,
+/// metric-name charset, and histogram bucket monotonicity, filling
+/// family -> declared type. Fails the test on any malformed line (void
+/// return so the ASSERT macros can bail out).
+void parse_back(const std::string& text,
+                std::map<std::string, std::string>* out_types) {
+  std::map<std::string, std::string>& types = *out_types;
+  std::map<std::string, double> last_bucket;  // family -> last cumulative
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, type;
+      fields >> family >> type;
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      types[family] = type;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    // Sample line: name[{labels}] value
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      ASSERT_TRUE(ok) << "bad metric name char in " << name;
+    }
+    const std::size_t value_at = line.find_last_of(' ');
+    const double value = std::stod(line.substr(value_at + 1));
+    // Every sample must belong to a declared family.
+    std::string family = name;
+    for (const std::string suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t pos = family.size() > suffix.size()
+                                  ? family.rfind(suffix)
+                                  : std::string::npos;
+      if (pos != std::string::npos && pos == family.size() - suffix.size() &&
+          types.count(family.substr(0, pos)) != 0U) {
+        family = family.substr(0, pos);
+        break;
+      }
+    }
+    ASSERT_NE(types.count(family), 0U) << "sample without TYPE: " << line;
+    if (types[family] == "histogram" &&
+        line.find("_bucket{le=") != std::string::npos) {
+      ASSERT_GE(value, last_bucket[family]) << "non-cumulative: " << line;
+      last_bucket[family] = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        last_bucket.erase(family);
+      }
+    }
+  }
+  for (const auto& [family, cum] : last_bucket) {
+    ADD_FAILURE() << "histogram " << family << " missing +Inf bucket";
+  }
+}
+
+TEST(PrometheusExport, ParsesBackWithCatalogueHelp) {
+  MetricsRegistry metrics;
+  // Names from the known_metrics() catalogue get their real HELP text and
+  // the numaio_ prefix with dots mapped to underscores.
+  metrics.add(metrics.counter("fio.attempts"), 7.0);
+  const auto h = metrics.histogram("solver.rounds", {1.0, 4.0, 16.0});
+  metrics.observe(h, 2.0);
+  metrics.observe(h, 50.0);
+  metrics.set(metrics.gauge("faults.active"), 1.0);
+
+  std::ostringstream out;
+  export_prometheus(metrics, out);
+  const std::string text = out.str();
+
+  std::map<std::string, std::string> types;
+  parse_back(text, &types);
+  ASSERT_NE(types.count("numaio_fio_attempts_total"), 0U) << text;
+  EXPECT_EQ(types.at("numaio_fio_attempts_total"), "counter");
+  ASSERT_NE(types.count("numaio_solver_rounds"), 0U) << text;
+  EXPECT_EQ(types.at("numaio_solver_rounds"), "histogram");
+  EXPECT_NE(text.find("numaio_solver_rounds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("numaio_solver_rounds_count 2"), std::string::npos);
+}
+
+TEST(PrometheusExport, EmptyRegistryExportsNothing) {
+  MetricsRegistry metrics;
+  std::ostringstream out;
+  export_prometheus(metrics, out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace numaio::obs

@@ -9,12 +9,21 @@
 //   numaio_cli demo [--node N]           numademo policy table
 //   numaio_cli fio <jobfile>             run a fio-format job file
 //   numaio_cli metrics [--in FILE]       metric registry / captured summary
+//   numaio_cli report [--trace-in FILE] [--format md|json]
+//                                        analyzed run report (critical path,
+//                                        contention, class table, fault audit)
+//   numaio_cli export --trace-in FILE [--chrome FILE]
+//                                        re-render a capture for Perfetto
 //   numaio_cli help
 //
 // Every subcommand accepts --trace-out FILE (structured span/event trace,
-// JSONL by default, CSV when FILE ends in .csv) and --metrics-out FILE
-// (counters/gauges/histograms as JSON) — the observability layer of
-// src/obs threaded through the measurement pipeline.
+// JSONL by default, CSV when FILE ends in .csv), --metrics-out FILE
+// (counters/gauges/histograms as JSON), --prom-out FILE (the same
+// snapshot in Prometheus text exposition format), --chrome-out FILE (the
+// trace as Chrome trace-event JSON for Perfetto) and
+// --trace-deterministic (omit the wall-clock field so same-seed runs
+// write byte-identical traces) — the observability layer of src/obs
+// threaded through the measurement pipeline.
 //
 // Everything runs against the simulated DL585 testbed; on real hardware
 // the same library calls would sit on top of libnuma (see DESIGN.md).
@@ -69,11 +78,27 @@ int usage() {
       "                                   hunt directional asymmetries\n"
       "  metrics [--in FILE]              list known metrics, or summarize a\n"
       "                                   --metrics-out capture\n"
+      "  report [--trace-in FILE] [--format md|json] [--out FILE]\n"
+      "         [--seed S] [--reps N] [--events N] [--top K]\n"
+      "                                   analyze a capture, or run a seeded\n"
+      "                                   degraded characterization + I/O run\n"
+      "                                   and report classes, critical path,\n"
+      "                                   contention and the fault audit\n"
+      "  export [--trace-in FILE --chrome FILE]\n"
+      "         [--metrics-in FILE --prom FILE]\n"
+      "                                   re-render saved captures (Chrome\n"
+      "                                   trace JSON / Prometheus text)\n"
       "  help                             this text\n"
       "global options (any subcommand):\n"
       "  --trace-out FILE                 write a span/event trace (JSONL;\n"
       "                                   CSV when FILE ends in .csv)\n"
+      "  --trace-deterministic            omit the wall-clock field: same-seed\n"
+      "                                   runs write byte-identical traces\n"
       "  --metrics-out FILE               write counters/histograms as JSON\n"
+      "  --prom-out FILE                  write metrics in Prometheus text\n"
+      "                                   exposition format\n"
+      "  --chrome-out FILE                write the trace as Chrome\n"
+      "                                   trace-event JSON (Perfetto)\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 unreadable file,\n"
       "            4 malformed input file\n");
   return kExitUsage;
@@ -103,6 +128,16 @@ std::string take_flag(std::vector<std::string>& args,
     return value;
   }
   return "";
+}
+
+/// Removes a valueless boolean `flag`; returns whether it was present.
+bool take_switch(std::vector<std::string>& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != flag) continue;
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
 }
 
 /// Integer flag with a one-line actionable error instead of a bare stoi
@@ -456,6 +491,131 @@ int cmd_faults(io::Testbed& tb, obs::Context& ctx,
   return 0;
 }
 
+/// The seeded workload behind the default `report` run: a clean
+/// characterization (the paper's class tables) followed by the same
+/// degraded rdma-read job `faults` runs, so the report has a critical
+/// path, contention and a fault audit worth reading. Everything lands in
+/// the context's recorder/registry; the caller analyzes the capture.
+model::HostModel run_report_workload(io::Testbed& tb, obs::Context& ctx,
+                                     std::uint64_t seed, int events,
+                                     int reps) {
+  model::CharacterizeConfig characterize;
+  characterize.iomodel.repetitions = reps;
+  characterize.iomodel.obs = &ctx;
+  model::HostModel host_model = model::characterize_host(tb.host(),
+                                                         characterize);
+
+  faults::RandomPlanConfig plan_config;
+  plan_config.seed = seed;
+  plan_config.num_nodes = tb.machine().num_nodes();
+  plan_config.num_devices = 1 + static_cast<int>(tb.ssds().size());
+  plan_config.num_events = events;
+  faults::FaultInjector injector(tb.machine(),
+                                 faults::FaultPlan::random(plan_config));
+  injector.set_observer(&ctx);
+  injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                           tb.nic().fault_resources());
+  for (const io::PcieDevice* ssd : tb.ssds()) {
+    injector.register_device(ssd->name(), ssd->attach_node(),
+                             ssd->fault_resources());
+  }
+
+  io::FioJob job;
+  job.devices = {&tb.nic()};
+  job.engine = io::kRdmaRead;
+  job.cpu_node = 2;
+  job.num_streams = 4;
+  job.bytes_per_stream = 40 * sim::kGiB;
+  job.retry.timeout = 30.0e9;  // per-attempt budget: abort + retry stalls
+  io::FioRunner fio(tb.host());
+  fio.set_fault_injector(&injector);
+  fio.set_observer(&ctx);
+  fio.run_concurrent({job});
+  injector.restore();
+  return host_model;
+}
+
+int cmd_report(io::Testbed& tb, obs::Context& ctx, obs::MemorySink* capture,
+               const std::vector<std::string>& args) {
+  const std::string trace_in = flag_value(args, "--trace-in", "");
+  const std::string format = flag_value(args, "--format", "md");
+  if (format != "md" && format != "json") {
+    usage_error("--format must be md or json, got '" + format + "'");
+  }
+  model::RunReportOptions options;
+  options.top_contended = int_flag(args, "--top", 5);
+  if (options.top_contended < 1) usage_error("--top wants a positive count");
+
+  model::RunReport report;
+  if (!trace_in.empty()) {
+    // Trace-only report over a saved capture: no class table, no
+    // counters, but the full analysis (span summary, critical path,
+    // contention, fault audit) of whatever run wrote the file.
+    const auto events = obs::parse_trace_jsonl(read_file(trace_in));
+    report = model::build_run_report("report --trace-in " + trace_in,
+                                     nullptr, events, nullptr);
+  } else {
+    const std::uint64_t seed = u64_flag(args, "--seed", 42);
+    const int events = int_flag(args, "--events", 4);
+    const int reps = int_flag(args, "--reps", 12);
+    if (events < 1) usage_error("--events wants a positive count");
+    if (reps < 1) usage_error("--reps wants a positive count");
+    const model::HostModel host_model =
+        run_report_workload(tb, ctx, seed, events, reps);
+    const std::string command =
+        "report --seed " + std::to_string(seed) + " --events " +
+        std::to_string(events) + " --reps " + std::to_string(reps);
+    report = model::build_run_report(command, &host_model, capture->events,
+                                     &ctx.metrics);
+  }
+
+  const std::string text = format == "md"
+                               ? model::render_markdown(report, options)
+                               : model::render_json(report, options);
+  const std::string out = flag_value(args, "--out", "");
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::binary);
+    if (!file) {
+      throw StatusError(StatusCode::kNoFile, "cannot write '" + out + "'");
+    }
+    file << text;
+  }
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  const std::string trace_in = flag_value(args, "--trace-in", "");
+  const std::string chrome = flag_value(args, "--chrome", "");
+  const std::string metrics_in = flag_value(args, "--metrics-in", "");
+  const std::string prom = flag_value(args, "--prom", "");
+  if (trace_in.empty() && metrics_in.empty()) {
+    usage_error("export wants --trace-in FILE and/or --metrics-in FILE");
+  }
+  if (!trace_in.empty()) {
+    if (chrome.empty()) usage_error("--trace-in wants --chrome FILE");
+    const auto events = obs::parse_trace_jsonl(read_file(trace_in));
+    std::ofstream file(chrome, std::ios::binary);
+    if (!file) {
+      throw StatusError(StatusCode::kNoFile,
+                        "cannot write '" + chrome + "'");
+    }
+    obs::export_chrome_trace(events, file);
+  }
+  if (!metrics_in.empty()) {
+    if (prom.empty()) usage_error("--metrics-in wants --prom FILE");
+    const obs::MetricsRegistry registry =
+        obs::parse_metrics_json(read_file(metrics_in));
+    std::ofstream file(prom, std::ios::binary);
+    if (!file) {
+      throw StatusError(StatusCode::kNoFile, "cannot write '" + prom + "'");
+    }
+    obs::export_prometheus(registry, file);
+  }
+  return 0;
+}
+
 int cmd_metrics(const std::vector<std::string>& args) {
   const std::string in = flag_value(args, "--in", "");
   if (in.empty()) {
@@ -486,12 +646,14 @@ namespace {
 /// hook with a wall-clock read on a hot path) so runs without --trace-out/
 /// --metrics-out cost nothing measurable.
 int dispatch(const std::string& cmd, std::vector<std::string>& args,
-             obs::Context& ctx, bool observing) {
+             obs::Context& ctx, bool observing, obs::MemorySink* capture) {
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "classes") return cmd_classes(args);
+  if (cmd == "export") return cmd_export(args);
 
   io::Testbed tb = io::Testbed::dl585();
   if (observing) tb.machine().solver().set_observer(&ctx);
+  if (cmd == "report") return cmd_report(tb, ctx, capture, args);
   if (cmd == "hardware") return cmd_hardware(tb);
   if (cmd == "stream-matrix") return cmd_stream_matrix(tb);
   if (cmd == "iomodel") return cmd_iomodel(tb, ctx, args);
@@ -521,10 +683,23 @@ int main(int argc, char** argv) {
     // Global observability options, valid on every subcommand.
     const std::string trace_out = take_flag(args, "--trace-out");
     const std::string metrics_out = take_flag(args, "--metrics-out");
+    const std::string prom_out = take_flag(args, "--prom-out");
+    const std::string chrome_out = take_flag(args, "--chrome-out");
+    const bool deterministic = take_switch(args, "--trace-deterministic");
 
     obs::Context ctx;
+    ctx.trace.set_deterministic(deterministic);
+
+    // The Chrome exporter and the default `report` run consume the
+    // record stream in process, so those paths capture into a MemorySink
+    // — teed with the file serializer when --trace-out is also given.
+    const bool need_capture =
+        !chrome_out.empty() ||
+        (cmd == "report" && flag_value(args, "--trace-in", "").empty());
     std::ofstream trace_file;
-    std::unique_ptr<obs::TraceSink> sink;
+    std::unique_ptr<obs::TraceSink> file_sink;
+    obs::MemorySink capture;
+    obs::TeeSink tee;
     if (!trace_out.empty()) {
       trace_file.open(trace_out, std::ios::binary);
       if (!trace_file) {
@@ -534,15 +709,27 @@ int main(int argc, char** argv) {
       const bool csv = trace_out.size() >= 4 &&
                        trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
       if (csv) {
-        sink = std::make_unique<obs::CsvSink>(trace_file);
+        file_sink = std::make_unique<obs::CsvSink>(trace_file);
       } else {
-        sink = std::make_unique<obs::JsonlSink>(trace_file);
+        file_sink = std::make_unique<obs::JsonlSink>(trace_file);
       }
-      ctx.trace.set_sink(sink.get());
     }
+    obs::TraceSink* sink = nullptr;
+    if (file_sink != nullptr && need_capture) {
+      tee.add(file_sink.get());
+      tee.add(&capture);
+      sink = &tee;
+    } else if (file_sink != nullptr) {
+      sink = file_sink.get();
+    } else if (need_capture) {
+      sink = &capture;
+    }
+    if (sink != nullptr) ctx.trace.set_sink(sink);
 
-    const int rc = dispatch(cmd, args, ctx,
-                            !trace_out.empty() || !metrics_out.empty());
+    const bool observing = sink != nullptr || !metrics_out.empty() ||
+                           !prom_out.empty();
+    const int rc = dispatch(cmd, args, ctx, observing,
+                            need_capture ? &capture : nullptr);
     if (rc < 0) {
       std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
       return usage();
@@ -554,6 +741,22 @@ int main(int argc, char** argv) {
                           "cannot write '" + metrics_out + "'");
       }
       metrics_file << ctx.metrics.to_json() << "\n";
+    }
+    if (!prom_out.empty()) {
+      std::ofstream prom_file(prom_out, std::ios::binary);
+      if (!prom_file) {
+        throw StatusError(StatusCode::kNoFile,
+                          "cannot write '" + prom_out + "'");
+      }
+      obs::export_prometheus(ctx.metrics, prom_file);
+    }
+    if (!chrome_out.empty()) {
+      std::ofstream chrome_file(chrome_out, std::ios::binary);
+      if (!chrome_file) {
+        throw StatusError(StatusCode::kNoFile,
+                          "cannot write '" + chrome_out + "'");
+      }
+      obs::export_chrome_trace(capture.events, chrome_file);
     }
     return rc;
   } catch (const StatusError& e) {
