@@ -361,6 +361,27 @@ BenchResult bench_multiuser(io::Testbed& tb) {
   });
 }
 
+/// The streaming-core scale bench: 10^6 synthetic records through
+/// analyze_stream(). `records` / wall_ms gives the records-per-second
+/// throughput of the record-stream core; `peak_open_spans` is the
+/// peak-RSS proxy (analysis memory is O(open spans + nodes²), so a small
+/// bounded peak here means bounded memory at any capture size — the
+/// 10^6-record ctest pins the same invariant). The remaining metrics pin
+/// the analysis result itself: the generator is deterministic, so any
+/// drift is an analyzer behavior change, not noise.
+BenchResult bench_trace_stream() {
+  obs::SyntheticTraceConfig config;  // 1M records, 32-stream window
+  obs::SyntheticTraceSource source(config);
+  return timed(1, [&] {
+    const obs::TraceAnalysis a = obs::analyze_stream(source);
+    return std::map<std::string, double>{
+        {"records", static_cast<double>(a.num_records)},
+        {"peak_open_spans", static_cast<double>(a.peak_open_spans)},
+        {"passes", static_cast<double>(a.passes)},
+        {"path_steps", static_cast<double>(a.critical_path.size())}};
+  });
+}
+
 BenchSet run_benches(int reps) {
   io::Testbed tb = io::Testbed::dl585();
   BenchSet out;
@@ -369,6 +390,7 @@ BenchSet run_benches(int reps) {
   out["fio_rdma_clean"] = bench_fio_clean(tb);
   out["fio_rdma_degraded_seed42"] = bench_fio_degraded(tb);
   out["multiuser_nic_ssd"] = bench_multiuser(tb);
+  out["trace_stream_1m"] = bench_trace_stream();
   return out;
 }
 
@@ -434,6 +456,28 @@ int compare(const BenchSet& base, const BenchSet& current,
       if (bad) {
         std::printf("FAIL %-26s %s %.6g -> %.6g\n", name.c_str(),
                     metric.c_str(), base_value, cur_value);
+        ++failures;
+      }
+    }
+  }
+  // The reverse direction: a bench or metric in the current run that the
+  // baseline has never seen means the baseline predates it — the guard
+  // would otherwise silently cover nothing for the new code. Fail with
+  // the remedy spelled out instead.
+  for (const auto& [name, c] : current) {
+    const auto bit = base.find(name);
+    if (bit == base.end()) {
+      std::printf("FAIL %-26s not in baseline — refresh it with "
+                  "`bench_harness run --out BENCH_numaio.json`\n",
+                  name.c_str());
+      ++failures;
+      continue;
+    }
+    for (const auto& metric : c.metrics) {
+      if (bit->second.metrics.count(metric.first) == 0) {
+        std::printf("FAIL %-26s metric %s not in baseline — refresh it "
+                    "with `bench_harness run --out BENCH_numaio.json`\n",
+                    name.c_str(), metric.first.c_str());
         ++failures;
       }
     }

@@ -42,4 +42,13 @@ fi
 
 # Intentionally unquoted: PERF_GUARD_FLAGS holds zero or more flags.
 # shellcheck disable=SC2086
-"$HARNESS" compare "$BASELINE" "$CURRENT" ${PERF_GUARD_FLAGS---skip-wall}
+if ! "$HARNESS" compare "$BASELINE" "$CURRENT" ${PERF_GUARD_FLAGS---skip-wall}; then
+  # compare prints one FAIL line per offending bench/metric, including
+  # benches or metrics absent from the baseline (a stale baseline after a
+  # harness change). Spell out the remedy either way.
+  echo "perf_guard: FAILED against $BASELINE" >&2
+  echo "perf_guard: if the change is intentional (new bench, new metric, or" >&2
+  echo "perf_guard: an accepted perf shift), refresh the baseline with:" >&2
+  echo "perf_guard:   $HARNESS run --out $BASELINE" >&2
+  exit 1
+fi

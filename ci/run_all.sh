@@ -4,9 +4,12 @@
 # 1. configure + build the default tree,
 # 2. run the full ctest suite,
 # 3. check the public API surface (ci/check_api.sh),
-# 4. gate perf against the committed baseline (ci/perf_guard.sh;
+# 4. smoke the streaming trace pipeline at scale: synth-trace writes a
+#    10^6-record capture, then report + export stream it back (the
+#    CLI paths that must work on arbitrarily large files),
+# 5. gate perf against the committed baseline (ci/perf_guard.sh;
 #    metrics-only by default — see that script for wall-time gating),
-# 5. rebuild and re-test under ASan+UBSan (ci/sanitize.sh).
+# 6. rebuild and re-test under ASan+UBSan (ci/sanitize.sh).
 #
 # bash + `set -euo pipefail` so a failing stage — including one on the
 # left side of a pipe — fails the pipeline instead of scrolling past.
@@ -21,6 +24,26 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 "$ROOT/ci/check_api.sh"
+
+# Large-trace smoke: the full streaming pipeline over a million-record
+# capture. Fails if any stage slurps the file into memory badly enough to
+# die, truncates, or emits unparseable output.
+SMOKE_DIR=$(mktemp -d /tmp/numaio_trace_smoke_XXXXXX)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI="$BUILD_DIR/tools/numaio_cli"
+"$CLI" synth-trace --out "$SMOKE_DIR/big.jsonl" --records 1000000
+[ "$(wc -l < "$SMOKE_DIR/big.jsonl")" -eq 1000000 ]
+"$CLI" report --trace-in "$SMOKE_DIR/big.jsonl" --format json \
+    --out "$SMOKE_DIR/big_report.json"
+grep -q '"records": 1000000' "$SMOKE_DIR/big_report.json"
+"$CLI" report --trace-in "$SMOKE_DIR/big.jsonl" \
+    --diff "$SMOKE_DIR/big_report.json" | grep -q 'critical path'
+"$CLI" export --trace-in "$SMOKE_DIR/big.jsonl" \
+    --chrome "$SMOKE_DIR/big_chrome.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$SMOKE_DIR/big_chrome.json"
+echo "run_all: large-trace streaming smoke green (10^6 records)"
+
 "$ROOT/ci/perf_guard.sh" "$BUILD_DIR"
 "$ROOT/ci/sanitize.sh" "$BUILD_DIR-sanitize"
 

@@ -19,9 +19,8 @@ int main() {
   for (char v : {'a', 'b', 'c', 'd'}) {
     const topo::Topology t = topo::magny_cours_4p(v);
     const topo::Routing r(t, topo::Routing::Metric::kHops);
-    const topo::LatencyModel lat(
-        topo::Routing(t, topo::Routing::Metric::kLatency),
-        topo::LatencyParams{100.0, 27.0});
+    const topo::Routing r_lat(t, topo::Routing::Metric::kLatency);
+    const topo::LatencyModel lat(r_lat, topo::LatencyParams{100.0, 27.0});
     std::printf("layout (%c): diameter %d, mean remote hops %.2f, "
                 "NUMA factor %.2f\n",
                 v, r.diameter(), r.mean_remote_hops(), lat.numa_factor());

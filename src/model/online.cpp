@@ -151,9 +151,10 @@ OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
       obs_ != nullptr && obs_->trace.enabled() ? &obs_->trace : nullptr;
   obs::SpanId run_span = 0;
   if (trace != nullptr) {
+    const std::string policy_text = to_string(config_.policy);
     obs::EventFields fields;
     fields.node_a = device_.attach_node();
-    fields.detail = to_string(config_.policy);
+    fields.detail = policy_text;  // EventFields::detail is a string_view.
     run_span = trace->begin_span("online.run", 0, fields);
   }
 

@@ -1,8 +1,13 @@
 #include "model/perf_report.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
 
 #include "simcore/units.h"
 
@@ -82,7 +87,7 @@ void json_string(std::ostream& out, std::string_view text) {
 }  // namespace
 
 RunReport build_run_report(std::string command, const HostModel* model,
-                           const std::vector<obs::Event>& events,
+                           obs::RecordSource& source,
                            const obs::MetricsRegistry* metrics) {
   RunReport report;
   report.command = std::move(command);
@@ -90,9 +95,16 @@ RunReport build_run_report(std::string command, const HostModel* model,
     report.has_model = true;
     report.model = *model;
   }
-  report.analysis = obs::analyze_trace(events);
+  report.analysis = obs::analyze_stream(source);
   if (metrics != nullptr) report.counters = metrics->counter_values();
   return report;
+}
+
+RunReport build_run_report(std::string command, const HostModel* model,
+                           const std::vector<obs::Event>& events,
+                           const obs::MetricsRegistry* metrics) {
+  obs::VectorSource source(events);
+  return build_run_report(std::move(command), model, source, metrics);
 }
 
 std::string render_markdown(const RunReport& report,
@@ -301,6 +313,472 @@ std::string render_json(const RunReport& report,
     out << ": " << g17(report.counters[i].value);
   }
   out << "}\n}\n";
+  return out.str();
+}
+
+namespace {
+
+/// Minimal recursive JSON value, just enough of RFC 8259 to walk
+/// render_json() output back into a ReportSummary.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("report json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v.fields.emplace_back(std::move(key), value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = string_body();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    // Number: delegate range/format checking to strtod.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == 'i' || text_[pos_] == 'n' || text_[pos_] == 'f')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("unexpected character");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number '" + num + "'");
+    }
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // render_json only escapes control characters, so the code
+          // point always fits one byte.
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& obj, std::string_view key,
+                         JsonValue::Kind kind, const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != kind) {
+    throw std::invalid_argument("report json: missing or mistyped field '" +
+                                std::string(key) + "' (" + what + ")");
+  }
+  return *v;
+}
+
+}  // namespace
+
+ReportSummary parse_report_json(const std::string& text) {
+  const JsonValue root = JsonReader(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::invalid_argument("report json: document is not an object");
+  }
+  ReportSummary s;
+  s.command =
+      require(root, "command", JsonValue::Kind::kString, "provenance").str;
+  s.records = static_cast<int>(
+      require(root, "records", JsonValue::Kind::kNumber, "record count").num);
+  s.critical_path_ns =
+      require(root, "critical_path_ns", JsonValue::Kind::kNumber, "path span")
+          .num;
+
+  for (const JsonValue& row :
+       require(root, "classes", JsonValue::Kind::kArray, "class table")
+           .items) {
+    ReportSummary::ClassRow out;
+    out.target = static_cast<int>(
+        require(row, "target", JsonValue::Kind::kNumber, "class row").num);
+    out.dir = require(row, "dir", JsonValue::Kind::kString, "class row").str;
+    for (const JsonValue& cls :
+         require(row, "classes", JsonValue::Kind::kArray, "class members")
+             .items) {
+      if (!out.classes.empty()) out.classes += ' ';
+      out.classes += '{';
+      for (std::size_t i = 0; i < cls.items.size(); ++i) {
+        if (i != 0) out.classes += ' ';
+        out.classes += std::to_string(static_cast<int>(cls.items[i].num));
+      }
+      out.classes += '}';
+    }
+    const JsonValue& avgs =
+        require(row, "avg_gbps", JsonValue::Kind::kArray, "class averages");
+    for (std::size_t i = 0; i < avgs.items.size(); ++i) {
+      if (i != 0) out.avgs += " / ";
+      out.avgs += fixed(avgs.items[i].num, 1);
+    }
+    s.classes.push_back(std::move(out));
+  }
+
+  for (const JsonValue& row :
+       require(root, "critical_path", JsonValue::Kind::kArray, "path")
+           .items) {
+    ReportSummary::PathStep step;
+    step.id = static_cast<obs::EventId>(
+        require(row, "id", JsonValue::Kind::kNumber, "path step").num);
+    step.name = require(row, "name", JsonValue::Kind::kString, "path step")
+                    .str;
+    step.self_ns =
+        require(row, "self_ns", JsonValue::Kind::kNumber, "path step").num;
+    step.outcome =
+        require(row, "outcome", JsonValue::Kind::kString, "path step").str;
+    s.critical_path.push_back(std::move(step));
+  }
+
+  for (const JsonValue& row :
+       require(root, "span_kinds", JsonValue::Kind::kArray, "span table")
+           .items) {
+    ReportSummary::SpanRow span;
+    span.name =
+        require(row, "name", JsonValue::Kind::kString, "span kind").str;
+    span.count = static_cast<int>(
+        require(row, "count", JsonValue::Kind::kNumber, "span kind").num);
+    span.total_ns =
+        require(row, "total_ns", JsonValue::Kind::kNumber, "span kind").num;
+    s.span_kinds.push_back(std::move(span));
+  }
+
+  const JsonValue& faults =
+      require(root, "faults", JsonValue::Kind::kObject, "fault audit");
+  s.fault_transitions = static_cast<int>(
+      require(faults, "transitions", JsonValue::Kind::kNumber, "faults").num);
+  s.retries = static_cast<int>(
+      require(faults, "retries", JsonValue::Kind::kNumber, "faults").num);
+  s.aborts = static_cast<int>(
+      require(faults, "aborts", JsonValue::Kind::kNumber, "faults").num);
+  s.caused = static_cast<int>(
+      require(faults, "caused", JsonValue::Kind::kNumber, "faults").num);
+  return s;
+}
+
+namespace {
+
+/// "+1.234" / "-1.234" / "+0.000" — signed fixed-point delta text.
+std::string signed_ms(double delta_ns) {
+  std::string out(delta_ns < 0 ? "-" : "+");
+  out += ms(delta_ns < 0 ? -delta_ns : delta_ns);
+  return out;
+}
+
+std::string pct_change(double before, double after) {
+  if (before <= 0.0) return "n/a";
+  std::string out(after >= before ? "+" : "");
+  out += fixed(100.0 * (after - before) / before, 1);
+  out += '%';
+  return out;
+}
+
+std::string path_step_text(const ReportSummary::PathStep& s) {
+  std::string out = "id " + std::to_string(s.id) + " " + s.name + " (" +
+                    ms(s.self_ns) + " ms";
+  if (!s.outcome.empty()) out += ", " + s.outcome;
+  return out + ")";
+}
+
+}  // namespace
+
+std::string diff_reports(const ReportSummary& before,
+                         const ReportSummary& after) {
+  std::ostringstream out;
+  out << "# numaio report diff\n\n";
+  out << "- before: `" << before.command << "` (" << before.records
+      << " records)\n";
+  out << "- after:  `" << after.command << "` (" << after.records
+      << " records)\n";
+  out << "- critical path: " << ms(before.critical_path_ns) << " ms -> "
+      << ms(after.critical_path_ns) << " ms ("
+      << signed_ms(after.critical_path_ns - before.critical_path_ns)
+      << " ms, "
+      << pct_change(before.critical_path_ns, after.critical_path_ns)
+      << ")\n";
+
+  // Class structure: the Tables IV/V before/after story. Rows pair up by
+  // (target, dir); a structure change is the headline signal (a NUMA hop
+  // got re-classed), an average drift alone is secondary.
+  out << "\n## Class structure\n\n";
+  if (before.classes.empty() && after.classes.empty()) {
+    out << "- no class tables on either side (trace-only reports)\n";
+  } else if (before.classes.empty() || after.classes.empty()) {
+    out << "- class table present only "
+        << (before.classes.empty() ? "after" : "before")
+        << " — runs are not directly comparable\n";
+  } else {
+    int changed = 0;
+    for (const ReportSummary::ClassRow& b : before.classes) {
+      const ReportSummary::ClassRow* a = nullptr;
+      for (const ReportSummary::ClassRow& row : after.classes) {
+        if (row.target == b.target && row.dir == b.dir) {
+          a = &row;
+          break;
+        }
+      }
+      if (a == nullptr) {
+        out << "- target " << b.target << ' ' << b.dir
+            << ": dropped (was " << b.classes << ")\n";
+        ++changed;
+        continue;
+      }
+      if (a->classes != b.classes) {
+        out << "- target " << b.target << ' ' << b.dir << ": " << b.classes
+            << " -> " << a->classes << " (avg " << b.avgs << " -> "
+            << a->avgs << " Gbps)\n";
+        ++changed;
+      } else if (a->avgs != b.avgs) {
+        out << "- target " << b.target << ' ' << b.dir
+            << ": structure unchanged " << b.classes << ", avg " << b.avgs
+            << " -> " << a->avgs << " Gbps\n";
+        ++changed;
+      }
+    }
+    for (const ReportSummary::ClassRow& a : after.classes) {
+      bool known = false;
+      for (const ReportSummary::ClassRow& b : before.classes) {
+        if (b.target == a.target && b.dir == a.dir) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        out << "- target " << a.target << ' ' << a.dir << ": added ("
+            << a.classes << ")\n";
+        ++changed;
+      }
+    }
+    if (changed == 0) {
+      out << "- unchanged across " << before.classes.size()
+          << " (target, dir) rows\n";
+    }
+  }
+
+  out << "\n## Critical path\n\n";
+  out << "- steps: " << before.critical_path.size() << " -> "
+      << after.critical_path.size() << "\n";
+  const std::size_t rows =
+      std::max(before.critical_path.size(), after.critical_path.size());
+  bool path_same = before.critical_path.size() == after.critical_path.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const bool have_b = i < before.critical_path.size();
+    const bool have_a = i < after.critical_path.size();
+    if (have_b && have_a) {
+      const ReportSummary::PathStep& b = before.critical_path[i];
+      const ReportSummary::PathStep& a = after.critical_path[i];
+      if (b.name == a.name && b.outcome == a.outcome &&
+          b.self_ns == a.self_ns) {
+        continue;  // identical step: elide, keep the diff about deltas
+      }
+      path_same = false;
+      out << "- step " << i + 1 << ": " << path_step_text(b) << " -> "
+          << path_step_text(a) << "\n";
+    } else if (have_b) {
+      out << "- step " << i + 1 << ": " << path_step_text(
+          before.critical_path[i]) << " -> (gone)\n";
+    } else {
+      out << "- step " << i + 1 << ": (new) -> "
+          << path_step_text(after.critical_path[i]) << "\n";
+    }
+  }
+  if (path_same && !before.critical_path.empty()) {
+    out << "- every step matches by name, outcome and self time\n";
+  }
+
+  out << "\n## Span kinds\n\n";
+  int span_changes = 0;
+  for (const ReportSummary::SpanRow& b : before.span_kinds) {
+    const ReportSummary::SpanRow* a = nullptr;
+    for (const ReportSummary::SpanRow& row : after.span_kinds) {
+      if (row.name == b.name) {
+        a = &row;
+        break;
+      }
+    }
+    if (a == nullptr) {
+      out << "- " << b.name << ": gone (was " << b.count << " spans, "
+          << ms(b.total_ns) << " ms)\n";
+      ++span_changes;
+    } else if (a->count != b.count || a->total_ns != b.total_ns) {
+      out << "- " << b.name << ": count " << b.count << " -> " << a->count
+          << ", total " << ms(b.total_ns) << " -> " << ms(a->total_ns)
+          << " ms (" << signed_ms(a->total_ns - b.total_ns) << " ms)\n";
+      ++span_changes;
+    }
+  }
+  for (const ReportSummary::SpanRow& a : after.span_kinds) {
+    bool known = false;
+    for (const ReportSummary::SpanRow& b : before.span_kinds) {
+      if (b.name == a.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      out << "- " << a.name << ": new (" << a.count << " spans, "
+          << ms(a.total_ns) << " ms)\n";
+      ++span_changes;
+    }
+  }
+  if (span_changes == 0) {
+    out << "- unchanged across " << before.span_kinds.size()
+        << " span kinds\n";
+  }
+
+  out << "\n## Faults & retries\n\n";
+  out << "- transitions: " << before.fault_transitions << " -> "
+      << after.fault_transitions << ", retries: " << before.retries
+      << " -> " << after.retries << ", aborts: " << before.aborts << " -> "
+      << after.aborts << ", caused: " << before.caused << " -> "
+      << after.caused << "\n";
   return out.str();
 }
 

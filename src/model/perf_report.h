@@ -42,8 +42,15 @@ struct RunReport {
   std::vector<obs::MetricsRegistry::NamedValue> counters;
 };
 
-/// Assembles a report from a run's artifacts; `model` and `metrics` may
-/// be nullptr (trace-only reports, e.g. from a loaded capture file).
+/// Assembles a report by streaming a record source through the analyzer
+/// — the capture is never materialized, so `--trace-in` reports work on
+/// arbitrarily large JSONL files. `model` and `metrics` may be nullptr
+/// (trace-only reports, e.g. from a loaded capture file).
+RunReport build_run_report(std::string command, const HostModel* model,
+                           obs::RecordSource& source,
+                           const obs::MetricsRegistry* metrics);
+
+/// In-memory convenience wrapper over the streaming overload.
 RunReport build_run_report(std::string command, const HostModel* model,
                            const std::vector<obs::Event>& events,
                            const obs::MetricsRegistry* metrics);
@@ -52,5 +59,49 @@ std::string render_markdown(const RunReport& report,
                             const RunReportOptions& options = {});
 std::string render_json(const RunReport& report,
                         const RunReportOptions& options = {});
+
+/// The diffable surface of one rendered JSON report — what
+/// `report --diff old.json` compares: provenance, the class structure
+/// (Tables IV/V), the critical path, span-kind totals and the fault
+/// audit.
+struct ReportSummary {
+  std::string command;
+  int records = 0;
+  double critical_path_ns = 0.0;
+  struct ClassRow {
+    int target = -1;
+    std::string dir;      ///< "write" / "read".
+    std::string classes;  ///< "{0 1} {4 5 6 7}" — serialized-model syntax.
+    std::string avgs;     ///< "18.3 / 12.1" — per-class avg Gbps.
+  };
+  std::vector<ClassRow> classes;
+  struct PathStep {
+    obs::EventId id = 0;
+    std::string name;
+    std::string outcome;
+    double self_ns = 0.0;
+  };
+  std::vector<PathStep> critical_path;
+  struct SpanRow {
+    std::string name;
+    int count = 0;
+    double total_ns = 0.0;
+  };
+  std::vector<SpanRow> span_kinds;
+  int fault_transitions = 0;
+  int retries = 0;
+  int aborts = 0;
+  int caused = 0;
+};
+
+/// Parses a render_json() document back into its diffable summary.
+/// Throws std::invalid_argument on malformed input.
+ReportSummary parse_report_json(const std::string& text);
+
+/// Renders the class-structure / critical-path / span / fault deltas
+/// between two report summaries — the Tables IV/V before/after story in
+/// one deterministic document.
+std::string diff_reports(const ReportSummary& before,
+                         const ReportSummary& after);
 
 }  // namespace numaio::model

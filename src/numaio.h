@@ -15,11 +15,13 @@
 #pragma once
 
 // Observability: structured tracing, metrics registry, scoped timers,
-// trace analysis (critical path, contention) and exporters (Chrome trace
-// JSON for Perfetto, Prometheus text exposition).
+// the streaming record-source core, trace analysis (critical path,
+// contention) and exporters (Chrome trace JSON for Perfetto, Prometheus
+// text exposition).
 #include "obs/analysis.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/stream.h"
 
 // Simulation core: units, RNG, statistics, retry policy, status codes.
 #include "simcore/retry.h"

@@ -4,176 +4,11 @@
 #include <map>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 
 namespace numaio::obs {
 
 namespace {
-
-// ---------------------------------------------------------------------
-// JSONL parse-back: the exact object layout JsonlSink writes, one record
-// per line, keys accepted in any order so hand-edited fixtures also load.
-
-class ObjectCursor {
- public:
-  ObjectCursor(std::string_view line, int line_no)
-      : line_(line), line_no_(line_no) {}
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("trace line " + std::to_string(line_no_) +
-                                ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < line_.size() &&
-           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
-      ++pos_;
-    }
-  }
-
-  bool try_consume(char c) {
-    skip_ws();
-    if (pos_ < line_.size() && line_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  void expect(char c) {
-    if (!try_consume(c)) fail(std::string("expected '") + c + "'");
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < line_.size() && line_[pos_] != '"') {
-      char c = line_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= line_.size()) fail("dangling escape");
-        const char esc = line_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case 'u': {
-            if (pos_ + 4 > line_.size()) fail("short \\u escape");
-            unsigned value = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = line_[pos_++];
-              value <<= 4;
-              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f')
-                value |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F')
-                value |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape");
-            }
-            c = static_cast<char>(value);  // sinks only escape < 0x20
-            break;
-          }
-          default:
-            fail("unknown escape");
-        }
-      }
-      out += c;
-    }
-    if (pos_ >= line_.size()) fail("unterminated string");
-    ++pos_;
-    return out;
-  }
-
-  double parse_number() {
-    skip_ws();
-    std::size_t consumed = 0;
-    double value = 0.0;
-    try {
-      value = std::stod(std::string(line_.substr(pos_)), &consumed);
-    } catch (const std::exception&) {
-      fail("expected a number");
-    }
-    pos_ += consumed;
-    return value;
-  }
-
- private:
-  std::string_view line_;
-  std::size_t pos_ = 0;
-  int line_no_;
-};
-
-Event parse_record(std::string_view line, int line_no) {
-  ObjectCursor cur(line, line_no);
-  Event e;
-  e.wall_us = -1.0;  // deterministic traces omit the field
-  cur.expect('{');
-  bool first = true;
-  while (!cur.try_consume('}')) {
-    if (!first) cur.expect(',');
-    first = false;
-    const std::string key = cur.parse_string();
-    cur.expect(':');
-    if (key == "id") {
-      e.id = static_cast<EventId>(cur.parse_number());
-    } else if (key == "span") {
-      e.span = static_cast<SpanId>(cur.parse_number());
-    } else if (key == "parent") {
-      e.parent = static_cast<EventId>(cur.parse_number());
-    } else if (key == "kind") {
-      const std::string v = cur.parse_string();
-      if (v.size() != 1) cur.fail("kind must be one character");
-      e.kind = v[0];
-    } else if (key == "name") {
-      e.name = cur.parse_string();
-    } else if (key == "node_a") {
-      e.node_a = static_cast<int>(cur.parse_number());
-    } else if (key == "node_b") {
-      e.node_b = static_cast<int>(cur.parse_number());
-    } else if (key == "dir") {
-      const std::string v = cur.parse_string();
-      if (v.size() != 1) cur.fail("dir must be one character");
-      e.dir = v[0];
-    } else if (key == "bytes") {
-      e.bytes = static_cast<long long>(cur.parse_number());
-    } else if (key == "t") {
-      e.t_sim = cur.parse_number();
-    } else if (key == "outcome") {
-      e.outcome = cur.parse_string();
-    } else if (key == "detail") {
-      e.detail = cur.parse_string();
-    } else if (key == "wall_us") {
-      e.wall_us = cur.parse_number();
-    } else {
-      cur.fail("unknown field '" + key + "'");
-    }
-  }
-  if (e.id == 0) cur.fail("record without an id");
-  return e;
-}
-
-// ---------------------------------------------------------------------
-// Analysis proper.
-
-/// One reassembled span: its begin/end records and tree links.
-struct SpanInfo {
-  const Event* begin = nullptr;
-  const Event* end = nullptr;
-  std::vector<EventId> child_spans;     ///< In id (= begin) order.
-  std::vector<const Event*> instants;   ///< Instants inside, id order.
-  double t0 = -1.0;
-  double t1 = -1.0;
-  double dur = 0.0;
-};
-
-/// "a dominates b" for root/descent choice: later end time, then longer
-/// duration, then the earlier record. Untimed spans (t1 = -1) lose to any
-/// timed one.
-bool dominates(const SpanInfo& a, EventId a_id, const SpanInfo& b,
-               EventId b_id) {
-  if (a.t1 != b.t1) return a.t1 > b.t1;
-  if (a.dur != b.dur) return a.dur > b.dur;
-  return a_id < b_id;
-}
 
 bool ends_with(std::string_view text, std::string_view suffix) {
   return text.size() >= suffix.size() &&
@@ -181,230 +16,471 @@ bool ends_with(std::string_view text, std::string_view suffix) {
              0;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------
+// Critical-path skeleton: what a span hands to its parent when it closes.
 
-std::vector<Event> parse_trace_jsonl(const std::string& text) {
-  std::vector<Event> events;
-  std::size_t start = 0;
-  int line_no = 0;
-  while (start < text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    ++line_no;
-    const std::string_view line(text.data() + start, end - start);
-    if (!line.empty()) events.push_back(parse_record(line, line_no));
-    start = end + 1;
-  }
-  return events;
+/// Dominance key of a closed span. "a dominates b": later end time, then
+/// longer duration, then the earlier record. Untimed spans (t1 = -1)
+/// lose to any timed one. A strict total order, so the fold's winner is
+/// independent of the order children close in.
+struct PathKey {
+  double t1 = -1.0;
+  double dur = 0.0;
+  EventId id = 0;
+};
+
+bool dominates(const PathKey& a, const PathKey& b) {
+  if (a.t1 != b.t1) return a.t1 > b.t1;
+  if (a.dur != b.dur) return a.dur > b.dur;
+  return a.id < b.id;
 }
 
-TraceAnalysis analyze_trace(const std::vector<Event>& events) {
-  TraceAnalysis out;
-  out.num_records = static_cast<int>(events.size());
+/// The dominant descent below (and including) one closed span: its path
+/// steps root-first, plus the leaf's best cause-citing instant. Chains
+/// propagate upward when spans close; only the dominant child's chain
+/// survives at each level, so live memory is one chain per *open* span.
+struct Chain {
+  std::vector<CriticalPathStep> steps;
+  bool has_pivot = false;
+  Event pivot;            ///< Leaf's latest instant citing a cause.
+  EventId leaf_span = 0;  ///< Span the pivot was recorded in.
+};
 
-  // Reassemble spans and the id index. std::map keeps ids ordered, which
-  // pins every later tie-break to record order.
-  std::map<EventId, const Event*> by_id;
-  std::map<EventId, SpanInfo> spans;
-  for (const Event& e : events) {
-    by_id.emplace(e.id, &e);
-    if (e.kind == 'B') {
-      spans[e.id].begin = &e;
-    } else if (e.kind == 'E') {
-      spans[e.span].end = &e;
-    } else if (e.span != 0) {
-      spans[e.span].instants.push_back(&e);
-    }
-    if (e.t_sim >= 0.0) {
-      if (out.first_ns < 0.0 || e.t_sim < out.first_ns) out.first_ns = e.t_sim;
-      if (e.t_sim > out.last_ns) out.last_ns = e.t_sim;
-    }
-  }
-  for (auto& [id, info] : spans) {
-    if (info.begin == nullptr) continue;  // partial capture: end only
-    if (info.begin->parent != 0) {
-      const auto parent = spans.find(info.begin->parent);
-      if (parent != spans.end()) parent->second.child_spans.push_back(id);
-    }
-    info.t0 = info.begin->t_sim;
-    if (info.end != nullptr) info.t1 = info.end->t_sim;
-    if (info.t0 >= 0.0 && info.t1 >= info.t0) info.dur = info.t1 - info.t0;
-  }
+/// Live state per open span during pass 1 — everything the fold needs,
+/// never the span's records.
+struct OpenSpan {
+  std::string name;
+  std::string detail;
+  EventId parent = 0;
+  double t0 = -1.0;
+  int node_a = -1;
+  int node_b = -1;
+  char dir = '-';
+  long long begin_bytes = -1;
+  bool has_pivot = false;
+  Event pivot;
+  bool has_child = false;
+  PathKey child_key;
+  Chain child_chain;
+};
 
-  // 1. Per-span-kind aggregates.
-  std::map<std::string, SpanKindStats> kinds;
-  std::map<std::string, std::map<std::string, int>> kind_outcomes;
-  for (const auto& [id, info] : spans) {
-    if (info.begin == nullptr) continue;
-    SpanKindStats& k = kinds[info.begin->name];
-    k.name = info.begin->name;
-    ++k.count;
-    k.total_ns += info.dur;
-    k.max_ns = std::max(k.max_ns, info.dur);
-    if (info.end == nullptr) {
-      ++k.unclosed;
-      ++kind_outcomes[k.name]["(open)"];
-    } else {
-      if (info.end->bytes > 0) k.bytes += info.end->bytes;
-      ++kind_outcomes[k.name][info.end->outcome];
-    }
-  }
-  for (auto& [name, k] : kinds) {
-    for (const auto& [outcome, n] : kind_outcomes[name]) {
-      k.outcomes.emplace_back(outcome, n);
-    }
-    out.span_kinds.push_back(std::move(k));
-  }
+/// Per (name, dir) transfer-group reference established in pass 1: the
+/// best observed rate and the fastest duration define the uncontended
+/// ideal that pass 2 attributes stall against.
+struct GroupRef {
+  double ref_rate = 0.0;  ///< Bytes per simulated ns, best in group.
+  double min_dur = 0.0;
+};
 
-  // 2. Critical path: dominant root span, descend through the dominant
-  // child at each level, then extend through the leaf's latest cause edge
-  // to the record (typically a fault.transition) that shaped it.
-  EventId root = 0;
-  for (const auto& [id, info] : spans) {
-    if (info.begin == nullptr) continue;
-    const bool is_root = info.begin->parent == 0 ||
-                         spans.find(info.begin->parent) == spans.end();
-    if (!is_root) continue;
-    if (root == 0 || dominates(info, id, spans.at(root), root)) root = id;
-  }
-  if (root != 0) {
-    out.critical_path_ns = spans.at(root).dur;
-    EventId cur = root;
-    while (cur != 0) {
-      const SpanInfo& info = spans.at(cur);
-      EventId next = 0;
-      for (const EventId child : info.child_spans) {
-        if (next == 0 ||
-            dominates(spans.at(child), child, spans.at(next), next)) {
-          next = child;
-        }
-      }
-      CriticalPathStep step;
-      step.id = cur;
-      step.name = info.begin->name;
-      step.outcome = info.end != nullptr ? info.end->outcome : "(open)";
-      step.detail = info.begin->detail;
-      step.start_ns = info.t0;
-      step.end_ns = info.t1;
-      step.self_ns =
-          std::max(0.0, info.dur - (next != 0 ? spans.at(next).dur : 0.0));
-      out.critical_path.push_back(std::move(step));
-      if (next == 0) {
-        // Leaf: follow the latest instant that cites a cause.
-        const Event* pivot = nullptr;
-        for (const Event* i : info.instants) {
-          if (i->parent == 0) continue;
-          if (pivot == nullptr || i->t_sim > pivot->t_sim ||
-              (i->t_sim == pivot->t_sim && i->id < pivot->id)) {
-            pivot = i;
-          }
-        }
-        // Walk the cause chain; ids strictly decrease along real cause
-        // edges (a cause is emitted before its consequence), which also
-        // guards against cycles in corrupt input.
-        EventId guard = pivot != nullptr ? pivot->id : 0;
-        const Event* link = pivot;
-        while (link != nullptr) {
-          CriticalPathStep cause_step;
-          cause_step.id = link->id;
-          cause_step.name = link->name;
-          cause_step.outcome = link->outcome;
-          cause_step.detail = link->detail;
-          cause_step.start_ns = link->t_sim;
-          out.critical_path.push_back(std::move(cause_step));
-          const auto it =
-              link->parent != 0 && link->parent < guard
-                  ? by_id.find(link->parent)
-                  : by_id.end();
-          guard = link->parent;
-          link = it != by_id.end() ? it->second : nullptr;
-        }
-      }
-      cur = next;
-    }
-  }
+// ---------------------------------------------------------------------
+// Fault/retry audit: a single-pass fold shared by analyze_stream() and
+// the standalone audit_faults().
 
-  // 3. Contention heatmap. A transfer span is any span carrying a node
-  // pair and a positive duration. Within each (name, dir) group the
-  // fastest observed transfer defines the uncontended ideal — by rate
-  // when payload bytes are recorded, by duration otherwise — and every
-  // span's time beyond its ideal is stall attributed to its node pair.
-  struct Xfer {
-    const SpanInfo* info;
-    long long bytes;
-  };
-  std::map<std::string, std::vector<Xfer>> groups;
-  for (const auto& [id, info] : spans) {
-    if (info.begin == nullptr || info.dur <= 0.0) continue;
-    if (info.begin->node_a < 0 || info.begin->node_b < 0) continue;
-    long long bytes = -1;
-    if (info.end != nullptr && info.end->bytes > 0) bytes = info.end->bytes;
-    else if (info.begin->bytes > 0) bytes = info.begin->bytes;
-    groups[info.begin->name + '|' + info.begin->dir].push_back(
-        {&info, bytes});
-  }
-  std::map<std::pair<int, int>, ContentionCell> cells;
-  for (const auto& [key, xfers] : groups) {
-    double ref_rate = 0.0;  // bytes per simulated ns, best in group
-    double min_dur = 0.0;
-    for (const Xfer& x : xfers) {
-      if (x.bytes > 0) {
-        ref_rate =
-            std::max(ref_rate, static_cast<double>(x.bytes) / x.info->dur);
-      }
-      if (min_dur == 0.0 || x.info->dur < min_dur) min_dur = x.info->dur;
-    }
-    for (const Xfer& x : xfers) {
-      const double ideal = x.bytes > 0 && ref_rate > 0.0
-                               ? static_cast<double>(x.bytes) / ref_rate
-                               : min_dur;
-      ContentionCell& cell =
-          cells[{x.info->begin->node_a, x.info->begin->node_b}];
-      cell.node_a = x.info->begin->node_a;
-      cell.node_b = x.info->begin->node_b;
-      ++cell.spans;
-      if (x.bytes > 0) cell.bytes += x.bytes;
-      cell.busy_ns += x.info->dur;
-      cell.stall_ns += std::max(0.0, x.info->dur - ideal);
-    }
-  }
-  for (const auto& [pair, cell] : cells) out.contention.push_back(cell);
-  std::sort(out.contention.begin(), out.contention.end(),
-            [](const ContentionCell& a, const ContentionCell& b) {
-              if (a.stall_ns != b.stall_ns) return a.stall_ns > b.stall_ns;
-              if (a.node_a != b.node_a) return a.node_a < b.node_a;
-              return a.node_b < b.node_b;
-            });
-
-  // 4. Fault/retry audit.
-  std::map<EventId, std::pair<std::string, int>> transitions;
-  for (const Event& e : events) {
+class FaultAccumulator final : public TraceVisitor {
+ public:
+  void record(const Event& e) override {
     if (e.name == "fault.transition") {
-      ++out.faults.transitions;
-      transitions[e.id] = {e.detail + ' ' + e.outcome + " (id " +
+      ++audit_.transitions;
+      transitions_[e.id] = {e.detail + ' ' + e.outcome + " (id " +
                                std::to_string(e.id) + ')',
                            0};
     }
-    if (e.kind == 'I' && ends_with(e.name, ".retry")) ++out.faults.retries;
-    if (e.kind == 'I' && ends_with(e.name, ".abort")) ++out.faults.aborts;
-    if (e.kind == 'E' && e.outcome == "aborted") ++out.faults.aborts;
+    if (e.kind == 'I' && ends_with(e.name, ".retry")) ++audit_.retries;
+    if (e.kind == 'I' && ends_with(e.name, ".abort")) ++audit_.aborts;
+    if (e.kind == 'E' && e.outcome == "aborted") ++audit_.aborts;
     if (e.kind == 'I' && e.parent != 0) {
-      const auto it = transitions.find(e.parent);
-      if (it != transitions.end()) {
-        ++out.faults.caused;
+      const auto it = transitions_.find(e.parent);
+      if (it != transitions_.end()) {
+        ++audit_.caused;
         ++it->second.second;
       }
     }
   }
-  for (const auto& [id, labelled] : transitions) {
-    out.faults.by_fault.push_back(labelled);
+
+  FaultAudit finish() {
+    for (const auto& [id, labelled] : transitions_) {
+      audit_.by_fault.push_back(labelled);
+    }
+    std::sort(audit_.by_fault.begin(), audit_.by_fault.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    return std::move(audit_);
   }
-  std::sort(out.faults.by_fault.begin(), out.faults.by_fault.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
+
+ private:
+  FaultAudit audit_;
+  /// id -> (label, consequence count); one entry per fault transition.
+  std::map<EventId, std::pair<std::string, int>> transitions_;
+};
+
+// ---------------------------------------------------------------------
+// Pass 1: span-kind aggregates, fault audit, contention group references
+// and the critical-path skeleton, holding only open spans.
+
+class SkeletonPass final : public TraceVisitor {
+ public:
+  void record(const Event& e) override {
+    ++num_records_;
+    if (e.t_sim >= 0.0) {
+      if (first_ns_ < 0.0 || e.t_sim < first_ns_) first_ns_ = e.t_sim;
+      if (e.t_sim > last_ns_) last_ns_ = e.t_sim;
+    }
+    faults_.record(e);
+    if (e.kind == 'B') {
+      OpenSpan s;
+      s.name = e.name;
+      s.detail = e.detail;
+      s.parent = e.parent;
+      s.t0 = e.t_sim;
+      s.node_a = e.node_a;
+      s.node_b = e.node_b;
+      s.dir = e.dir;
+      s.begin_bytes = e.bytes;
+      open_.emplace(e.id, std::move(s));
+      peak_open_ = std::max(peak_open_,
+                            static_cast<std::uint64_t>(open_.size()));
+    } else if (e.kind == 'E') {
+      const auto it = open_.find(e.span);
+      if (it == open_.end()) return;  // end without a begin: skip
+      close(it->first, it->second, &e);
+      open_.erase(it);
+    } else if (e.span != 0 && e.parent != 0) {
+      // Candidate cause pivot for its enclosing span: latest simulated
+      // time wins, ties to the earliest record.
+      const auto it = open_.find(e.span);
+      if (it == open_.end()) return;
+      OpenSpan& s = it->second;
+      if (!s.has_pivot || e.t_sim > s.pivot.t_sim ||
+          (e.t_sim == s.pivot.t_sim && e.id < s.pivot.id)) {
+        s.has_pivot = true;
+        s.pivot = e;
+      }
+    }
+  }
+
+  /// Folds still-open spans (unclosed capture tails) and moves the
+  /// aggregates into `out`. Children close before parents: a child's id
+  /// is always greater than its parent's, so walking the map backwards
+  /// preserves the bottom-up chain hand-off.
+  void finish(TraceAnalysis& out) {
+    while (!open_.empty()) {
+      const auto it = std::prev(open_.end());
+      close(it->first, it->second, nullptr);
+      open_.erase(it);
+    }
+    out.num_records = num_records_;
+    out.first_ns = first_ns_;
+    out.last_ns = last_ns_;
+    out.peak_open_spans = peak_open_;
+    for (auto& [name, k] : kinds_) {
+      for (const auto& [outcome, n] : kind_outcomes_[name]) {
+        k.outcomes.emplace_back(outcome, n);
+      }
+      out.span_kinds.push_back(std::move(k));
+    }
+    out.faults = faults_.finish();
+    if (has_root_) {
+      out.critical_path_ns = root_key_.dur;
+      out.critical_path = std::move(root_chain_.steps);
+    }
+  }
+
+  const std::map<std::string, GroupRef>& groups() const { return groups_; }
+  bool has_pivot() const { return has_root_ && root_chain_.has_pivot; }
+  const Event& pivot() const { return root_chain_.pivot; }
+  EventId leaf_span() const { return root_chain_.leaf_span; }
+
+ private:
+  void close(EventId id, OpenSpan& s, const Event* end) {
+    const double t1 = end != nullptr ? end->t_sim : -1.0;
+    const double dur = s.t0 >= 0.0 && t1 >= s.t0 ? t1 - s.t0 : 0.0;
+
+    SpanKindStats& k = kinds_[s.name];
+    k.name = s.name;
+    ++k.count;
+    k.total_ns += dur;
+    k.max_ns = std::max(k.max_ns, dur);
+    if (end == nullptr) {
+      ++k.unclosed;
+      ++kind_outcomes_[s.name]["(open)"];
+    } else {
+      if (end->bytes > 0) k.bytes += end->bytes;
+      ++kind_outcomes_[s.name][end->outcome];
+    }
+
+    // Transfer spans feed their group's uncontended reference.
+    if (s.node_a >= 0 && s.node_b >= 0 && dur > 0.0) {
+      long long bytes = -1;
+      if (end != nullptr && end->bytes > 0) bytes = end->bytes;
+      else if (s.begin_bytes > 0) bytes = s.begin_bytes;
+      GroupRef& g = groups_[s.name + '|' + s.dir];
+      if (bytes > 0) {
+        g.ref_rate =
+            std::max(g.ref_rate, static_cast<double>(bytes) / dur);
+      }
+      if (g.min_dur == 0.0 || dur < g.min_dur) g.min_dur = dur;
+    }
+
+    // This span's step on top of its dominant child's chain.
+    Chain chain;
+    CriticalPathStep step;
+    step.id = id;
+    step.name = s.name;
+    step.outcome = end != nullptr ? end->outcome : "(open)";
+    step.detail = s.detail;
+    step.start_ns = s.t0;
+    step.end_ns = t1;
+    step.self_ns =
+        std::max(0.0, dur - (s.has_child ? s.child_key.dur : 0.0));
+    chain.steps.push_back(std::move(step));
+    if (s.has_child) {
+      chain.steps.insert(
+          chain.steps.end(),
+          std::make_move_iterator(s.child_chain.steps.begin()),
+          std::make_move_iterator(s.child_chain.steps.end()));
+      chain.has_pivot = s.child_chain.has_pivot;
+      chain.pivot = std::move(s.child_chain.pivot);
+      chain.leaf_span = s.child_chain.leaf_span;
+    } else {
+      chain.has_pivot = s.has_pivot;
+      chain.pivot = std::move(s.pivot);
+      chain.leaf_span = id;
+    }
+
+    // Hand the chain to the parent (still open: children close first),
+    // or enter it in the root contest.
+    const PathKey key{t1, dur, id};
+    const auto parent_it =
+        s.parent != 0 ? open_.find(s.parent) : open_.end();
+    if (parent_it != open_.end()) {
+      OpenSpan& p = parent_it->second;
+      if (!p.has_child || dominates(key, p.child_key)) {
+        p.has_child = true;
+        p.child_key = key;
+        p.child_chain = std::move(chain);
+      }
+    } else if (!has_root_ || dominates(key, root_key_)) {
+      has_root_ = true;
+      root_key_ = key;
+      root_chain_ = std::move(chain);
+    }
+  }
+
+  int num_records_ = 0;
+  double first_ns_ = -1.0;
+  double last_ns_ = -1.0;
+  std::uint64_t peak_open_ = 0;
+  std::map<EventId, OpenSpan> open_;
+  std::map<std::string, SpanKindStats> kinds_;
+  std::map<std::string, std::map<std::string, int>> kind_outcomes_;
+  std::map<std::string, GroupRef> groups_;
+  FaultAccumulator faults_;
+  bool has_root_ = false;
+  PathKey root_key_;
+  Chain root_chain_;
+};
+
+// ---------------------------------------------------------------------
+// Pass 2: contention attribution against the pass-1 group references,
+// plus the leaf pivot's loose ends — its first cause link and, when the
+// pivot is a scheduler migration, the earlier migrations of the same
+// task so the whole chain lands on the path.
+
+class ResolvePass final : public TraceVisitor {
+ public:
+  ResolvePass(const std::map<std::string, GroupRef>& groups, EventId wanted,
+              EventId stitch_span, std::string stitch_detail,
+              EventId stitch_before)
+      : groups_(groups),
+        wanted_(wanted),
+        stitch_span_(stitch_span),
+        stitch_detail_(std::move(stitch_detail)),
+        stitch_before_(stitch_before) {}
+
+  void record(const Event& e) override {
+    if (wanted_ != 0 && e.id == wanted_) {
+      found_ = e;
+      has_found_ = true;
+    }
+    if (stitch_span_ != 0 && e.kind == 'I' && e.span == stitch_span_ &&
+        e.id < stitch_before_ && e.name == "sched.migrate" &&
+        e.detail == stitch_detail_) {
+      migrates_.push_back(e);
+    }
+    if (e.kind == 'B') {
+      if (e.node_a >= 0 && e.node_b >= 0) {
+        open_.emplace(e.id, Xfer{e.name, e.dir, e.node_a, e.node_b, e.t_sim,
+                                 e.bytes});
+      }
+      return;
+    }
+    if (e.kind != 'E') return;
+    const auto it = open_.find(e.span);
+    if (it == open_.end()) return;
+    const Xfer x = it->second;
+    open_.erase(it);
+    const double dur = x.t0 >= 0.0 && e.t_sim >= x.t0 ? e.t_sim - x.t0 : 0.0;
+    if (dur <= 0.0) return;
+    long long bytes = -1;
+    if (e.bytes > 0) bytes = e.bytes;
+    else if (x.begin_bytes > 0) bytes = x.begin_bytes;
+    const auto group = groups_.find(x.name + '|' + x.dir);
+    if (group == groups_.end()) return;  // unmatched pass-1 state
+    const GroupRef& g = group->second;
+    const double ideal = bytes > 0 && g.ref_rate > 0.0
+                             ? static_cast<double>(bytes) / g.ref_rate
+                             : g.min_dur;
+    ContentionCell& cell = cells_[{x.node_a, x.node_b}];
+    cell.node_a = x.node_a;
+    cell.node_b = x.node_b;
+    ++cell.spans;
+    if (bytes > 0) cell.bytes += bytes;
+    cell.busy_ns += dur;
+    cell.stall_ns += std::max(0.0, dur - ideal);
+  }
+
+  void finish(TraceAnalysis& out) {
+    for (const auto& [pair, cell] : cells_) out.contention.push_back(cell);
+    std::sort(out.contention.begin(), out.contention.end(),
+              [](const ContentionCell& a, const ContentionCell& b) {
+                if (a.stall_ns != b.stall_ns) return a.stall_ns > b.stall_ns;
+                if (a.node_a != b.node_a) return a.node_a < b.node_a;
+                return a.node_b < b.node_b;
+              });
+  }
+
+  bool has_found() const { return has_found_; }
+  const Event& found() const { return found_; }
+  const std::vector<Event>& migrates() const { return migrates_; }
+
+ private:
+  struct Xfer {
+    std::string name;
+    char dir = '-';
+    int node_a = -1;
+    int node_b = -1;
+    double t0 = -1.0;
+    long long begin_bytes = -1;
+  };
+
+  const std::map<std::string, GroupRef>& groups_;
+  EventId wanted_ = 0;
+  EventId stitch_span_ = 0;
+  std::string stitch_detail_;
+  EventId stitch_before_ = 0;
+  std::map<EventId, Xfer> open_;
+  std::map<std::pair<int, int>, ContentionCell> cells_;
+  bool has_found_ = false;
+  Event found_;
+  std::vector<Event> migrates_;
+};
+
+/// Passes 3..k: fetch one record by id (cause-chain links; ids strictly
+/// decrease along real cause edges, so the pass count is the chain
+/// length, not the record count).
+class FindPass final : public TraceVisitor {
+ public:
+  explicit FindPass(EventId wanted) : wanted_(wanted) {}
+  void record(const Event& e) override {
+    if (e.id == wanted_) {
+      found_ = e;
+      has_found_ = true;
+    }
+  }
+  bool has_found() const { return has_found_; }
+  const Event& found() const { return found_; }
+
+ private:
+  EventId wanted_ = 0;
+  bool has_found_ = false;
+  Event found_;
+};
+
+CriticalPathStep instant_step(const Event& e) {
+  CriticalPathStep step;
+  step.id = e.id;
+  step.name = e.name;
+  step.outcome = e.outcome;
+  step.detail = e.detail;
+  step.start_ns = e.t_sim;
+  return step;
+}
+
+}  // namespace
+
+std::vector<Event> parse_trace_jsonl(const std::string& text) {
+  MemorySink sink;
+  JsonlTextSource source(text);
+  source.stream(sink);
+  return std::move(sink.events);
+}
+
+TraceAnalysis analyze_stream(RecordSource& source) {
+  TraceAnalysis out;
+  SkeletonPass skeleton;
+  source.stream(skeleton);
+  out.passes = 1;
+  skeleton.finish(out);
+
+  // What pass 2 owes us: contention attribution when transfer groups
+  // exist, the pivot's first cause link, and — when the leaf pivot is a
+  // scheduler migration — the earlier sched.migrate instants of the same
+  // task, stitched into the path in record order.
+  const bool has_pivot = skeleton.has_pivot();
+  const Event pivot = has_pivot ? skeleton.pivot() : Event{};
+  EventId wanted = 0;
+  if (has_pivot && pivot.parent != 0 && pivot.parent < pivot.id) {
+    wanted = pivot.parent;
+  }
+  const bool stitch = has_pivot && pivot.name == "sched.migrate";
+  if (!skeleton.groups().empty() || wanted != 0 || stitch) {
+    ResolvePass resolve(skeleton.groups(), wanted,
+                        stitch ? skeleton.leaf_span() : 0, pivot.detail,
+                        pivot.id);
+    source.stream(resolve);
+    ++out.passes;
+    resolve.finish(out);
+    if (has_pivot) {
+      for (const Event& m : resolve.migrates()) {
+        out.critical_path.push_back(instant_step(m));
+      }
+      out.critical_path.push_back(instant_step(pivot));
+      // Walk the remaining cause chain, one pass per link; ids strictly
+      // decrease along real cause edges, which also guards against
+      // cycles in corrupt input.
+      const Event* link =
+          wanted != 0 && resolve.has_found() ? &resolve.found() : nullptr;
+      Event held;
+      while (link != nullptr) {
+        out.critical_path.push_back(instant_step(*link));
+        const EventId next =
+            link->parent != 0 && link->parent < link->id ? link->parent : 0;
+        if (next == 0) break;
+        FindPass find(next);
+        source.stream(find);
+        ++out.passes;
+        if (!find.has_found()) break;
+        held = find.found();
+        link = &held;
+      }
+    }
+  } else if (has_pivot) {
+    out.critical_path.push_back(instant_step(pivot));
+  }
   return out;
+}
+
+TraceAnalysis analyze_trace(const std::vector<Event>& events) {
+  VectorSource source(events);
+  return analyze_stream(source);
+}
+
+FaultAudit audit_faults(RecordSource& source) {
+  FaultAccumulator acc;
+  source.stream(acc);
+  return acc.finish();
 }
 
 }  // namespace numaio::obs

@@ -2,9 +2,9 @@
 // characterization run is judged by.
 //
 // PR 2 made the pipeline *emit* its story (spans, instants, cause edges);
-// this module makes the story computable. Given a capture — an in-memory
-// MemorySink vector or a JSONL file parsed back with parse_trace_jsonl()
-// — analyze_trace() derives:
+// this module makes the story computable. Given a capture — any
+// RecordSource (obs/stream.h): a JSONL file, an in-memory MemorySink
+// vector, a synthetic workload — analyze_stream() derives:
 //
 //   1. per-span-kind aggregates: how many fio.stream / iomodel.probe /
 //      online.run spans ran, their simulated time, bytes and outcome mix;
@@ -17,16 +17,29 @@
 //      have needed — attributed to the (node_a, node_b) path it ran on,
 //      i.e. to the links and memory controllers between that pair.
 //
+// The analyzer is streaming and multi-pass: pass 1 folds span-kind
+// aggregates, the fault audit and the critical-path skeleton while
+// holding only the currently *open* spans (each carrying its dominant
+// closed-child chain); one follow-up pass attributes contention stall
+// against the per-group reference rates pass 1 established and resolves
+// the leaf's cause pivot; each further cause-chain link costs one more
+// (cheap, bounded) pass. Memory is O(open spans + span kinds + node
+// pairs), never O(records) — the §4a record-order guarantees (monotonic
+// ids, LIFO span nesting, causes before consequences) are what make the
+// single-visit fold equivalent to the old whole-capture reassembly.
+//
 // Everything here is a pure function of the record stream: analyzing the
 // same capture twice yields identical results, and no wall-clock field is
 // ever read, so reports built on top are byte-deterministic for
 // deterministic traces.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/stream.h"
 #include "obs/trace.h"
 
 namespace numaio::obs {
@@ -100,10 +113,25 @@ struct TraceAnalysis {
   /// Sorted by stall_ns descending, then (node_a, node_b).
   std::vector<ContentionCell> contention;
   FaultAudit faults;
+  // Streaming-core diagnostics (deterministic, but deliberately not
+  // rendered into reports): what the analysis *cost*, not what it found.
+  int passes = 0;  ///< Record-stream passes consumed.
+  std::uint64_t peak_open_spans = 0;  ///< High-water mark of concurrently
+                                      ///< tracked open spans.
 };
 
-/// Pure analysis of a record stream (any order-preserving capture of one
-/// recorder's output; ids must be unique).
+/// Streaming analysis over a restartable record source; holds open spans
+/// plus fixed-size aggregates, never the capture. Identical output to
+/// analyze_trace() on the same records.
+TraceAnalysis analyze_stream(RecordSource& source);
+
+/// Pure analysis of an in-memory capture (any order-preserving capture
+/// of one recorder's output; ids must be unique). A thin wrapper that
+/// streams the vector through analyze_stream().
 TraceAnalysis analyze_trace(const std::vector<Event>& events);
+
+/// The fault/retry audit alone, in a single streaming pass — for
+/// consumers that only need the degraded-mode story.
+FaultAudit audit_faults(RecordSource& source);
 
 }  // namespace numaio::obs

@@ -1,12 +1,13 @@
 #include "obs/export.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 
 #include "obs/obs.h"
+#include "obs/stream.h"
 
 namespace numaio::obs {
 
@@ -53,9 +54,18 @@ constexpr int kUnboundTid = 4096;
 
 int tid_of(const Event& e) { return e.node_a >= 0 ? e.node_a : kUnboundTid; }
 
+/// Compact end-record stub: everything a begin record needs to render as
+/// a complete slice. Kept per span — the "span-skeleton index" — instead
+/// of holding end records whole.
+struct EndStub {
+  double t_sim = -1.0;
+  std::string outcome;
+  long long bytes = -1;
+};
+
 /// Common tail of every emitted trace event: the span/instant payload as
 /// importer-visible args.
-void write_args(std::ostream& out, const Event& begin, const Event* end) {
+void write_args(std::ostream& out, const Event& begin, const EndStub* end) {
   out << "\"args\":{\"record\":" << begin.id << ",\"outcome\":\"";
   json_escape(out, end != nullptr ? end->outcome : begin.outcome);
   out << "\",\"detail\":\"";
@@ -66,89 +76,130 @@ void write_args(std::ostream& out, const Event& begin, const Event* end) {
       << ",\"dir\":\"" << begin.dir << "\",\"bytes\":" << bytes << "}}";
 }
 
-}  // namespace
-
-void export_chrome_trace(const std::vector<Event>& events,
-                         std::ostream& out) {
-  // Pair ends with begins, index records for cause lookups, and collect
-  // the tracks in use.
-  std::map<SpanId, const Event*> ends;
-  std::map<EventId, const Event*> by_id;
-  std::map<int, bool> tids;
-  for (const Event& e : events) {
-    by_id.emplace(e.id, &e);
-    if (e.kind == 'E') ends[e.span] = &e;
-    else tids[tid_of(e)] = true;
+/// Pass 1 over the capture: pair each span with its end stub, collect the
+/// tracks in use and the set of records cited as causes. Memory is
+/// O(spans + cause edges), never O(records).
+class IndexPass final : public TraceVisitor {
+ public:
+  void record(const Event& e) override {
+    if (e.kind == 'E') {
+      ends[e.span] = {e.t_sim, e.outcome, e.bytes};
+      return;
+    }
+    tids[tid_of(e)] = true;
+    if (e.kind == 'I' && e.parent != 0) cited.insert(e.parent);
   }
 
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  bool first = true;
-  const auto sep = [&]() {
-    out << (first ? "" : ",\n");
-    first = false;
+  std::map<SpanId, EndStub> ends;
+  std::map<int, bool> tids;
+  std::set<EventId> cited;
+};
+
+/// Pass 2: emit events in record order. Cause records precede their
+/// consequences (§4a guarantee), so a compact (tid, ts) stub stashed for
+/// each cited record is already available when its flow pair renders.
+class EmitPass final : public TraceVisitor {
+ public:
+  EmitPass(const IndexPass& index, std::ostream& out)
+      : index_(index), out_(out) {}
+
+  void record(const Event& e) override {
+    if (index_.cited.count(e.id) != 0) {
+      stubs_[e.id] = {tid_of(e), e.t_sim};
+    }
+    if (e.kind == 'E') return;  // folded into its begin record
+    if (e.kind == 'B') {
+      const auto end_it = index_.ends.find(e.id);
+      const EndStub* end =
+          end_it != index_.ends.end() ? &end_it->second : nullptr;
+      sep();
+      if (end != nullptr) {
+        const double dur_ns =
+            e.t_sim >= 0.0 && end->t_sim >= e.t_sim ? end->t_sim - e.t_sim
+                                                    : 0.0;
+        out_ << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(e)
+             << ",\"ts\":" << ts_us(e.t_sim) << ",\"dur\":" << ts_us(dur_ns)
+             << ",\"cat\":\"span\",\"name\":\"";
+      } else {
+        // Unclosed span: an open slice the importer extends to the end.
+        out_ << "{\"ph\":\"B\",\"pid\":0,\"tid\":" << tid_of(e)
+             << ",\"ts\":" << ts_us(e.t_sim)
+             << ",\"cat\":\"span\",\"name\":\"";
+      }
+      json_escape(out_, e.name);
+      out_ << "\",";
+      write_args(out_, e, end);
+      return;
+    }
+    // Instant record.
+    sep();
+    out_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid_of(e)
+         << ",\"ts\":" << ts_us(e.t_sim) << ",\"cat\":\"instant\",\"name\":\"";
+    json_escape(out_, e.name);
+    out_ << "\",";
+    write_args(out_, e, nullptr);
+    // Cause edge -> a flow arrow from the causing record to this one.
+    // The flow id is the consequence's record id, unique per edge.
+    if (e.parent != 0) {
+      const auto cause = stubs_.find(e.parent);
+      if (cause != stubs_.end()) {
+        sep();
+        out_ << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << cause->second.tid
+             << ",\"ts\":" << ts_us(cause->second.t_sim)
+             << ",\"cat\":\"cause\",\"name\":\"cause\",\"id\":" << e.id
+             << "}";
+        sep();
+        out_ << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" << tid_of(e)
+             << ",\"ts\":" << ts_us(e.t_sim)
+             << ",\"cat\":\"cause\",\"name\":\"cause\",\"id\":" << e.id
+             << "}";
+      }
+    }
+  }
+
+  void sep() {
+    out_ << (first_ ? "" : ",\n");
+    first_ = false;
+  }
+
+ private:
+  struct CauseStub {
+    int tid = kUnboundTid;
+    double t_sim = -1.0;
   };
 
-  sep();
+  const IndexPass& index_;
+  std::ostream& out_;
+  bool first_ = false;  // the metadata events render before pass 2
+  std::map<EventId, CauseStub> stubs_;
+};
+
+}  // namespace
+
+void export_chrome_trace(RecordSource& source, std::ostream& out) {
+  IndexPass index;
+  source.stream(index);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
          "\"args\":{\"name\":\"numaio\"}}";
-  for (const auto& [tid, used] : tids) {
-    sep();
-    out << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+  for (const auto& [tid, used] : index.tids) {
+    out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
     if (tid == kUnboundTid) out << "unbound";
     else out << "node " << tid;
     out << "\"}}";
   }
 
-  for (const Event& e : events) {
-    if (e.kind == 'E') continue;  // folded into its begin record
-    if (e.kind == 'B') {
-      const auto end_it = ends.find(e.id);
-      const Event* end = end_it != ends.end() ? end_it->second : nullptr;
-      sep();
-      if (end != nullptr) {
-        const double dur_ns =
-            e.t_sim >= 0.0 && end->t_sim >= e.t_sim ? end->t_sim - e.t_sim
-                                                    : 0.0;
-        out << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(e)
-            << ",\"ts\":" << ts_us(e.t_sim) << ",\"dur\":" << ts_us(dur_ns)
-            << ",\"cat\":\"span\",\"name\":\"";
-      } else {
-        // Unclosed span: an open slice the importer extends to the end.
-        out << "{\"ph\":\"B\",\"pid\":0,\"tid\":" << tid_of(e)
-            << ",\"ts\":" << ts_us(e.t_sim) << ",\"cat\":\"span\",\"name\":\"";
-      }
-      json_escape(out, e.name);
-      out << "\",";
-      write_args(out, e, end);
-      continue;
-    }
-    // Instant record.
-    sep();
-    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid_of(e)
-        << ",\"ts\":" << ts_us(e.t_sim) << ",\"cat\":\"instant\",\"name\":\"";
-    json_escape(out, e.name);
-    out << "\",";
-    write_args(out, e, nullptr);
-    // Cause edge -> a flow arrow from the causing record to this one.
-    // The flow id is the consequence's record id, unique per edge.
-    if (e.parent != 0) {
-      const auto cause_it = by_id.find(e.parent);
-      const Event* cause =
-          cause_it != by_id.end() ? cause_it->second : nullptr;
-      if (cause != nullptr) {
-        sep();
-        out << "{\"ph\":\"s\",\"pid\":0,\"tid\":" << tid_of(*cause)
-            << ",\"ts\":" << ts_us(cause->t_sim)
-            << ",\"cat\":\"cause\",\"name\":\"cause\",\"id\":" << e.id << "}";
-        sep();
-        out << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":" << tid_of(e)
-            << ",\"ts\":" << ts_us(e.t_sim)
-            << ",\"cat\":\"cause\",\"name\":\"cause\",\"id\":" << e.id << "}";
-      }
-    }
-  }
+  EmitPass emit(index, out);
+  source.stream(emit);
   out << "\n]}\n";
+}
+
+void export_chrome_trace(const std::vector<Event>& events,
+                         std::ostream& out) {
+  VectorSource source(events);
+  export_chrome_trace(source, out);
 }
 
 namespace {
@@ -189,6 +240,8 @@ void write_header(std::ostream& out, const std::string& family,
 }  // namespace
 
 void export_prometheus(const MetricsRegistry& metrics, std::ostream& out) {
+  // Already an incremental writer: one family at a time straight from
+  // the fixed-size registry — no per-sample state is ever retained.
   for (const auto& [name, value] : metrics.counter_values()) {
     const std::string family = prom_name(name) + "_total";
     write_header(out, family, name, "counter");

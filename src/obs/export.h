@@ -12,6 +12,13 @@
 //   plain, histograms as cumulative `_bucket{le=...}` series with `_sum`
 //   and `_count`. HELP lines come from the known_metrics() catalogue.
 //
+// The Chrome exporter is streaming: pass 1 builds a compact span-end
+// index (the "span skeleton": per-span end time/outcome/bytes, the
+// tracks in use, the ids cited as causes), pass 2 re-streams the capture
+// and writes one event per record as it goes. Memory is O(spans + cause
+// edges), never O(records), so arbitrarily large JSONL captures export
+// without being materialized.
+//
 // Both exporters are pure serializers over deterministic inputs: the
 // golden-file tests in tests/test_export.cpp pin the exact rendering.
 // docs/FORMATS.md §5 documents the mappings.
@@ -21,13 +28,18 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "obs/trace.h"
 
 namespace numaio::obs {
 
-/// Writes the capture as Chrome trace-event JSON. Records without a node
-/// binding land on the dedicated "unbound" track; records without a
-/// simulated timestamp render at ts 0.
+/// Writes the capture as Chrome trace-event JSON in two streaming passes
+/// over `source`. Records without a node binding land on the dedicated
+/// "unbound" track; records without a simulated timestamp render at ts 0.
+void export_chrome_trace(RecordSource& source, std::ostream& out);
+
+/// In-memory convenience wrapper: streams the vector through the
+/// two-pass exporter above. Byte-identical output.
 void export_chrome_trace(const std::vector<Event>& events,
                          std::ostream& out);
 

@@ -1,0 +1,315 @@
+#include "obs/stream.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <stdexcept>
+
+namespace numaio::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// JSONL parse-back: the exact object layout JsonlSink writes, one record
+// per line, keys accepted in any order so hand-edited fixtures also load.
+
+class ObjectCursor {
+ public:
+  ObjectCursor(std::string_view line, int line_no)
+      : line_(line), line_no_(line_no) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("trace line " + std::to_string(line_no_) +
+                                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!try_consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= line_.size()) fail("dangling escape");
+        const char esc = line_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            if (pos_ + 4 > line_.size()) fail("short \\u escape");
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = line_[pos_++];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                value |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            c = static_cast<char>(value);  // sinks only escape < 0x20
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= line_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(std::string(line_.substr(pos_)), &consumed);
+    } catch (const std::exception&) {
+      fail("expected a number");
+    }
+    pos_ += consumed;
+    return value;
+  }
+
+ private:
+  std::string_view line_;
+  std::size_t pos_ = 0;
+  int line_no_;
+};
+
+}  // namespace
+
+Event parse_trace_line(std::string_view line, int line_no) {
+  ObjectCursor cur(line, line_no);
+  Event e;
+  e.wall_us = -1.0;  // deterministic traces omit the field
+  cur.expect('{');
+  bool first = true;
+  while (!cur.try_consume('}')) {
+    if (!first) cur.expect(',');
+    first = false;
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    if (key == "id") {
+      e.id = static_cast<EventId>(cur.parse_number());
+    } else if (key == "span") {
+      e.span = static_cast<SpanId>(cur.parse_number());
+    } else if (key == "parent") {
+      e.parent = static_cast<EventId>(cur.parse_number());
+    } else if (key == "kind") {
+      const std::string v = cur.parse_string();
+      if (v.size() != 1) cur.fail("kind must be one character");
+      e.kind = v[0];
+    } else if (key == "name") {
+      e.name = cur.parse_string();
+    } else if (key == "node_a") {
+      e.node_a = static_cast<int>(cur.parse_number());
+    } else if (key == "node_b") {
+      e.node_b = static_cast<int>(cur.parse_number());
+    } else if (key == "dir") {
+      const std::string v = cur.parse_string();
+      if (v.size() != 1) cur.fail("dir must be one character");
+      e.dir = v[0];
+    } else if (key == "bytes") {
+      e.bytes = static_cast<long long>(cur.parse_number());
+    } else if (key == "t") {
+      e.t_sim = cur.parse_number();
+    } else if (key == "outcome") {
+      e.outcome = cur.parse_string();
+    } else if (key == "detail") {
+      e.detail = cur.parse_string();
+    } else if (key == "wall_us") {
+      e.wall_us = cur.parse_number();
+    } else {
+      cur.fail("unknown field '" + key + "'");
+    }
+  }
+  if (e.id == 0) cur.fail("record without an id");
+  return e;
+}
+
+void JsonlFileSource::stream(TraceVisitor& visitor) {
+  std::ifstream in(path_);
+  if (!in) {
+    throw std::runtime_error("cannot open trace file '" + path_ + "'");
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    visitor.record(parse_trace_line(line, line_no));
+  }
+}
+
+void JsonlTextSource::stream(TraceVisitor& visitor) {
+  std::size_t start = 0;
+  int line_no = 0;
+  while (start < text_.size()) {
+    std::size_t end = text_.find('\n', start);
+    if (end == std::string::npos) end = text_.size();
+    ++line_no;
+    const std::string_view line(text_.data() + start, end - start);
+    if (!line.empty()) visitor.record(parse_trace_line(line, line_no));
+    start = end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Synthetic workload generator.
+
+void SyntheticTraceSource::stream(TraceVisitor& visitor) {
+  const std::uint64_t total = std::max<std::uint64_t>(config_.records, 8);
+  const std::size_t window =
+      static_cast<std::size_t>(std::max(config_.concurrent_streams, 1));
+  const int nodes = std::max(config_.nodes, 2);
+
+  // Inline xorshift64: the obs layer depends only on the standard
+  // library, and a fixed recurrence keeps every pass bit-identical.
+  std::uint64_t state =
+      config_.seed != 0 ? config_.seed : 0x9e3779b97f4a7c15ull;
+  const auto rng = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  EventId next_id = 1;
+  double t = 0.0;
+  std::uint64_t emitted = 0;
+  const auto emit = [&](Event&& e) {
+    e.wall_us = -1.0;  // deterministic shape, like --trace-deterministic
+    ++emitted;
+    visitor.record(e);
+  };
+
+  struct OpenStream {
+    EventId id = 0;
+  };
+  std::deque<OpenStream> open;
+  EventId last_fault = 0;
+
+  Event root;
+  root.id = next_id++;
+  root.span = root.id;
+  root.kind = 'B';
+  root.name = "synth.run";
+  root.t_sim = t;
+  const EventId root_id = root.id;
+  emit(std::move(root));
+
+  const auto begin_stream = [&]() {
+    Event b;
+    b.id = next_id++;
+    b.span = b.id;
+    b.parent = root_id;
+    b.kind = 'B';
+    b.name = "synth.stream";
+    b.node_a = static_cast<int>(rng() % static_cast<std::uint64_t>(nodes));
+    b.node_b = static_cast<int>(rng() % static_cast<std::uint64_t>(nodes));
+    b.dir = (rng() & 1) != 0 ? 'w' : 'r';
+    b.t_sim = t;
+    b.detail = "task " + std::to_string(b.id % 7);
+    open.push_back({b.id});
+    emit(std::move(b));
+  };
+
+  const auto close_oldest = [&]() {
+    const OpenStream s = open.front();
+    open.pop_front();
+    Event e;
+    e.id = next_id++;
+    e.span = s.id;
+    e.kind = 'E';
+    e.t_sim = t;
+    e.bytes = static_cast<long long>(1 + rng() % 64) * (1 << 20);
+    const bool aborted = last_fault != 0 && rng() % 16 == 0;
+    e.outcome = aborted ? "aborted" : "ok";
+    emit(std::move(e));
+  };
+
+  while (true) {
+    // Budget = records still available beyond the one E per open span
+    // plus the root's E that the drain below must emit.
+    const std::uint64_t committed = emitted + open.size() + 1;
+    if (committed >= total) break;
+    const std::uint64_t budget = total - committed;
+    t += 1.0 + static_cast<double>(rng() % 997);
+    const std::uint64_t roll = rng() % 10;
+    if (open.size() < window && budget >= 2 && (open.empty() || roll < 3)) {
+      begin_stream();
+    } else if (roll < 5 && !open.empty()) {
+      close_oldest();
+    } else if (roll == 5) {
+      Event f;
+      f.id = next_id++;
+      f.span = root_id;
+      f.kind = 'I';
+      f.name = "fault.transition";
+      f.outcome = "degraded";
+      f.detail = "link " + std::to_string(rng() % 4) + "-" +
+                 std::to_string(4 + rng() % 4);
+      f.t_sim = t;
+      last_fault = f.id;
+      emit(std::move(f));
+    } else {
+      Event i;
+      i.id = next_id++;
+      i.span = open.empty()
+                   ? root_id
+                   : open[static_cast<std::size_t>(rng() % open.size())].id;
+      i.kind = 'I';
+      i.t_sim = t;
+      if (last_fault != 0 && roll >= 8) {
+        i.name = "synth.retry";
+        i.outcome = "retry";
+        i.parent = last_fault;
+      } else {
+        i.name = "synth.attempt";
+        i.outcome = "launched";
+      }
+      emit(std::move(i));
+    }
+  }
+
+  while (!open.empty()) {
+    t += 1.0 + static_cast<double>(rng() % 997);
+    close_oldest();
+  }
+  t += 1.0 + static_cast<double>(rng() % 997);
+  Event end;
+  end.id = next_id++;
+  end.span = root_id;
+  end.kind = 'E';
+  end.outcome = "ok";
+  end.t_sim = t;
+  emit(std::move(end));
+}
+
+}  // namespace numaio::obs

@@ -105,11 +105,24 @@ class CsvSink : public TraceSink {
   bool header_written_ = false;
 };
 
-/// Keeps everything in memory; for tests and in-process consumers (the
-/// CLI's `report` subcommand analyzes a run through one of these).
-class MemorySink : public TraceSink {
+/// Receives records one at a time from a streaming pass — a RecordSource
+/// replay (obs/stream.h) or a live recorder tap. The consumption-side
+/// counterpart of TraceSink: sinks serialize a run as it happens,
+/// visitors accumulate analysis state without holding the capture.
+class TraceVisitor {
+ public:
+  virtual ~TraceVisitor() = default;
+  virtual void record(const Event& event) = 0;
+};
+
+/// Keeps everything in memory; for tests and small in-process captures.
+/// Both a sink (attach to a recorder) and a visitor (target of a
+/// RecordSource pass) — the thin adapter between the buffered and
+/// streaming worlds.
+class MemorySink : public TraceSink, public TraceVisitor {
  public:
   void write(const Event& event) override { events.push_back(event); }
+  void record(const Event& event) override { events.push_back(event); }
   std::vector<Event> events;
 };
 

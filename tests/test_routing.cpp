@@ -74,7 +74,8 @@ TEST(Routing, DiameterOfVariants) {
 
 TEST(Routing, MeanRemoteHopsVariantA) {
   // From every node: 4 destinations at 1 hop, 3 at 2 hops -> 10/7.
-  const Routing r(magny_cours_4p('a'), Routing::Metric::kHops);
+  const Topology t = magny_cours_4p('a');  // Routing keeps a reference.
+  const Routing r(t, Routing::Metric::kHops);
   EXPECT_NEAR(r.mean_remote_hops(), 10.0 / 7.0, 1e-9);
 }
 

@@ -1,0 +1,433 @@
+// The record-stream core: streaming analysis/export must match the
+// in-memory path byte for byte on real captures, the synthetic scale
+// source must be deterministic and §4a-well-formed, memory must stay
+// bounded (peak open spans) at 10^6 records, and scheduler migration
+// chains must stitch into the critical path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "io/fio.h"
+#include "io/testbed.h"
+#include "model/perf_report.h"
+#include "obs/analysis.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/stream.h"
+#include "obs/trace.h"
+#include "simcore/units.h"
+
+namespace numaio::obs {
+namespace {
+
+EventFields at(double t_sim) {
+  EventFields f;
+  f.t_sim = t_sim;
+  return f;
+}
+
+void expect_same_analysis(const TraceAnalysis& a, const TraceAnalysis& b) {
+  EXPECT_EQ(a.num_records, b.num_records);
+  EXPECT_DOUBLE_EQ(a.first_ns, b.first_ns);
+  EXPECT_DOUBLE_EQ(a.last_ns, b.last_ns);
+  EXPECT_DOUBLE_EQ(a.critical_path_ns, b.critical_path_ns);
+
+  ASSERT_EQ(a.span_kinds.size(), b.span_kinds.size());
+  for (std::size_t i = 0; i < a.span_kinds.size(); ++i) {
+    EXPECT_EQ(a.span_kinds[i].name, b.span_kinds[i].name) << i;
+    EXPECT_EQ(a.span_kinds[i].count, b.span_kinds[i].count) << i;
+    EXPECT_EQ(a.span_kinds[i].unclosed, b.span_kinds[i].unclosed) << i;
+    EXPECT_DOUBLE_EQ(a.span_kinds[i].total_ns, b.span_kinds[i].total_ns)
+        << i;
+    EXPECT_DOUBLE_EQ(a.span_kinds[i].max_ns, b.span_kinds[i].max_ns) << i;
+    EXPECT_EQ(a.span_kinds[i].bytes, b.span_kinds[i].bytes) << i;
+    EXPECT_EQ(a.span_kinds[i].outcomes, b.span_kinds[i].outcomes) << i;
+  }
+
+  ASSERT_EQ(a.critical_path.size(), b.critical_path.size());
+  for (std::size_t i = 0; i < a.critical_path.size(); ++i) {
+    EXPECT_EQ(a.critical_path[i].id, b.critical_path[i].id) << i;
+    EXPECT_EQ(a.critical_path[i].name, b.critical_path[i].name) << i;
+    EXPECT_DOUBLE_EQ(a.critical_path[i].self_ns, b.critical_path[i].self_ns)
+        << i;
+    EXPECT_DOUBLE_EQ(a.critical_path[i].start_ns,
+                     b.critical_path[i].start_ns)
+        << i;
+    EXPECT_DOUBLE_EQ(a.critical_path[i].end_ns, b.critical_path[i].end_ns)
+        << i;
+    EXPECT_EQ(a.critical_path[i].outcome, b.critical_path[i].outcome) << i;
+    EXPECT_EQ(a.critical_path[i].detail, b.critical_path[i].detail) << i;
+  }
+
+  ASSERT_EQ(a.contention.size(), b.contention.size());
+  for (std::size_t i = 0; i < a.contention.size(); ++i) {
+    EXPECT_EQ(a.contention[i].node_a, b.contention[i].node_a) << i;
+    EXPECT_EQ(a.contention[i].node_b, b.contention[i].node_b) << i;
+    EXPECT_EQ(a.contention[i].spans, b.contention[i].spans) << i;
+    EXPECT_EQ(a.contention[i].bytes, b.contention[i].bytes) << i;
+    EXPECT_DOUBLE_EQ(a.contention[i].busy_ns, b.contention[i].busy_ns) << i;
+    EXPECT_DOUBLE_EQ(a.contention[i].stall_ns, b.contention[i].stall_ns)
+        << i;
+  }
+
+  EXPECT_EQ(a.faults.transitions, b.faults.transitions);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.aborts, b.faults.aborts);
+  EXPECT_EQ(a.faults.caused, b.faults.caused);
+  EXPECT_EQ(a.faults.by_fault, b.faults.by_fault);
+}
+
+/// A degraded fio run under an injected fault plan: the richest capture
+/// the pipeline produces (transfer spans with bytes and node pairs,
+/// fault transitions, retries, aborts, cause edges).
+std::vector<Event> degraded_capture() {
+  io::Testbed tb = io::Testbed::dl585();
+  Context ctx;
+  MemorySink capture;
+  ctx.trace.set_deterministic(true);
+  ctx.trace.set_sink(&capture);
+
+  faults::RandomPlanConfig plan_config;
+  plan_config.seed = 42;
+  plan_config.num_nodes = tb.machine().num_nodes();
+  plan_config.num_devices = 1 + static_cast<int>(tb.ssds().size());
+  plan_config.num_events = 4;
+  faults::FaultInjector injector(tb.machine(),
+                                 faults::FaultPlan::random(plan_config));
+  injector.set_observer(&ctx);
+  injector.register_device(tb.nic().name(), tb.nic().attach_node(),
+                           tb.nic().fault_resources());
+  for (const io::PcieDevice* ssd : tb.ssds()) {
+    injector.register_device(ssd->name(), ssd->attach_node(),
+                             ssd->fault_resources());
+  }
+
+  io::FioJob job;
+  job.devices = {&tb.nic()};
+  job.engine = io::kRdmaRead;
+  job.cpu_node = 2;
+  job.num_streams = 4;
+  job.bytes_per_stream = 40 * sim::kGiB;
+  job.retry.timeout = 30.0e9;
+  io::FioRunner fio(tb.host());
+  fio.set_fault_injector(&injector);
+  fio.set_observer(&ctx);
+  fio.run(job);
+  injector.restore();
+  return capture.events;
+}
+
+std::string serialize_jsonl(const std::vector<Event>& events) {
+  std::ostringstream text;
+  JsonlSink sink(text);
+  for (const Event& e : events) sink.write(e);
+  return text.str();
+}
+
+// --- streaming vs in-memory equivalence -----------------------------------
+
+TEST(TraceStream, StreamedAnalysisMatchesInMemoryOnDegradedCapture) {
+  const std::vector<Event> events = degraded_capture();
+  ASSERT_FALSE(events.empty());
+  const TraceAnalysis in_memory = analyze_trace(events);
+
+  // Through the serialized form, the way `report --trace-in` consumes it.
+  JsonlTextSource text_source(serialize_jsonl(events));
+  const TraceAnalysis streamed = analyze_stream(text_source);
+  expect_same_analysis(in_memory, streamed);
+
+  // The analyzer is multi-pass and its memory profile is the point:
+  // every pass holds only the open spans of the moment.
+  EXPECT_GE(streamed.passes, 1);
+  EXPECT_GT(streamed.peak_open_spans, 0u);
+  EXPECT_LT(streamed.peak_open_spans,
+            static_cast<std::uint64_t>(events.size()));
+}
+
+TEST(TraceStream, JsonlFileSourceMatchesInMemory) {
+  const std::vector<Event> events = degraded_capture();
+  const std::string path = testing::TempDir() + "numaio_stream_eq.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out << serialize_jsonl(events);
+  }
+  JsonlFileSource file_source(path);
+  expect_same_analysis(analyze_trace(events), analyze_stream(file_source));
+  std::remove(path.c_str());
+}
+
+TEST(TraceStream, JsonlFileSourceThrowsOnMissingFile) {
+  JsonlFileSource source(testing::TempDir() + "numaio_no_such_capture.jsonl");
+  MemorySink sink;
+  EXPECT_THROW(source.stream(sink), std::runtime_error);
+}
+
+TEST(TraceStream, StreamedChromeExportIsByteIdentical) {
+  const std::vector<Event> events = degraded_capture();
+  std::ostringstream via_vector;
+  export_chrome_trace(events, via_vector);
+
+  JsonlTextSource source(serialize_jsonl(events));
+  std::ostringstream via_stream;
+  export_chrome_trace(source, via_stream);
+  EXPECT_EQ(via_vector.str(), via_stream.str());
+}
+
+TEST(TraceStream, StreamedRunReportIsByteIdentical) {
+  const std::vector<Event> events = degraded_capture();
+  const model::RunReport in_memory =
+      model::build_run_report("report --trace-in x", nullptr, events,
+                              nullptr);
+
+  JsonlTextSource source(serialize_jsonl(events));
+  const model::RunReport streamed =
+      model::build_run_report("report --trace-in x", nullptr, source,
+                              nullptr);
+  EXPECT_EQ(model::render_markdown(in_memory),
+            model::render_markdown(streamed));
+  EXPECT_EQ(model::render_json(in_memory), model::render_json(streamed));
+}
+
+TEST(TraceStream, AuditFaultsMatchesAnalysisAudit) {
+  const std::vector<Event> events = degraded_capture();
+  VectorSource source(events);
+  const FaultAudit audit = audit_faults(source);
+  const FaultAudit full = analyze_trace(events).faults;
+  EXPECT_EQ(audit.transitions, full.transitions);
+  EXPECT_EQ(audit.retries, full.retries);
+  EXPECT_EQ(audit.aborts, full.aborts);
+  EXPECT_EQ(audit.caused, full.caused);
+  EXPECT_EQ(audit.by_fault, full.by_fault);
+}
+
+class CountingVisitor final : public TraceVisitor {
+ public:
+  void record(const Event& e) override {
+    ++records_;
+    last_id_ = e.id;
+  }
+  int records() const { return records_; }
+  EventId last_id() const { return last_id_; }
+
+ private:
+  int records_ = 0;
+  EventId last_id_ = 0;
+};
+
+TEST(TraceStream, LiveRecorderTapFeedsAVisitorDirectly) {
+  // VisitorSink: a live recorder streaming into a visitor with no
+  // capture buffer at all.
+  CountingVisitor probe;
+  VisitorSink tap(probe);
+  TraceRecorder trace;
+  trace.set_deterministic(true);
+  trace.set_sink(&tap);
+  const SpanId job = trace.begin_span("fio.job", 0, at(0.0));
+  const EventId fault =
+      trace.event("fault.transition", 0, 0, "degraded", at(1.0));
+  trace.event("fio.retry", job, fault, "retry", at(2.0));
+  trace.end_span(job, "ok", at(3.0));
+  EXPECT_EQ(probe.records(), 4);
+  EXPECT_EQ(probe.last_id(), 4);
+}
+
+// --- synthetic scale source -----------------------------------------------
+
+TEST(SyntheticTrace, EveryPassRegeneratesIdenticalRecords) {
+  SyntheticTraceConfig config;
+  config.records = 5000;
+  config.seed = 7;
+  SyntheticTraceSource source(config);
+  MemorySink first;
+  MemorySink second;
+  source.stream(first);
+  source.stream(second);
+  ASSERT_EQ(first.events.size(), 5000u);
+  ASSERT_EQ(first.events.size(), second.events.size());
+  for (std::size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_EQ(first.events[i].id, second.events[i].id) << i;
+    EXPECT_EQ(first.events[i].kind, second.events[i].kind) << i;
+    EXPECT_EQ(first.events[i].name, second.events[i].name) << i;
+    EXPECT_DOUBLE_EQ(first.events[i].t_sim, second.events[i].t_sim) << i;
+  }
+}
+
+TEST(SyntheticTrace, HonorsRecordOrderGuarantees) {
+  SyntheticTraceConfig config;
+  config.records = 4000;
+  SyntheticTraceSource source(config);
+  MemorySink sink;
+  source.stream(sink);
+  ASSERT_EQ(sink.events.size(), 4000u);
+
+  EventId last_id = 0;
+  std::vector<SpanId> open;
+  for (const Event& e : sink.events) {
+    EXPECT_GT(e.id, last_id);  // monotonic ids
+    last_id = e.id;
+    if (e.kind == 'B') {
+      open.push_back(e.id);
+    } else if (e.kind == 'E') {
+      // LIFO-compatible nesting: the closed span is currently open.
+      auto it = std::find(open.begin(), open.end(), e.span);
+      ASSERT_NE(it, open.end()) << "E for a span that is not open";
+      open.erase(it);
+    } else if (e.parent != 0) {
+      EXPECT_LT(e.parent, e.id);  // causes precede consequences
+    }
+  }
+  EXPECT_TRUE(open.empty()) << "generator must close every span";
+}
+
+TEST(SyntheticTrace, MillionRecordAnalysisKeepsOpenSpansBounded) {
+  SyntheticTraceConfig config;  // 10^6 records, 32-stream window
+  SyntheticTraceSource source(config);
+  const TraceAnalysis analysis = analyze_stream(source);
+  EXPECT_EQ(analysis.num_records, 1000000);
+  // The load-bearing invariant: however many records stream through,
+  // the analyzer held at most the open-span window (+ the root span).
+  EXPECT_LE(analysis.peak_open_spans,
+            static_cast<std::uint64_t>(config.concurrent_streams) + 1);
+  EXPECT_FALSE(analysis.span_kinds.empty());
+  EXPECT_FALSE(analysis.critical_path.empty());
+  EXPECT_GT(analysis.faults.transitions, 0);
+  EXPECT_GT(analysis.faults.retries, 0);
+}
+
+TEST(SyntheticTrace, TinyRequestStillEmitsAWellFormedCapture) {
+  SyntheticTraceConfig config;
+  config.records = 1;  // below the root B/E + window minimum
+  SyntheticTraceSource source(config);
+  MemorySink sink;
+  source.stream(sink);
+  EXPECT_EQ(sink.events.size(), 8u);
+  EXPECT_EQ(sink.events.front().kind, 'B');
+  EXPECT_EQ(sink.events.back().kind, 'E');
+}
+
+// --- scheduler migration stitching ----------------------------------------
+
+TEST(TraceStream, MigrationChainStitchesIntoCriticalPath) {
+  // One root span; a fault causes three migrations of the same task.
+  // The dominant-leaf pivot is the *last* migration; the earlier ones
+  // must be stitched in before it, then the cause chain follows.
+  TraceRecorder trace;
+  MemorySink sink;
+  trace.set_deterministic(true);
+  trace.set_sink(&sink);
+  const SpanId run = trace.begin_span("online.run", 0, at(0.0));  // id 1
+  const EventId fault =
+      trace.event("fault.transition", run, 0, "degraded", at(1.0));  // id 2
+  EventFields migrate = at(2.0);
+  migrate.detail = "task 3";
+  trace.event("sched.migrate", run, fault, "moved", migrate);  // id 3
+  migrate.t_sim = 3.0;
+  trace.event("sched.migrate", run, fault, "moved", migrate);  // id 4
+  migrate.t_sim = 4.0;
+  trace.event("sched.migrate", run, fault, "moved", migrate);  // id 5
+  trace.end_span(run, "ok", at(10.0));
+
+  const TraceAnalysis analysis = analyze_trace(sink.events);
+  ASSERT_EQ(analysis.critical_path.size(), 5u);
+  EXPECT_EQ(analysis.critical_path[0].name, "online.run");
+  EXPECT_EQ(analysis.critical_path[1].id, 3);
+  EXPECT_EQ(analysis.critical_path[2].id, 4);
+  EXPECT_EQ(analysis.critical_path[3].id, 5);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(analysis.critical_path[static_cast<std::size_t>(i)].name,
+              "sched.migrate");
+  }
+  EXPECT_EQ(analysis.critical_path[4].name, "fault.transition");
+  EXPECT_EQ(analysis.critical_path[4].id, 2);
+}
+
+TEST(TraceStream, MigrationsOfOtherTasksAreNotStitched) {
+  TraceRecorder trace;
+  MemorySink sink;
+  trace.set_deterministic(true);
+  trace.set_sink(&sink);
+  const SpanId run = trace.begin_span("online.run", 0, at(0.0));
+  const EventId fault =
+      trace.event("fault.transition", run, 0, "degraded", at(1.0));
+  EventFields other = at(2.0);
+  other.detail = "task 1";  // different task: must not ride along
+  trace.event("sched.migrate", run, fault, "moved", other);
+  EventFields mine = at(3.0);
+  mine.detail = "task 3";
+  trace.event("sched.migrate", run, fault, "moved", mine);
+  trace.end_span(run, "ok", at(10.0));
+
+  const TraceAnalysis analysis = analyze_trace(sink.events);
+  // Root span, the pivot migration, its fault — and nothing stitched.
+  ASSERT_EQ(analysis.critical_path.size(), 3u);
+  EXPECT_EQ(analysis.critical_path[1].name, "sched.migrate");
+  EXPECT_EQ(analysis.critical_path[1].detail, "task 3");
+  EXPECT_EQ(analysis.critical_path[2].name, "fault.transition");
+}
+
+}  // namespace
+}  // namespace numaio::obs
+
+namespace numaio::model {
+namespace {
+
+/// A deterministic trace-only report over a synthetic capture.
+RunReport synthetic_report(std::uint64_t records, std::uint64_t seed) {
+  obs::SyntheticTraceConfig config;
+  config.records = records;
+  config.seed = seed;
+  obs::SyntheticTraceSource source(config);
+  return build_run_report("report synth", nullptr, source, nullptr);
+}
+
+TEST(ReportDiff, ParsesRenderedJsonBack) {
+  const RunReport report = synthetic_report(3000, 42);
+  const ReportSummary summary = parse_report_json(render_json(report));
+  EXPECT_EQ(summary.command, "report synth");
+  EXPECT_EQ(summary.records, 3000);
+  EXPECT_DOUBLE_EQ(summary.critical_path_ns,
+                   report.analysis.critical_path_ns);
+  EXPECT_EQ(summary.span_kinds.size(), report.analysis.span_kinds.size());
+  EXPECT_EQ(summary.fault_transitions, report.analysis.faults.transitions);
+  EXPECT_EQ(summary.retries, report.analysis.faults.retries);
+}
+
+TEST(ReportDiff, RejectsMalformedJson) {
+  EXPECT_THROW(parse_report_json("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_report_json("{\"command\": \"x\"}"),
+               std::invalid_argument);
+}
+
+TEST(ReportDiff, SelfDiffReportsNoChanges) {
+  const ReportSummary s =
+      parse_report_json(render_json(synthetic_report(3000, 42)));
+  const std::string diff = diff_reports(s, s);
+  EXPECT_NE(diff.find("unchanged"), std::string::npos);
+  EXPECT_NE(diff.find("+0.000 ms"), std::string::npos);
+}
+
+TEST(ReportDiff, ReportsCriticalPathAndSpanDeltas) {
+  const ReportSummary before =
+      parse_report_json(render_json(synthetic_report(3000, 42)));
+  const ReportSummary after =
+      parse_report_json(render_json(synthetic_report(6000, 43)));
+  const std::string diff = diff_reports(before, after);
+  EXPECT_NE(diff.find("- before: `report synth` (3000 records)"),
+            std::string::npos);
+  EXPECT_NE(diff.find("- after:  `report synth` (6000 records)"),
+            std::string::npos);
+  EXPECT_NE(diff.find("## Critical path"), std::string::npos);
+  EXPECT_NE(diff.find("## Span kinds"), std::string::npos);
+  EXPECT_NE(diff.find("synth.stream: count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace numaio::model

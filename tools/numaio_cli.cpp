@@ -9,12 +9,19 @@
 //   numaio_cli demo [--node N]           numademo policy table
 //   numaio_cli fio <jobfile>             run a fio-format job file
 //   numaio_cli metrics [--in FILE]       metric registry / captured summary
-//   numaio_cli report [--trace-in FILE] [--format md|json]
+//   numaio_cli report [--trace-in FILE] [--format md|json] [--diff FILE]
 //                                        analyzed run report (critical path,
 //                                        contention, class table, fault audit)
+//                                        or deltas against a saved JSON report
 //   numaio_cli export --trace-in FILE [--chrome FILE]
 //                                        re-render a capture for Perfetto
+//   numaio_cli synth-trace --out FILE    write a deterministic synthetic
+//                                        capture (scale testing)
 //   numaio_cli help
+//
+// `report --trace-in` and `export --trace-in` stream the JSONL capture
+// through the src/obs record-stream core — the file is re-read pass by
+// pass and never materialized, so they work on arbitrarily large traces.
 //
 // Every subcommand accepts --trace-out FILE (structured span/event trace,
 // JSONL by default, CSV when FILE ends in .csv), --metrics-out FILE
@@ -79,15 +86,23 @@ int usage() {
       "  metrics [--in FILE]              list known metrics, or summarize a\n"
       "                                   --metrics-out capture\n"
       "  report [--trace-in FILE] [--format md|json] [--out FILE]\n"
-      "         [--seed S] [--reps N] [--events N] [--top K]\n"
-      "                                   analyze a capture, or run a seeded\n"
-      "                                   degraded characterization + I/O run\n"
-      "                                   and report classes, critical path,\n"
-      "                                   contention and the fault audit\n"
+      "         [--seed S] [--reps N] [--events N] [--top K] [--diff FILE]\n"
+      "                                   analyze a capture (streamed, any\n"
+      "                                   size), or run a seeded degraded\n"
+      "                                   characterization + I/O run, and\n"
+      "                                   report classes, critical path,\n"
+      "                                   contention and the fault audit;\n"
+      "                                   --diff prints class-structure and\n"
+      "                                   critical-path deltas against a\n"
+      "                                   saved --format json report\n"
       "  export [--trace-in FILE --chrome FILE]\n"
       "         [--metrics-in FILE --prom FILE]\n"
       "                                   re-render saved captures (Chrome\n"
-      "                                   trace JSON / Prometheus text)\n"
+      "                                   trace JSON / Prometheus text);\n"
+      "                                   traces stream, any size\n"
+      "  synth-trace --out FILE [--records N] [--streams N] [--seed S]\n"
+      "                                   write a deterministic synthetic\n"
+      "                                   JSONL capture for scale testing\n"
       "  help                             this text\n"
       "global options (any subcommand):\n"
       "  --trace-out FILE                 write a span/event trace (JSONL;\n"
@@ -194,6 +209,19 @@ std::string read_file(const std::string& path) {
   std::ostringstream text;
   text << in.rdbuf();
   return text.str();
+}
+
+/// Streaming source over a --trace-in capture. Openability is probed up
+/// front so a missing file still exits 3 (kNoFile) like every other
+/// input; after that the source re-reads the file pass by pass and the
+/// capture is never held in memory.
+obs::JsonlFileSource open_trace_source(const std::string& path) {
+  std::ifstream probe(path);
+  if (!probe) {
+    throw StatusError(StatusCode::kNoFile, "cannot open '" + path + "': " +
+                                               std::strerror(errno));
+  }
+  return obs::JsonlFileSource(path);
 }
 
 int cmd_hardware(io::Testbed& tb) {
@@ -550,10 +578,12 @@ int cmd_report(io::Testbed& tb, obs::Context& ctx, obs::MemorySink* capture,
   if (!trace_in.empty()) {
     // Trace-only report over a saved capture: no class table, no
     // counters, but the full analysis (span summary, critical path,
-    // contention, fault audit) of whatever run wrote the file.
-    const auto events = obs::parse_trace_jsonl(read_file(trace_in));
+    // contention, fault audit) of whatever run wrote the file. The
+    // capture streams through the analyzer pass by pass — never
+    // materialized, so file size is not a constraint.
+    obs::JsonlFileSource source = open_trace_source(trace_in);
     report = model::build_run_report("report --trace-in " + trace_in,
-                                     nullptr, events, nullptr);
+                                     nullptr, source, nullptr);
   } else {
     const std::uint64_t seed = u64_flag(args, "--seed", 42);
     const int events = int_flag(args, "--events", 4);
@@ -569,9 +599,21 @@ int cmd_report(io::Testbed& tb, obs::Context& ctx, obs::MemorySink* capture,
                                      &ctx.metrics);
   }
 
-  const std::string text = format == "md"
-                               ? model::render_markdown(report, options)
-                               : model::render_json(report, options);
+  // --diff OLD.json: render the current report's diffable surface and
+  // print the deltas against a previously saved --format json report
+  // instead of the report itself.
+  const std::string diff_in = flag_value(args, "--diff", "");
+  std::string text;
+  if (!diff_in.empty()) {
+    const model::ReportSummary before =
+        model::parse_report_json(read_file(diff_in));
+    const model::ReportSummary after =
+        model::parse_report_json(model::render_json(report, options));
+    text = model::diff_reports(before, after);
+  } else {
+    text = format == "md" ? model::render_markdown(report, options)
+                          : model::render_json(report, options);
+  }
   const std::string out = flag_value(args, "--out", "");
   if (out.empty()) {
     std::fputs(text.c_str(), stdout);
@@ -595,13 +637,15 @@ int cmd_export(const std::vector<std::string>& args) {
   }
   if (!trace_in.empty()) {
     if (chrome.empty()) usage_error("--trace-in wants --chrome FILE");
-    const auto events = obs::parse_trace_jsonl(read_file(trace_in));
+    // Two streaming passes over the file; the capture never lands in
+    // memory, so exports scale to any trace the disk holds.
+    obs::JsonlFileSource source = open_trace_source(trace_in);
     std::ofstream file(chrome, std::ios::binary);
     if (!file) {
       throw StatusError(StatusCode::kNoFile,
                         "cannot write '" + chrome + "'");
     }
-    obs::export_chrome_trace(events, file);
+    obs::export_chrome_trace(source, file);
   }
   if (!metrics_in.empty()) {
     if (prom.empty()) usage_error("--metrics-in wants --prom FILE");
@@ -636,6 +680,36 @@ int cmd_metrics(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_synth_trace(const std::vector<std::string>& args) {
+  const std::string out = flag_value(args, "--out", "");
+  if (out.empty()) usage_error("synth-trace wants --out FILE");
+  obs::SyntheticTraceConfig config;
+  config.records = u64_flag(args, "--records", config.records);
+  config.concurrent_streams =
+      int_flag(args, "--streams", config.concurrent_streams);
+  config.seed = u64_flag(args, "--seed", config.seed);
+  if (config.concurrent_streams < 1) {
+    usage_error("--streams wants a positive count");
+  }
+
+  std::ofstream file(out, std::ios::binary);
+  if (!file) {
+    throw StatusError(StatusCode::kNoFile, "cannot write '" + out + "'");
+  }
+  // One generator pass straight into the serializer: records are written
+  // as produced, so a 10^8-record capture costs the same memory as a
+  // 10-record one.
+  obs::JsonlSink sink(file);
+  obs::SinkVisitor writer(sink);
+  obs::SyntheticTraceSource source(config);
+  source.stream(writer);
+  std::printf("wrote %llu synthetic records to %s\n",
+              static_cast<unsigned long long>(
+                  config.records < 8 ? 8 : config.records),
+              out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -650,6 +724,7 @@ int dispatch(const std::string& cmd, std::vector<std::string>& args,
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "classes") return cmd_classes(args);
   if (cmd == "export") return cmd_export(args);
+  if (cmd == "synth-trace") return cmd_synth_trace(args);
 
   io::Testbed tb = io::Testbed::dl585();
   if (observing) tb.machine().solver().set_observer(&ctx);
