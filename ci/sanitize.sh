@@ -18,6 +18,15 @@ cmake -B "$BUILD_DIR" -S "$ROOT" \
 
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
+# The solver property suite runs first, on its own: it is the randomized
+# stress for the CSR arena / free-list / incidence bookkeeping (including
+# bit-identical churn vs the reference solver), exactly the code where an
+# out-of-bounds arena index or stale incidence back-pointer would hide.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  "$BUILD_DIR/tests/numaio_tests" \
+  --gtest_filter='*SolverProperty*:FlowSolverCache.*:FlowSolverFreeList.*:FlowSolverCapacityFactor.*:FlowSolverScratch.*'
+
 # halt_on_error: the first sanitizer report fails the test run instead of
 # scrolling past; detect_leaks exercises the Host/Buffer ownership paths.
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \

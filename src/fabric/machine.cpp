@@ -78,10 +78,6 @@ Machine::Machine(HostProfile profile) : profile_(std::move(profile)) {
         "cpu:" + std::to_string(i),
         profile_.cpu_units_per_core * topology().node(i).cores));
   }
-  fabric_scale_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-                       1.0);
-  mc_scale_.assign(static_cast<std::size_t>(n), 1.0);
-  cpu_scale_.assign(static_cast<std::size_t>(n), 1.0);
 }
 
 namespace {
@@ -94,45 +90,45 @@ double clamp_scale(double scale) {
 }
 }  // namespace
 
+// Scales ride on the solver's capacity factors: the calibrated base
+// capacity stays in the solver (set at add_resource time) and a scale of
+// 1.0 restores it bit-exactly without re-deriving it from the profile.
+// The solver also skips the epoch bump when the effective capacity is
+// unchanged, so re-applying the current scale keeps its solve cache warm.
 void Machine::set_fabric_scale(NodeId src, NodeId dst, double scale) {
   assert(src != dst);
   assert(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
   const auto idx = static_cast<std::size_t>(src * num_nodes() + dst);
-  fabric_scale_[idx] = clamp_scale(scale);
-  solver_.set_capacity(fabric_[idx],
-                       profile_.paths.at(src, dst).dma_cap * fabric_scale_[idx]);
+  solver_.set_capacity_factor(fabric_[idx], clamp_scale(scale));
 }
 
 double Machine::fabric_scale(NodeId src, NodeId dst) const {
   assert(src != dst);
-  return fabric_scale_[static_cast<std::size_t>(src * num_nodes() + dst)];
+  return solver_.capacity_factor(
+      fabric_[static_cast<std::size_t>(src * num_nodes() + dst)]);
 }
 
 void Machine::set_mc_scale(NodeId node, double scale) {
   assert(node >= 0 && node < num_nodes());
-  mc_scale_[static_cast<std::size_t>(node)] = clamp_scale(scale);
-  const sim::Gbps local = profile_.paths.at(node, node).dma_cap *
-                          mc_scale_[static_cast<std::size_t>(node)];
-  solver_.set_capacity(mc_read_[static_cast<std::size_t>(node)], local);
-  solver_.set_capacity(mc_write_[static_cast<std::size_t>(node)], local);
+  const double f = clamp_scale(scale);
+  solver_.set_capacity_factor(mc_read_[static_cast<std::size_t>(node)], f);
+  solver_.set_capacity_factor(mc_write_[static_cast<std::size_t>(node)], f);
 }
 
 void Machine::set_cpu_scale(NodeId node, double scale) {
   assert(node >= 0 && node < num_nodes());
-  cpu_scale_[static_cast<std::size_t>(node)] = clamp_scale(scale);
-  solver_.set_capacity(cpu_[static_cast<std::size_t>(node)],
-                       cpu_capacity(node) *
-                           cpu_scale_[static_cast<std::size_t>(node)]);
+  solver_.set_capacity_factor(cpu_[static_cast<std::size_t>(node)],
+                              clamp_scale(scale));
 }
 
 void Machine::reset_fault_scales() {
   for (NodeId a = 0; a < num_nodes(); ++a) {
     for (NodeId b = 0; b < num_nodes(); ++b) {
       if (a == b) continue;
-      if (fabric_scale(a, b) != 1.0) set_fabric_scale(a, b, 1.0);
+      set_fabric_scale(a, b, 1.0);
     }
-    if (mc_scale_[static_cast<std::size_t>(a)] != 1.0) set_mc_scale(a, 1.0);
-    if (cpu_scale_[static_cast<std::size_t>(a)] != 1.0) set_cpu_scale(a, 1.0);
+    set_mc_scale(a, 1.0);
+    set_cpu_scale(a, 1.0);
   }
 }
 

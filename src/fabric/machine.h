@@ -99,9 +99,6 @@ class Machine {
   std::vector<sim::ResourceId> mc_read_;
   std::vector<sim::ResourceId> mc_write_;
   std::vector<sim::ResourceId> cpu_;
-  std::vector<double> fabric_scale_;  // n*n, 1.0 = healthy
-  std::vector<double> mc_scale_;     // per node
-  std::vector<double> cpu_scale_;    // per node
 };
 
 }  // namespace numaio::fabric

@@ -578,7 +578,7 @@ std::vector<FioRunner::ResourceLoad> FioRunner::diagnose(const FioJob& job) {
     usages.push_back(shape.usages);
   }
 
-  const auto rates = solver.solve();
+  const auto& rates = solver.solve();
   // Accumulate this job's weighted load per resource it touches.
   std::map<sim::ResourceId, double> load;
   for (std::size_t f = 0; f < flows.size(); ++f) {

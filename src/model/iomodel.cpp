@@ -100,7 +100,7 @@ IoModelResult build_iomodel(nm::Host& host, NodeId target,
       for (int p = 0; p < m; ++p) {
         flows.push_back(solver.add_flow(usages, per_thread_cap));
       }
-      const auto rates = solver.solve();
+      const auto& rates = solver.solve();
       sim::Gbps total = 0.0;
       for (sim::FlowId f : flows) total += rates[f];
       for (sim::FlowId f : flows) solver.remove_flow(f);

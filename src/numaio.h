@@ -24,6 +24,7 @@
 #include "obs/stream.h"
 
 // Simulation core: units, RNG, statistics, retry policy, status codes.
+#include "simcore/fluid_sim.h"
 #include "simcore/retry.h"
 #include "simcore/rng.h"
 #include "simcore/stats.h"

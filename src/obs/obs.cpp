@@ -35,13 +35,22 @@ std::vector<MetricInfo> known_metrics() {
       {"sched.pool_shrunk", "counter",
        "online placements whose candidate pool lost degraded nodes"},
       {"sched.tasks", "counter", "tasks run by OnlineScheduler"},
-      {"solver.iterations", "counter",
+      {"solver.cache_hits", "counter",
+       "solves answered from the epoch cache without re-running"},
+      {"solver.cache_misses", "counter",
+       "solves that re-ran water-filling after a mutation"},
+      {"solver.flows_scanned", "counter",
+       "unfrozen-flow visits across water-filling rounds"},
+      {"solver.resource_touches", "counter",
+       "per-usage residual updates across water-filling rounds"},
+      {"solver.rounds", "counter",
        "water-filling rounds across all solves"},
-      {"solver.iterations_per_solve", "histogram",
-       "water-filling rounds per FlowSolver::solve call"},
+      {"solver.rounds_per_solve", "histogram",
+       "water-filling rounds per uncached FlowSolver::solve call"},
       {"solver.solve_us", "histogram",
-       "wall-clock microseconds per FlowSolver::solve call"},
-      {"solver.solves", "counter", "FlowSolver::solve calls"},
+       "wall-clock microseconds per uncached FlowSolver::solve call"},
+      {"solver.solves", "counter",
+       "FlowSolver::solve calls (cache hits + misses)"},
   };
 }
 

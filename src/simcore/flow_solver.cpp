@@ -9,16 +9,61 @@
 
 namespace numaio::sim {
 
+namespace {
+// Weights accumulate and are later subtracted flow by flow; treat
+// anything below this as zero so floating-point residue from frozen
+// flows cannot resurrect a saturated resource with a bogus
+// residual/weight ratio.
+constexpr double kWeightEps = 1e-9;
+constexpr double kEps = 1e-12;
+}  // namespace
+
+void FlowSolver::bump_epoch() {
+  ++epoch_;
+  cache_valid_ = false;
+}
+
+void FlowSolver::refresh_capacity(Resource& r) {
+  // factor == 1.0 bypasses the multiply so an unscaled resource's
+  // effective capacity is bit-identical to its base.
+  const Gbps eff = (r.factor == 1.0) ? r.base : r.base * r.factor;
+  if (eff != r.capacity) {
+    r.capacity = eff;
+    bump_epoch();
+  }
+}
+
+template <class T>
+void FlowSolver::ensure_size(std::vector<T>& v, std::size_t n) const {
+  if (v.capacity() < n) ++stats_.scratch_grows;
+  v.resize(n);
+}
+
 ResourceId FlowSolver::add_resource(std::string name, Gbps capacity) {
   assert(capacity >= 0.0);
-  resources_.push_back(Resource{std::move(name), capacity});
+  resources_.push_back(Resource{std::move(name), capacity, 1.0, capacity});
+  incidence_.emplace_back();
+  bump_epoch();
   return resources_.size() - 1;
 }
 
 void FlowSolver::set_capacity(ResourceId id, Gbps capacity) {
   assert(id < resources_.size());
   assert(capacity >= 0.0);
-  resources_[id].capacity = capacity;
+  resources_[id].base = capacity;
+  refresh_capacity(resources_[id]);
+}
+
+void FlowSolver::set_capacity_factor(ResourceId id, double factor) {
+  assert(id < resources_.size());
+  assert(std::isfinite(factor) && factor > 0.0);
+  resources_[id].factor = factor;
+  refresh_capacity(resources_[id]);
+}
+
+double FlowSolver::capacity_factor(ResourceId id) const {
+  assert(id < resources_.size());
+  return resources_[id].factor;
 }
 
 Gbps FlowSolver::capacity(ResourceId id) const {
@@ -38,9 +83,67 @@ FlowId FlowSolver::add_flow(std::vector<Usage> usages, Gbps rate_cap) {
     (void)u;
   }
   assert(rate_cap >= 0.0);
-  flows_.push_back(Flow{std::move(usages), rate_cap, true});
+  const std::size_t n = usages.size();
+
+  // Prefer a free slot whose arena span already fits; newest first so a
+  // remove/add churn pair reuses hot cache lines.
+  FlowId slot = kNoFlow;
+  for (std::size_t k = free_slots_.size(); k-- > 0;) {
+    if (flows_[free_slots_[k]].span >= n) {
+      slot = free_slots_[k];
+      free_slots_[k] = free_slots_.back();
+      free_slots_.pop_back();
+      break;
+    }
+  }
+  if (slot == kNoFlow && !free_slots_.empty()) {
+    // Recycle the slot header but give it a fresh, wider arena span; the
+    // old span's cells are abandoned (bounded by flow-size growth, which
+    // real workloads don't do in steady state).
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    flows_[slot].begin = usage_resource_.size();
+    flows_[slot].span = n;
+    usage_resource_.resize(usage_resource_.size() + n);
+    usage_weight_.resize(usage_weight_.size() + n);
+    usage_inc_pos_.resize(usage_inc_pos_.size() + n);
+  }
+  if (slot == kNoFlow) {
+    slot = flows_.size();
+    FlowMeta fresh;
+    fresh.begin = usage_resource_.size();
+    fresh.span = n;
+    flows_.push_back(fresh);
+    usage_resource_.resize(usage_resource_.size() + n);
+    usage_weight_.resize(usage_weight_.size() + n);
+    usage_inc_pos_.resize(usage_inc_pos_.size() + n);
+  }
+
+  FlowMeta& m = flows_[slot];
+  m.count = n;
+  m.cap = rate_cap;
+  m.alive = true;
+  m.prev = tail_;
+  m.next = kNoFlow;
+  if (tail_ != kNoFlow) {
+    flows_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = m.begin + i;
+    const ResourceId r = usages[i].resource;
+    usage_resource_[idx] = r;
+    usage_weight_[idx] = usages[i].weight;
+    usage_inc_pos_[idx] = incidence_[r].size();
+    incidence_[r].push_back(IncidenceEntry{slot, idx});
+  }
+
   ++live_flows_;
-  return flows_.size() - 1;
+  bump_epoch();
+  return slot;
 }
 
 FlowId FlowSolver::add_flow_over(const std::vector<ResourceId>& path,
@@ -53,15 +156,49 @@ FlowId FlowSolver::add_flow_over(const std::vector<ResourceId>& path,
 
 void FlowSolver::remove_flow(FlowId id) {
   assert(id < flows_.size());
-  assert(flows_[id].alive);
-  flows_[id].alive = false;
+  FlowMeta& m = flows_[id];
+  assert(m.alive);
+
+  // Drop this flow's incidence entries; the back entry swapped into the
+  // hole has its arena cell's position pointer fixed up.
+  for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
+    std::vector<IncidenceEntry>& inc = incidence_[usage_resource_[i]];
+    const std::size_t pos = usage_inc_pos_[i];
+    assert(pos < inc.size() && inc[pos].flow == id && inc[pos].usage == i);
+    inc[pos] = inc.back();
+    usage_inc_pos_[inc[pos].usage] = pos;
+    inc.pop_back();
+  }
+
+  m.alive = false;
+  if (m.prev != kNoFlow) {
+    flows_[m.prev].next = m.next;
+  } else {
+    head_ = m.next;
+  }
+  if (m.next != kNoFlow) {
+    flows_[m.next].prev = m.prev;
+  } else {
+    tail_ = m.prev;
+  }
+  m.prev = kNoFlow;
+  m.next = kNoFlow;
+
+  free_slots_.push_back(id);
+  assert(live_flows_ > 0);
   --live_flows_;
+  assert(live_flows_ + free_slots_.size() == flows_.size());
+  bump_epoch();
 }
 
 void FlowSolver::set_flow_cap(FlowId id, Gbps rate_cap) {
   assert(id < flows_.size());
+  assert(flows_[id].alive);
   assert(rate_cap >= 0.0);
-  flows_[id].cap = rate_cap;
+  if (flows_[id].cap != rate_cap) {
+    flows_[id].cap = rate_cap;
+    bump_epoch();
+  }
 }
 
 Gbps FlowSolver::flow_cap(FlowId id) const {
@@ -78,99 +215,160 @@ void FlowSolver::set_observer(obs::Context* obs) {
   obs_ = obs;
   if (obs_ == nullptr) return;
   m_solves_ = obs_->metrics.counter("solver.solves");
-  m_iterations_ = obs_->metrics.counter("solver.iterations");
-  m_iters_hist_ = obs_->metrics.histogram(
-      "solver.iterations_per_solve", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  m_rounds_ = obs_->metrics.counter("solver.rounds");
+  m_rounds_hist_ = obs_->metrics.histogram(
+      "solver.rounds_per_solve", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
   m_solve_us_ = obs_->metrics.histogram(
       "solver.solve_us", {1.0, 10.0, 100.0, 1000.0, 10000.0});
+  m_cache_hits_ = obs_->metrics.counter("solver.cache_hits");
+  m_cache_misses_ = obs_->metrics.counter("solver.cache_misses");
+  m_flows_scanned_ = obs_->metrics.counter("solver.flows_scanned");
+  m_touches_ = obs_->metrics.counter("solver.resource_touches");
 }
 
-std::vector<Gbps> FlowSolver::solve() const {
+const std::vector<Gbps>& FlowSolver::solve() const {
+  ++stats_.solve_calls;
+  if (obs_ != nullptr) obs_->metrics.add(m_solves_);
+  if (cache_valid_ && cached_epoch_ == epoch_) {
+    ++stats_.cache_hits;
+    if (obs_ != nullptr) obs_->metrics.add(m_cache_hits_);
+    return rates_;
+  }
+  ++stats_.cache_misses;
+  if (obs_ != nullptr) obs_->metrics.add(m_cache_misses_);
+  solve_uncached();
+  cache_valid_ = true;
+  cached_epoch_ = epoch_;
+  return rates_;
+}
+
+void FlowSolver::solve_uncached() const {
   obs::ScopedTimer timer(obs_ != nullptr ? &obs_->metrics : nullptr,
                          m_solve_us_);
-  std::vector<Gbps> rate(flows_.size(), 0.0);
-  if (live_flows_ == 0) return rate;
-
-  // Weights accumulate and are later subtracted flow by flow; treat
-  // anything below this as zero so floating-point residue from frozen
-  // flows cannot resurrect a saturated resource with a bogus
-  // residual/weight ratio.
-  constexpr double kWeightEps = 1e-9;
-
-  std::vector<bool> frozen(flows_.size(), true);
-  for (FlowId f = 0; f < flows_.size(); ++f) frozen[f] = !flows_[f].alive;
-
-  // residual[r]: capacity left on resource r; weight[r]: total usage weight
-  // of unfrozen flows on r.
-  std::vector<Gbps> residual(resources_.size());
-  for (ResourceId r = 0; r < resources_.size(); ++r) {
-    residual[r] = resources_[r].capacity;
+#ifndef NDEBUG
+  {
+    // Live-flow accounting: the insertion-order list, the live counter
+    // and the free-list must agree before every real solve.
+    std::size_t walked = 0;
+    for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) {
+      assert(flows_[f].alive);
+      ++walked;
+    }
+    assert(walked == live_flows_);
+    assert(live_flows_ + free_slots_.size() == flows_.size());
   }
-  std::vector<double> weight(resources_.size(), 0.0);
-  for (FlowId f = 0; f < flows_.size(); ++f) {
-    if (frozen[f]) continue;
-    for (const Usage& u : flows_[f].usages) weight[u.resource] += u.weight;
+#endif
+
+  ensure_size(rates_, flows_.size());
+  std::fill(rates_.begin(), rates_.end(), 0.0);
+  if (live_flows_ == 0) return;
+
+  ensure_size(weight_, resources_.size());
+  ensure_size(residual_, resources_.size());
+  ensure_size(touch_stamp_, resources_.size());
+  ensure_size(cand_stamp_, flows_.size());
+  if (worklist_.capacity() < live_flows_) {
+    ++stats_.scratch_grows;
+    worklist_.reserve(live_flows_);
+  }
+  if (touched_.capacity() < resources_.size()) {
+    ++stats_.scratch_grows;
+    touched_.reserve(resources_.size());
   }
 
-  std::size_t unfrozen = live_flows_;
+  // Build the worklist (insertion order == the old ascending-id order)
+  // and accumulate per-resource weights in the same order the old solver
+  // did, collecting the touched-resource set on the way. weight_ and
+  // residual_ are initialized lazily at first touch via the stamp, so an
+  // untouched resource costs nothing.
+  const std::uint64_t touch_token = ++stamp_;
+  worklist_.clear();
+  touched_.clear();
+  for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) {
+    worklist_.push_back(f);
+    const FlowMeta& m = flows_[f];
+    for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
+      const ResourceId r = usage_resource_[i];
+      if (touch_stamp_[r] != touch_token) {
+        touch_stamp_[r] = touch_token;
+        weight_[r] = 0.0;
+        residual_[r] = resources_[r].capacity;
+        touched_.push_back(r);
+      }
+      weight_[r] += usage_weight_[i];
+    }
+  }
+
+  std::size_t unfrozen = worklist_.size();
   std::uint64_t rounds = 0;
+  std::uint64_t scanned = 0;
+  std::uint64_t touches = 0;
   while (unfrozen > 0) {
     ++rounds;
     // Largest uniform rate increment delta all unfrozen flows can take.
+    // min() over the touched set only: every other resource has exactly
+    // zero weight, so the old full-resource scan excluded it too.
     double delta = std::numeric_limits<double>::infinity();
-    for (ResourceId r = 0; r < resources_.size(); ++r) {
-      if (weight[r] > kWeightEps && std::isfinite(residual[r])) {
-        delta = std::min(delta, std::max(residual[r], 0.0) / weight[r]);
+    for (ResourceId r : touched_) {
+      if (weight_[r] > kWeightEps && std::isfinite(residual_[r])) {
+        delta = std::min(delta, std::max(residual_[r], 0.0) / weight_[r]);
       }
     }
-    for (FlowId f = 0; f < flows_.size(); ++f) {
-      if (!frozen[f] && std::isfinite(flows_[f].cap)) {
-        delta = std::min(delta, flows_[f].cap - rate[f]);
+    for (std::size_t k = 0; k < unfrozen; ++k) {
+      const FlowId f = worklist_[k];
+      if (std::isfinite(flows_[f].cap)) {
+        delta = std::min(delta, flows_[f].cap - rates_[f]);
       }
     }
     assert(std::isfinite(delta) &&
            "every flow needs a finite cap or a finite resource in its usages");
     delta = std::max(delta, 0.0);
 
-    for (FlowId f = 0; f < flows_.size(); ++f) {
-      if (frozen[f]) continue;
-      rate[f] += delta;
-      for (const Usage& u : flows_[f].usages) {
-        residual[u.resource] -= delta * u.weight;
+    for (std::size_t k = 0; k < unfrozen; ++k) {
+      const FlowId f = worklist_[k];
+      const FlowMeta& m = flows_[f];
+      rates_[f] += delta;
+      for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
+        residual_[usage_resource_[i]] -= delta * usage_weight_[i];
+      }
+      touches += m.count;
+    }
+    scanned += unfrozen;
+
+    // Saturation pass: instead of materializing a saturated[] bitmap and
+    // rescanning every unfrozen flow's usages, mark the flows incident
+    // to each saturated resource as freeze candidates (the incidence
+    // list is exactly the set of flows the old scan would have matched).
+    const std::uint64_t round_token = ++stamp_;
+    for (ResourceId r : touched_) {
+      if (weight_[r] > kWeightEps && std::isfinite(residual_[r]) &&
+          residual_[r] <= kEps * std::max(1.0, resources_[r].capacity)) {
+        for (const IncidenceEntry& e : incidence_[r]) {
+          cand_stamp_[e.flow] = round_token;
+        }
       }
     }
 
-    // Freeze flows that hit their own cap, then flows crossing any
-    // saturated resource.
-    constexpr double kEps = 1e-12;
-    std::vector<bool> saturated(resources_.size(), false);
-    for (ResourceId r = 0; r < resources_.size(); ++r) {
-      if (weight[r] > kWeightEps && std::isfinite(residual[r]) &&
-          residual[r] <= kEps * std::max(1.0, resources_[r].capacity)) {
-        saturated[r] = true;
-      }
-    }
+    // Freeze pass, compacting the worklist in place. Processing stays in
+    // insertion order so the weight-release subtractions happen in the
+    // same floating-point order as the old per-id scan.
+    std::size_t out = 0;
     bool any_frozen_this_round = false;
-    for (FlowId f = 0; f < flows_.size(); ++f) {
-      if (frozen[f]) continue;
-      bool freeze =
-          std::isfinite(flows_[f].cap) && rate[f] >= flows_[f].cap - kEps;
-      if (!freeze) {
-        for (const Usage& u : flows_[f].usages) {
-          if (saturated[u.resource]) {
-            freeze = true;
-            break;
-          }
-        }
-      }
+    for (std::size_t k = 0; k < unfrozen; ++k) {
+      const FlowId f = worklist_[k];
+      const FlowMeta& m = flows_[f];
+      const bool freeze =
+          (std::isfinite(m.cap) && rates_[f] >= m.cap - kEps) ||
+          cand_stamp_[f] == round_token;
       if (freeze) {
-        frozen[f] = true;
-        --unfrozen;
         any_frozen_this_round = true;
-        for (const Usage& u : flows_[f].usages) {
-          weight[u.resource] -= u.weight;
-          if (weight[u.resource] < kWeightEps) weight[u.resource] = 0.0;
+        for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
+          const ResourceId r = usage_resource_[i];
+          weight_[r] -= usage_weight_[i];
+          if (weight_[r] < kWeightEps) weight_[r] = 0.0;
         }
+      } else {
+        worklist_[out++] = f;
       }
     }
     // Progress guarantee: a positive delta saturates something; a zero
@@ -179,39 +377,44 @@ std::vector<Gbps> FlowSolver::solve() const {
       assert(false && "flow solver failed to make progress");
       break;
     }
+    unfrozen = out;
   }
+
+  stats_.rounds += rounds;
+  stats_.flows_scanned += scanned;
+  stats_.resource_touches += touches;
   if (obs_ != nullptr) {
-    obs_->metrics.add(m_solves_);
-    obs_->metrics.add(m_iterations_, static_cast<double>(rounds));
-    obs_->metrics.observe(m_iters_hist_, static_cast<double>(rounds));
+    obs_->metrics.add(m_rounds_, static_cast<double>(rounds));
+    obs_->metrics.observe(m_rounds_hist_, static_cast<double>(rounds));
+    obs_->metrics.add(m_flows_scanned_, static_cast<double>(scanned));
+    obs_->metrics.add(m_touches_, static_cast<double>(touches));
   }
-  return rate;
 }
 
 Gbps FlowSolver::aggregate_rate() const {
-  const auto rates = solve();
+  const std::vector<Gbps>& rates = solve();
   Gbps sum = 0.0;
-  for (FlowId f = 0; f < flows_.size(); ++f) {
-    if (flows_[f].alive) sum += rates[f];
-  }
+  for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) sum += rates[f];
   return sum;
 }
 
 double FlowSolver::utilization(ResourceId id) const {
   assert(id < resources_.size());
-  if (!std::isfinite(resources_[id].capacity) ||
-      resources_[id].capacity <= 0.0) {
+  const Resource& res = resources_[id];
+  if (!std::isfinite(res.capacity) || res.capacity <= 0.0) {
     return 0.0;
   }
-  const auto rates = solve();
+  const std::vector<Gbps>& rates = solve();
+  // Walks flow usage spans in insertion order (not the unordered
+  // incidence list) so the sum accumulates in the historical order.
   double used = 0.0;
-  for (FlowId f = 0; f < flows_.size(); ++f) {
-    if (!flows_[f].alive) continue;
-    for (const Usage& u : flows_[f].usages) {
-      if (u.resource == id) used += rates[f] * u.weight;
+  for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) {
+    const FlowMeta& m = flows_[f];
+    for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
+      if (usage_resource_[i] == id) used += rates[f] * usage_weight_[i];
     }
   }
-  return used / resources_[id].capacity;
+  return used / res.capacity;
 }
 
 }  // namespace numaio::sim

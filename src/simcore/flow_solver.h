@@ -13,9 +13,33 @@
 // uses saturates. This is the classical water-filling construction of the
 // (weighted-usage) max-min-fair allocation and terminates after at most
 // (#resources + #flows) rounds.
+//
+// Storage and caching (see DESIGN.md §9 for the full layout):
+//  - Flow usages live in a flat CSR arena (usage_resource_[]/
+//    usage_weight_[] plus per-flow {begin,count} offsets), not per-flow
+//    heap vectors. Removed flows park their slot + arena span on a
+//    free-list and add_flow recycles them, so neither the flow table nor
+//    the arena grows under steady-state churn.
+//  - Per-resource incidence lists (resource -> {flow, arena index}) let
+//    the freeze pass mark only flows actually crossing a saturated
+//    resource instead of rescanning every unfrozen flow's usages.
+//  - A mutation epoch is bumped by add_flow/remove_flow/set_capacity/
+//    set_capacity_factor/set_flow_cap; solve() returns the cached rate
+//    vector when the epoch is unchanged, which makes aggregate_rate()
+//    and utilization() free right after a solve. All per-solve scratch
+//    is reusable member storage: after warm-up a solve performs zero
+//    heap allocations (stats().scratch_grows counts the exceptions).
+//
+// The allocation is bit-identical to the historical per-flow-vector
+// solver: live flows are kept on an insertion-order list and every
+// floating-point accumulation (initial weights, residual subtraction,
+// freeze-time weight release, aggregate/utilization sums) walks flows in
+// that order, which is exactly the ascending-FlowId order the old solver
+// used before ids were recycled.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,26 +59,55 @@ struct Usage {
 
 class FlowSolver {
  public:
+  /// Intrinsic per-solver counters, maintained whether or not an
+  /// obs::Context is attached. Mirrors the solver.* metrics (which need
+  /// an observer) so tests and tools can assert on cache/scratch
+  /// behavior without wiring a registry.
+  struct SolveStats {
+    std::uint64_t solve_calls = 0;    ///< solve() invocations (hits + misses).
+    std::uint64_t cache_hits = 0;     ///< Solves answered from the epoch cache.
+    std::uint64_t cache_misses = 0;   ///< Solves that ran water-filling.
+    std::uint64_t rounds = 0;         ///< Water-filling rounds across misses.
+    std::uint64_t flows_scanned = 0;  ///< Unfrozen-flow visits across rounds.
+    std::uint64_t resource_touches = 0;  ///< Per-usage residual updates.
+    std::uint64_t scratch_grows = 0;  ///< Solve-path scratch (re)allocations.
+  };
+
   /// Registers a resource. `capacity` may be kUnlimited.
   ResourceId add_resource(std::string name, Gbps capacity);
 
-  /// Adjusts a resource's capacity (e.g. CPU budget shrinking under
-  /// interrupt load). Takes effect at the next solve().
+  /// Adjusts a resource's base capacity (e.g. CPU budget shrinking under
+  /// interrupt load). The effective capacity is base * factor; the factor
+  /// set by set_capacity_factor survives this call. Takes effect at the
+  /// next solve().
   void set_capacity(ResourceId id, Gbps capacity);
 
+  /// Scales a resource multiplicatively without forgetting its base
+  /// capacity: effective capacity = base * factor. Used by fault and
+  /// degradation models (link degrade, MC throttle) so a later
+  /// factor-reset restores the calibrated base exactly. `factor` must be
+  /// finite and > 0; 1.0 removes the scaling.
+  void set_capacity_factor(ResourceId id, double factor);
+  double capacity_factor(ResourceId id) const;
+
+  /// Effective capacity (base * factor).
   Gbps capacity(ResourceId id) const;
   const std::string& resource_name(ResourceId id) const;
   std::size_t resource_count() const { return resources_.size(); }
 
   /// Adds a flow with weighted resource usages (a resource may appear more
   /// than once; weights accumulate) and an optional private rate cap.
+  /// The returned id may recycle the slot of a previously removed flow;
+  /// ids are only meaningful while the flow is alive.
   FlowId add_flow(std::vector<Usage> usages, Gbps rate_cap = kUnlimited);
 
   /// Convenience: unit-weight usage of each resource on `path`.
   FlowId add_flow_over(const std::vector<ResourceId>& path,
                        Gbps rate_cap = kUnlimited);
 
-  /// Removes a flow; its id is never reused.
+  /// Removes a flow; the slot and its arena span go on the free-list and
+  /// a later add_flow may hand the same id out again. Holding a FlowId
+  /// across remove_flow is a use-after-free bug on the caller's side.
   void remove_flow(FlowId id);
 
   void set_flow_cap(FlowId id, Gbps rate_cap);
@@ -63,44 +116,117 @@ class FlowSolver {
   std::size_t live_flow_count() const { return live_flows_; }
 
   /// Attaches an observability context (nullptr detaches). Each solve()
-  /// then counts its water-filling rounds (`solver.iterations`,
-  /// `solver.iterations_per_solve`) and wall time (`solver.solve_us`).
-  /// The context must outlive the solver or be detached first.
+  /// then records round-level profiling counters (`solver.rounds`,
+  /// `solver.rounds_per_solve`, `solver.flows_scanned`,
+  /// `solver.resource_touches`), cache behavior (`solver.solves`,
+  /// `solver.cache_hits`, `solver.cache_misses`) and wall time
+  /// (`solver.solve_us`, cache misses only). The context must outlive
+  /// the solver or be detached first.
   void set_observer(obs::Context* obs);
 
-  /// Computes the max-min-fair allocation for all live flows.
-  /// The returned vector is indexed by FlowId; removed flows report 0.
-  std::vector<Gbps> solve() const;
+  /// Computes the max-min-fair allocation for all live flows, or returns
+  /// the cached allocation when nothing mutated since the last solve.
+  /// The returned vector is indexed by FlowId (slot); removed flows
+  /// report 0. The reference stays valid until the next mutation +
+  /// solve. Logically const but not safe to call concurrently: it reuses
+  /// member scratch.
+  const std::vector<Gbps>& solve() const;
 
-  /// Sum of the allocation over all live flows.
+  /// Sum of the allocation over all live flows. Free when cached.
   Gbps aggregate_rate() const;
 
   /// Utilization (weighted usage / capacity) of one resource under the
-  /// current allocation; 0 for unlimited resources.
+  /// current allocation; 0 for unlimited resources. Free when cached.
   double utilization(ResourceId id) const;
 
+  /// Mutation epoch: bumped whenever a change invalidates the solve
+  /// cache. Value-preserving mutations (set_capacity to the same
+  /// capacity, set_flow_cap to the same cap) keep the cache warm.
+  std::uint64_t epoch() const { return epoch_; }
+
+  const SolveStats& stats() const { return stats_; }
+
  private:
+  static constexpr FlowId kNoFlow = static_cast<FlowId>(-1);
+
   struct Resource {
     std::string name;
-    Gbps capacity = kUnlimited;
-  };
-  struct Flow {
-    std::vector<Usage> usages;
-    Gbps cap = kUnlimited;
-    bool alive = false;
+    Gbps base = kUnlimited;   ///< Calibrated capacity (set_capacity).
+    double factor = 1.0;      ///< Multiplicative scale (set_capacity_factor).
+    Gbps capacity = kUnlimited;  ///< Effective: base * factor, cached.
   };
 
+  /// Per-flow CSR header. `begin`/`count` index the usage arena; `span`
+  /// is the allocated arena width (>= count) so recycled slots can host
+  /// smaller flows in place. `prev`/`next` thread live flows in
+  /// insertion order (the solve iteration order).
+  struct FlowMeta {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+    std::size_t span = 0;
+    Gbps cap = kUnlimited;
+    bool alive = false;
+    FlowId prev = kNoFlow;
+    FlowId next = kNoFlow;
+  };
+
+  /// One usage seen from its resource: which flow crosses, and where in
+  /// the arena — enough to fix up usage_inc_pos_ on swap-remove.
+  struct IncidenceEntry {
+    FlowId flow = 0;
+    std::size_t usage = 0;  ///< Arena index of the usage.
+  };
+
+  void bump_epoch();
+  void refresh_capacity(Resource& r);
+  template <class T>
+  void ensure_size(std::vector<T>& v, std::size_t n) const;
+  void solve_uncached() const;
+
   std::vector<Resource> resources_;
-  std::vector<Flow> flows_;
+  std::vector<FlowMeta> flows_;
+  FlowId head_ = kNoFlow;  ///< Oldest live flow (insertion order).
+  FlowId tail_ = kNoFlow;  ///< Newest live flow.
   std::size_t live_flows_ = 0;
+  std::vector<FlowId> free_slots_;  ///< Dead slots available for recycling.
+
+  // CSR usage arena, parallel arrays indexed by FlowMeta::begin + i.
+  std::vector<ResourceId> usage_resource_;
+  std::vector<double> usage_weight_;
+  std::vector<std::size_t> usage_inc_pos_;  ///< Position in incidence_[r].
+
+  // resource -> usages crossing it; order is arbitrary (swap-remove).
+  std::vector<std::vector<IncidenceEntry>> incidence_;
+
+  // Epoch cache: solve() is a cache hit while epoch_ == cached_epoch_.
+  std::uint64_t epoch_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable std::uint64_t cached_epoch_ = 0;
+  mutable std::vector<Gbps> rates_;  ///< Cached allocation, by slot.
+
+  // Reusable solve scratch. Stamp arrays avoid O(R)/O(F) clears: an
+  // entry is "set" when it equals the current token drawn from stamp_.
+  mutable std::vector<FlowId> worklist_;     ///< Unfrozen flows, in order.
+  mutable std::vector<ResourceId> touched_;  ///< Resources with live weight.
+  mutable std::vector<double> weight_;
+  mutable std::vector<Gbps> residual_;
+  mutable std::vector<std::uint64_t> touch_stamp_;  ///< Per resource.
+  mutable std::vector<std::uint64_t> cand_stamp_;   ///< Per flow slot.
+  mutable std::uint64_t stamp_ = 0;
+
+  mutable SolveStats stats_;
 
   // Metric ids are resolved once in set_observer; solve() is const, so it
   // reaches the registry through this pointer without touching solver state.
   obs::Context* obs_ = nullptr;
   obs::MetricsRegistry::Id m_solves_ = obs::MetricsRegistry::kNone;
-  obs::MetricsRegistry::Id m_iterations_ = obs::MetricsRegistry::kNone;
-  obs::MetricsRegistry::Id m_iters_hist_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_rounds_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_rounds_hist_ = obs::MetricsRegistry::kNone;
   obs::MetricsRegistry::Id m_solve_us_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_cache_hits_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_cache_misses_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_flows_scanned_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_touches_ = obs::MetricsRegistry::kNone;
 };
 
 }  // namespace numaio::sim

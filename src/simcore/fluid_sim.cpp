@@ -53,7 +53,13 @@ void FluidSimulation::activate(TransferId id) {
   t.flow = solver_.add_flow(t.usages, t.rate_cap);
   t.active = true;
   t.stats.start = now_;
-  ++active_count_;
+  // Fresh transfers append (ids grow monotonically); activations out of
+  // pending order insert in place to keep the index sorted.
+  if (active_.empty() || active_.back() < id) {
+    active_.push_back(id);
+  } else {
+    active_.insert(std::lower_bound(active_.begin(), active_.end(), id), id);
+  }
 }
 
 void FluidSimulation::complete(TransferId id) {
@@ -64,7 +70,9 @@ void FluidSimulation::complete(TransferId id) {
   t.stats.done = true;
   t.stats.end = now_;
   t.stats.bytes_moved = t.stats.bytes;
-  --active_count_;
+  const auto it = std::lower_bound(active_.begin(), active_.end(), id);
+  assert(it != active_.end() && *it == id);
+  active_.erase(it);
   if (t.on_complete) t.on_complete(id, now_);
 }
 
@@ -88,7 +96,9 @@ bool FluidSimulation::abort_transfer(TransferId id) {
   if (t.active) {
     solver_.remove_flow(t.flow);
     t.active = false;
-    --active_count_;
+    const auto it = std::lower_bound(active_.begin(), active_.end(), id);
+    assert(it != active_.end() && *it == id);
+    active_.erase(it);
   } else {
     // Not yet started: drop the pending entry.
     const auto it = std::find_if(
@@ -109,8 +119,8 @@ bool FluidSimulation::abort_transfer(TransferId id) {
 }
 
 Ns FluidSimulation::run() {
-  while (active_count_ > 0 || !pending_.empty() || !controls_.empty()) {
-    if (active_count_ == 0) {
+  while (!active_.empty() || !pending_.empty() || !controls_.empty()) {
+    if (active_.empty()) {
       // Jump to the next scheduled start or control point.
       Ns next = std::numeric_limits<double>::infinity();
       if (!pending_.empty()) next = pending_.back().at;
@@ -130,15 +140,16 @@ Ns FluidSimulation::run() {
       controls_.pop_back();
       fn();
     }
-    if (active_count_ == 0) continue;  // controls may have drained the run
+    if (active_.empty()) continue;  // controls may have drained the run
 
-    const std::vector<Gbps> rates = solver_.solve();
+    // A cache hit in the solver (nothing mutated since the last event)
+    // makes this a cheap reference grab, not a re-solve.
+    const std::vector<Gbps>& rates = solver_.solve();
 
     // Next completion among active transfers.
     Ns dt = std::numeric_limits<double>::infinity();
-    for (TransferId id = 0; id < transfers_.size(); ++id) {
+    for (const TransferId id : active_) {
       const Transfer& t = transfers_[id];
-      if (!t.active) continue;
       const Gbps r = rates[t.flow];
       if (r > 0.0) dt = std::min(dt, t.remaining_bits / r);
     }
@@ -151,9 +162,9 @@ Ns FluidSimulation::run() {
 
     // Advance the fluid state.
     now_ += dt;
-    for (TransferId id = 0; id < transfers_.size(); ++id) {
+    due_.clear();
+    for (const TransferId id : active_) {
       Transfer& t = transfers_[id];
-      if (!t.active) continue;
       t.remaining_bits -= rates[t.flow] * dt;
       if (trace_ && dt > 0.0) {
         // Merge with the previous segment when the rate is unchanged so
@@ -164,13 +175,14 @@ Ns FluidSimulation::run() {
           t.trace.push_back(RateSegment{dt, rates[t.flow]});
         }
       }
+      if (t.remaining_bits <= kBitEps) due_.push_back(id);
     }
-    // Complete in id order for determinism. complete() may start new
-    // transfers via callbacks; they begin at the current time.
-    for (TransferId id = 0; id < transfers_.size(); ++id) {
-      if (transfers_[id].active && transfers_[id].remaining_bits <= kBitEps) {
-        complete(id);
-      }
+    // Complete in id order for determinism (due_ inherits active_'s
+    // order). complete() may start new transfers via callbacks — they
+    // begin now with a full byte count, so they can't be due — and a
+    // callback may abort a later due transfer, hence the re-check.
+    for (const TransferId id : due_) {
+      if (transfers_[id].active) complete(id);
     }
   }
   return now_;

@@ -138,7 +138,11 @@ class FluidSimulation {
   std::vector<Pending> pending_;   // kept sorted descending by time
   std::vector<Control> controls_;  // kept sorted descending by (time, seq)
   std::uint64_t next_control_seq_ = 0;
-  std::size_t active_count_ = 0;
+  // Active transfers, sorted ascending by id so the per-event loops walk
+  // live work in deterministic id order instead of rescanning every
+  // transfer ever started.
+  std::vector<TransferId> active_;
+  std::vector<TransferId> due_;  // reusable completion-sweep scratch
 };
 
 }  // namespace numaio::sim

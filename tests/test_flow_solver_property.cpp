@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "reference_flow_solver.h"
 #include "simcore/flow_solver.h"
 #include "simcore/rng.h"
 
@@ -127,6 +130,88 @@ TEST_P(SolverProperty, RemovingAFlowRaisesTheMinimum) {
     min_after = std::min(min_after, after[inst.flows[fi]]);
   }
   EXPECT_GE(min_after, min_before - 1e-9);
+}
+
+// The CSR solver must produce *bit-identical* rates to the retained
+// pre-CSR reference implementation (tests/reference_flow_solver.h) under
+// arbitrary churn: slot recycling, incidence-list freezing and the
+// touched-resource delta scan must not change a single floating-point
+// operation's order. The reference never reuses ids, so a mapping from
+// production FlowId (recycled slots) to reference id rides along.
+TEST_P(SolverProperty, ChurnMatchesReferenceBitForBit) {
+  Rng rng(GetParam() * 7919 + 13);
+  FlowSolver solver;
+  test::ReferenceFlowSolver ref;
+
+  std::vector<ResourceId> resources;
+  const std::uint64_t R = 4 + rng.below(5);
+  for (std::uint64_t r = 0; r < R; ++r) {
+    const Gbps cap = rng.uniform(5.0, 50.0);
+    resources.push_back(solver.add_resource("r", cap));
+    const ResourceId ref_r = ref.add_resource(cap);
+    ASSERT_EQ(ref_r, resources.back());
+  }
+
+  auto random_usages = [&] {
+    // Duplicate resources and non-unit weights are deliberate: they
+    // exercise weight accumulation and release order.
+    const std::uint64_t n = 1 + rng.below(3);
+    std::vector<Usage> usages;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      usages.push_back(Usage{resources[rng.below(resources.size())],
+                             rng.uniform(0.1, 2.0)});
+    }
+    return usages;
+  };
+
+  struct LiveFlow {
+    FlowId id;           // production id (may be a recycled slot)
+    std::size_t ref_id;  // reference id (never recycled)
+  };
+  std::vector<LiveFlow> live;  // in insertion order
+
+  const auto compare = [&] {
+    const auto& rates = solver.solve();
+    const auto ref_rates = ref.solve();
+    for (const LiveFlow& l : live) {
+      ASSERT_EQ(rates[l.id], ref_rates[l.ref_id])
+          << "seed " << GetParam() << " flow slot " << l.id;
+    }
+    EXPECT_EQ(solver.aggregate_rate(), ref.aggregate_rate());
+    const std::size_t probe = rng.below(resources.size());
+    EXPECT_EQ(solver.utilization(resources[probe]),
+              ref.utilization(resources[probe]));
+  };
+
+  for (int op = 0; op < 80; ++op) {
+    const std::uint64_t kind = rng.below(4);
+    if (kind == 0 || live.empty()) {
+      auto usages = random_usages();
+      const Gbps cap =
+          rng.uniform() < 0.5 ? rng.uniform(1.0, 30.0) : kUnlimited;
+      const std::size_t ref_id = ref.add_flow(usages, cap);
+      live.push_back(LiveFlow{solver.add_flow(std::move(usages), cap), ref_id});
+    } else if (kind == 1) {
+      const std::size_t k = rng.below(live.size());
+      solver.remove_flow(live[k].id);
+      ref.remove_flow(live[k].ref_id);
+      // Order-preserving erase: both solvers iterate live flows in
+      // insertion order, so the mapping must preserve it too.
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (kind == 2) {
+      const std::size_t r = rng.below(resources.size());
+      const Gbps cap = rng.uniform(5.0, 50.0);
+      solver.set_capacity(resources[r], cap);
+      ref.set_capacity(resources[r], cap);
+    } else {
+      const std::size_t k = rng.below(live.size());
+      const Gbps cap = rng.uniform(1.0, 30.0);
+      solver.set_flow_cap(live[k].id, cap);
+      ref.set_flow_cap(live[k].ref_id, cap);
+    }
+    if (op % 3 == 0) compare();
+  }
+  compare();
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomNetworks, SolverProperty,
