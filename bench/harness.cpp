@@ -548,6 +548,32 @@ BenchResult bench_fluid_replay() {
   });
 }
 
+/// Fleet serving core under an overload storm with one host crashing
+/// mid-run (src/fleet): three tenants splitting more load than three
+/// hosts can carry, host 1 down for a quarter of the run and warming
+/// back up at half capacity. Pins the degradation contract — scheduled
+/// attempts/s, the shed fraction and the accepted-request p99 — plus the
+/// fail-over and breaker counters.
+BenchResult bench_fleet_storm() {
+  using namespace numaio::fleet;
+  return timed(3, [&] {
+    StormScenario storm = make_storm(/*num_hosts=*/3, /*num_tenants=*/3,
+                                     /*offered_rps=*/700.0, /*seed=*/11,
+                                     /*horizon=*/2.0e9);
+    FleetSim sim(storm.config, storm.tenants);
+    sim.set_fault_plan(storm.plan);
+    const FleetReport report = sim.run();
+    return std::map<std::string, double>{
+        {"sched_rps", report.attempts_per_s},
+        {"shed_fraction", report.shed_fraction},
+        {"accepted_p99_ms", report.accepted_p99 / 1e6},
+        {"completed", static_cast<double>(report.completed)},
+        {"replaced", static_cast<double>(report.replaced)},
+        {"breaker_trips", static_cast<double>(report.breaker_trips)},
+        {"max_queue_depth", static_cast<double>(report.max_queue_depth)}};
+  });
+}
+
 BenchSet run_benches(int reps) {
   io::Testbed tb = io::Testbed::dl585();
   BenchSet out;
@@ -559,6 +585,7 @@ BenchSet run_benches(int reps) {
   out["trace_stream_1m"] = bench_trace_stream();
   out["solver_storm"] = bench_solver_storm();
   out["fluid_replay"] = bench_fluid_replay();
+  out["fleet_storm"] = bench_fleet_storm();
   return out;
 }
 

@@ -27,6 +27,15 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$BUILD_DIR/tests/numaio_tests" \
   --gtest_filter='*SolverProperty*:FlowSolverCache.*:FlowSolverFreeList.*:FlowSolverCapacityFactor.*:FlowSolverScratch.*'
 
+# The fleet serving suite also runs standalone: its runtime is the one
+# place where event-engine callbacks hold (id, generation) handles across
+# host crashes that tear down in-flight state — exactly where a stale
+# pointer or double-detach would surface as a use-after-free.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  "$BUILD_DIR/tests/numaio_tests" \
+  --gtest_filter='TokenBucket*:BoundedQueue*:CircuitBreaker*:AdmissionStatus*:FleetSim*:FaultPlanFile*'
+
 # halt_on_error: the first sanitizer report fails the test run instead of
 # scrolling past; detect_leaks exercises the Host/Buffer ownership paths.
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \

@@ -33,6 +33,11 @@ enum class FaultKind {
   kDeviceStall,   ///< A registered PCIe device goes dark; in-flight I/O aborts.
   kIrqStorm,      ///< Interrupt flood burns a node's CPU budget.
   kMeasureNoise,  ///< Repetition noise turns heavy-tailed (amplified).
+  // Host-level kinds, consumed by the fleet serving core (src/fleet):
+  // `host` indexes a fleet host, a different id space from NUMA nodes.
+  kHostCrash,     ///< The whole host dies; in-flight requests are lost.
+  kHostHang,      ///< The host freezes: no progress, nothing is lost.
+  kHostRecover,   ///< Post-crash warm-up: capacity reduced by `severity`.
 };
 
 const char* to_string(FaultKind kind);
@@ -48,9 +53,11 @@ struct FaultEvent {
   NodeId node = -1;
   /// Index of a device registered with the injector, for kDeviceStall.
   int device = -1;
-  /// Fraction of capacity removed while active (link/MC/IRQ faults), or
-  /// the noise multiplier minus one for kMeasureNoise. In [0, 1] for
-  /// capacity faults; >= 0 for noise.
+  /// Fleet host index for the kHost* kinds.
+  int host = -1;
+  /// Fraction of capacity removed while active (link/MC/IRQ faults and
+  /// kHostRecover), or the noise multiplier minus one for kMeasureNoise.
+  /// In [0, 1] for capacity faults; >= 0 for noise.
   double severity = 0.5;
   /// kLinkFlap: number of dead windows inside [start, start+duration].
   int flaps = 1;
@@ -63,6 +70,10 @@ struct RandomPlanConfig {
   int num_nodes = 0;
   /// Device-stall events are only drawn when num_devices > 0.
   int num_devices = 0;
+  /// Fleet width: host-level events (crash/hang/recover) are only drawn
+  /// when num_hosts > 0. Zero keeps plans byte-identical to pre-fleet
+  /// seeds.
+  int num_hosts = 0;
   int num_events = 4;
   sim::Ns horizon = 30.0e9;         ///< Events start within [0, horizon).
   sim::Ns min_duration = 0.5e9;
@@ -84,8 +95,11 @@ class FaultPlan {
 
   /// Throws std::invalid_argument when any event is malformed for a host
   /// with `num_nodes` nodes and `num_devices` registered devices (bad
-  /// node ids, negative windows, out-of-range severity, ...).
-  void validate(int num_nodes, int num_devices) const;
+  /// node ids, negative windows, out-of-range severity, ...). `num_hosts`
+  /// bounds the host index of the kHost* kinds; pass -1 to check only
+  /// that host indices are non-negative (a consumer that registers hosts
+  /// later, like the injector does for devices).
+  void validate(int num_nodes, int num_devices, int num_hosts = -1) const;
 
   /// A seeded random plan: identical configs yield an identical plan. The
   /// config aggregate carries the seed and host shape (seed / num_nodes /
@@ -105,5 +119,18 @@ class FaultPlan {
  private:
   std::vector<FaultEvent> events_;
 };
+
+/// Parses the fault-plan file format (docs/FORMATS.md §6): one event per
+/// line, `<kind> key=value ...`, `#` comments and blank lines skipped.
+/// Durations accept s/ms/us/ns suffixes (bare numbers are seconds).
+/// Throws numaio::StatusError(kParse) with the offending line number on a
+/// duplicate key, an unknown kind or key, a missing required key, or an
+/// unparseable value. Syntax only — range errors (zero durations, bad
+/// ids) are FaultPlan::validate's job.
+FaultPlan parse_fault_plan(const std::string& text);
+
+/// Renders a plan in the file format above; `parse_fault_plan(
+/// render_fault_plan(plan))` round-trips every field the kind uses.
+std::string render_fault_plan(const FaultPlan& plan);
 
 }  // namespace numaio::faults

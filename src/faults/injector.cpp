@@ -74,6 +74,10 @@ void FaultInjector::set_stall_handler(StallHandler handler) {
   stall_handler_ = std::move(handler);
 }
 
+void FaultInjector::set_transition_handler(TransitionHandler handler) {
+  transition_handler_ = std::move(handler);
+}
+
 void FaultInjector::set_observer(obs::Context* obs) {
   obs_ = obs;
   if (obs_ == nullptr) return;
@@ -157,6 +161,10 @@ void FaultInjector::apply_state_at(sim::Ns t) {
       }
       case FaultKind::kMeasureNoise:
         break;  // no capacity effect; consumers read noise_amplification()
+      case FaultKind::kHostCrash:
+      case FaultKind::kHostHang:
+      case FaultKind::kHostRecover:
+        break;  // no machine effect; the fleet layer reads the host queries
     }
   }
 }
@@ -200,6 +208,17 @@ void FaultInjector::apply_transition(std::size_t index) {
                     tr.at / 1e9, to_string(e.kind), tr.on ? "on" : "off",
                     tr.on ? 1.0 + e.severity : 1.0);
       break;
+    case FaultKind::kHostCrash:
+    case FaultKind::kHostHang:
+      std::snprintf(buf, sizeof buf, "t=%14.6fs %-13s host %d %s",
+                    tr.at / 1e9, to_string(e.kind), e.host,
+                    tr.on ? "on" : "off");
+      break;
+    case FaultKind::kHostRecover:
+      std::snprintf(buf, sizeof buf, "t=%14.6fs %-13s host %d %s (scale %.2f)",
+                    tr.at / 1e9, to_string(e.kind), e.host,
+                    tr.on ? "on" : "off", tr.on ? 1.0 - e.severity : 1.0);
+      break;
   }
   trace_.emplace_back(buf);
 
@@ -228,6 +247,11 @@ void FaultInjector::apply_transition(std::size_t index) {
           break;
         case FaultKind::kMeasureNoise:
           break;
+        case FaultKind::kHostCrash:
+        case FaultKind::kHostHang:
+        case FaultKind::kHostRecover:
+          fields.node_a = e.host;
+          break;
       }
       fields.detail = detail;
       last_transition_event_ = obs_->trace.event(
@@ -238,6 +262,7 @@ void FaultInjector::apply_transition(std::size_t index) {
   if (tr.on && e.kind == FaultKind::kDeviceStall && stall_handler_) {
     stall_handler_(e.device, tr.at);
   }
+  if (transition_handler_) transition_handler_(e, tr.on, tr.at);
 }
 
 void FaultInjector::arm(sim::FluidSimulation& fluid) {
@@ -301,7 +326,13 @@ bool FaultInjector::device_stalled(int device, sim::Ns t) const {
 
 bool FaultInjector::any_capacity_fault_active(sim::Ns t) const {
   for (const FaultEvent& e : plan_.events()) {
-    if (e.kind != FaultKind::kMeasureNoise && event_active(e, t)) return true;
+    // Host kinds never touch the machine's capacities.
+    if (e.kind == FaultKind::kMeasureNoise ||
+        e.kind == FaultKind::kHostCrash || e.kind == FaultKind::kHostHang ||
+        e.kind == FaultKind::kHostRecover) {
+      continue;
+    }
+    if (event_active(e, t)) return true;
   }
   return false;
 }
@@ -327,12 +358,46 @@ std::vector<NodeId> FaultInjector::degraded_nodes(sim::Ns t) const {
         }
         break;
       case FaultKind::kMeasureNoise:
-        break;
+      case FaultKind::kHostCrash:
+      case FaultKind::kHostHang:
+      case FaultKind::kHostRecover:
+        break;  // host faults live in the fleet id space, not NUMA nodes
     }
   }
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
   return nodes;
+}
+
+bool FaultInjector::host_crashed(int host, sim::Ns t) const {
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::kHostCrash && e.host == host &&
+        event_active(e, t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::host_hung(int host, sim::Ns t) const {
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::kHostHang && e.host == host &&
+        event_active(e, t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::host_capacity_factor(int host, sim::Ns t) const {
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::kHostRecover && e.host == host &&
+        event_active(e, t)) {
+      factor *= std::max(1.0 - e.severity, 0.0);
+    }
+  }
+  return factor;
 }
 
 sim::Ns FaultInjector::next_transition_after(sim::Ns t) const {

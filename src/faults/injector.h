@@ -59,6 +59,14 @@ class FaultInjector {
   using StallHandler = std::function<void(int device, sim::Ns at)>;
   void set_stall_handler(StallHandler handler);
 
+  /// Called after *every* applied transition (trace line and obs event
+  /// already emitted, so last_transition_event() is the cause id). The
+  /// fleet layer uses this to react to host crash/hang/recover
+  /// boundaries; `on` is true when the fault window opens.
+  using TransitionHandler =
+      std::function<void(const FaultEvent& event, bool on, sim::Ns at)>;
+  void set_transition_handler(TransitionHandler handler);
+
   /// Schedules every not-yet-applied transition as a control event.
   void arm(sim::FluidSimulation& fluid);
 
@@ -86,6 +94,16 @@ class FaultInjector {
   std::vector<NodeId> degraded_nodes(sim::Ns t) const;
   /// Time of the first transition after t; +inf when none remain.
   sim::Ns next_transition_after(sim::Ns t) const;
+
+  // --- host-level queries (fleet host ids, not NUMA nodes) ---------------
+  /// True while a kHostCrash window covers t.
+  bool host_crashed(int host, sim::Ns t) const;
+  /// True while a kHostHang window covers t.
+  bool host_hung(int host, sim::Ns t) const;
+  /// Product of (1 - severity) over active kHostRecover windows: the
+  /// warm-up capacity multiplier in (0, 1]. Crash/hang are not folded in —
+  /// callers gate on host_crashed/host_hung first.
+  double host_capacity_factor(int host, sim::Ns t) const;
 
   const FaultPlan& plan() const { return plan_; }
   fabric::Machine& machine() { return machine_; }
@@ -132,6 +150,7 @@ class FaultInjector {
   std::vector<Device> devices_;
   std::vector<bool> stalled_applied_;    // per device, currently applied
   StallHandler stall_handler_;
+  TransitionHandler transition_handler_;
   std::size_t cursor_ = 0;               // next transition to apply
   std::vector<std::string> trace_;
 

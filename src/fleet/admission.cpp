@@ -1,0 +1,83 @@
+#include "fleet/admission.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace numaio::fleet {
+
+void TokenBucket::refill(sim::Ns now) {
+  if (now <= last_) return;
+  tokens_ = std::min(burst_, tokens_ + rate_per_s_ * (now - last_) / 1e9);
+  last_ = now;
+}
+
+bool TokenBucket::try_take(sim::Ns now) {
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::tokens(sim::Ns now) {
+  refill(now);
+  return tokens_;
+}
+
+BoundedQueue::PushResult BoundedQueue::push(QueueItem item) {
+  PushResult result;
+  if (depth() < max_depth_) {
+    entries_.push_back(Entry{item, next_seq_++});
+    result.accepted = true;
+    return result;
+  }
+  assert(!entries_.empty());
+  // Shed target: lowest priority present; among those, latest arrival.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Entry& v = entries_[victim];
+    if (e.item.priority < v.item.priority ||
+        (e.item.priority == v.item.priority && e.seq > v.seq)) {
+      victim = i;
+    }
+  }
+  result.shed = true;
+  if (item.priority <= entries_[victim].item.priority) {
+    // The incoming item does not outrank the current minimum: it is the
+    // latest arrival at the lowest priority, so it is the one shed.
+    result.victim = item;
+    return result;
+  }
+  result.victim = entries_[victim].item;
+  entries_[victim] = Entry{item, next_seq_++};
+  result.accepted = true;
+  return result;
+}
+
+QueueItem BoundedQueue::pop() {
+  assert(!entries_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Entry& b = entries_[best];
+    if (e.item.priority > b.item.priority ||
+        (e.item.priority == b.item.priority && e.seq < b.seq)) {
+      best = i;
+    }
+  }
+  const QueueItem item = entries_[best].item;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+  return item;
+}
+
+bool BoundedQueue::remove(int request) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].item.request == request) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace numaio::fleet

@@ -142,6 +142,24 @@ NodeId OnlineScheduler::choose_node(const std::string& engine,
   return device_.attach_node();
 }
 
+NodeId OnlineScheduler::place_request(const std::string& engine,
+                                      int request_index, sim::Ns now) {
+  return choose_node(engine, request_index, now, 0);
+}
+
+void OnlineScheduler::note_start(NodeId node) {
+  ++active_[static_cast<std::size_t>(node)];
+}
+
+void OnlineScheduler::note_finish(NodeId node) {
+  assert(active_[static_cast<std::size_t>(node)] > 0);
+  --active_[static_cast<std::size_t>(node)];
+}
+
+int OnlineScheduler::active_on(NodeId node) const {
+  return active_[static_cast<std::size_t>(node)];
+}
+
 OnlineReport OnlineScheduler::run(std::span<const IoTask> tasks) {
   fabric::Machine& machine = host_.machine();
   sim::FluidSimulation fluid(machine.solver());

@@ -92,6 +92,22 @@ class OnlineScheduler {
 
   OnlineReport run(std::span<const IoTask> tasks);
 
+  // --- streaming placement (the fleet serving core drives these) ---------
+  // run() owns a whole batch; a fleet host instead asks for one placement
+  // at a time and reports starts/finishes itself, so the same class-aware,
+  // degraded-node-avoiding policy serves an open-ended request stream.
+
+  /// Picks a node for one request of the given engine ("write"/"read") at
+  /// time `now`, honouring the configured policy and steering around nodes
+  /// the attached injector reports degraded. Does not change load state.
+  NodeId place_request(const std::string& engine, int request_index,
+                       sim::Ns now);
+  /// Load-tracking hooks: a request started on / left `node`.
+  void note_start(NodeId node);
+  void note_finish(NodeId node);
+  /// Currently tracked in-flight count on `node`.
+  int active_on(NodeId node) const;
+
  private:
   NodeId choose_node(const std::string& engine, int task_index, sim::Ns now,
                      obs::SpanId span = 0);

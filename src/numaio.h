@@ -10,8 +10,8 @@
 // re-exported here is the supported surface.
 //
 // Layering (see src/CMakeLists.txt): obs -> simcore -> topo -> fabric ->
-// faults -> nm -> {mem, io} -> model. This header includes bottom-up so
-// the include order documents the dependency order.
+// faults -> nm -> {mem, io} -> model -> fleet. This header includes
+// bottom-up so the include order documents the dependency order.
 #pragma once
 
 // Observability: structured tracing, metrics registry, scoped timers,
@@ -88,3 +88,9 @@
 #include "model/scheduler.h"
 #include "model/validate.h"
 #include "model/workload.h"
+
+// Fleet serving core: admission control, overload shedding, per-host
+// circuit breakers, host-failure recovery.
+#include "fleet/admission.h"
+#include "fleet/breaker.h"
+#include "fleet/fleet.h"

@@ -14,6 +14,8 @@ const char* status_code_name(StatusCode code) {
       return "no-file";
     case StatusCode::kParse:
       return "parse";
+    case StatusCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

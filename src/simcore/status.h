@@ -19,16 +19,21 @@
 
 namespace numaio {
 
-/// Matches the CLI exit-code scheme byte for byte.
+/// Codes 0-4 match the CLI exit-code scheme byte for byte. Codes from
+/// kOverloaded up are library-level request dispositions (an admission
+/// rejection is a property of one request, not of the process); a tool
+/// whose *run* fails because of one maps it to kRuntime at exit.
 enum class StatusCode : int {
-  kOk = 0,       ///< Success.
-  kRuntime = 1,  ///< Internal/runtime failure.
-  kUsage = 2,    ///< Bad command line.
-  kNoFile = 3,   ///< File missing or unreadable.
-  kParse = 4,    ///< File readable but malformed.
+  kOk = 0,          ///< Success.
+  kRuntime = 1,     ///< Internal/runtime failure.
+  kUsage = 2,       ///< Bad command line.
+  kNoFile = 3,      ///< File missing or unreadable.
+  kParse = 4,       ///< File readable but malformed.
+  kOverloaded = 5,  ///< Admission rejected: quota or queue bound exceeded.
 };
 
-/// Stable lowercase name ("ok", "runtime", "usage", "no-file", "parse").
+/// Stable lowercase name ("ok", "runtime", "usage", "no-file", "parse",
+/// "overloaded").
 const char* status_code_name(StatusCode code);
 
 struct Status {

@@ -12,6 +12,7 @@
 
 #include "faults/fault_plan.h"
 #include "faults/injector.h"
+#include "simcore/status.h"
 #include "io/fio.h"
 #include "io/nic.h"
 #include "io/testbed.h"
@@ -265,6 +266,121 @@ TEST(FaultInjectorTest, SameSeedRunsAreByteIdentical) {
               b.streams[s].outcome.confidence)
         << s;
   }
+}
+
+// --- fault-plan file format (docs/FORMATS.md §6) -------------------------
+
+// Severity defaults to the FaultEvent default: crash/hang ignore it and
+// the renderer omits it for them, so a round-tripped event keeps the
+// default value.
+FaultEvent host_event(FaultKind kind, int host, sim::Ns start, sim::Ns dur,
+                      double sev = 0.5) {
+  FaultEvent e;
+  e.kind = kind;
+  e.host = host;
+  e.start = start;
+  e.duration = dur;
+  e.severity = sev;
+  return e;
+}
+
+TEST(FaultPlanFileTest, HostKindsRoundTripExactly) {
+  FaultPlan plan;
+  plan.add(host_event(FaultKind::kHostCrash, 1, 0.3e9, 0.25e9));
+  plan.add(host_event(FaultKind::kHostHang, 0, 0.123456789e9, 1.0e9 / 3.0));
+  plan.add(host_event(FaultKind::kHostRecover, 1, 0.55e9, 0.2e9, 0.5));
+  plan.add(mc_throttle(3, 1.0e9, 2.0e9, 0.75));
+  plan.add(link_degrade(0, 7, 0.5e9, 1.5e9, 0.9));
+
+  const std::string text = render_fault_plan(plan);
+  const FaultPlan parsed = parse_fault_plan(text);
+  ASSERT_EQ(parsed.events().size(), plan.events().size());
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    const FaultEvent& a = plan.events()[i];
+    const FaultEvent& b = parsed.events()[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.host, b.host) << i;
+    EXPECT_EQ(a.node, b.node) << i;
+    EXPECT_EQ(a.src, b.src) << i;
+    EXPECT_EQ(a.dst, b.dst) << i;
+    // Bit-exact: the renderer picks the shortest representation that
+    // strtod round-trips, so times and severities survive unchanged.
+    EXPECT_EQ(a.start, b.start) << i;
+    EXPECT_EQ(a.duration, b.duration) << i;
+    EXPECT_EQ(a.severity, b.severity) << i;
+  }
+  // Idempotent: render(parse(render(p))) == render(p).
+  EXPECT_EQ(render_fault_plan(parsed), text);
+}
+
+TEST(FaultPlanFileTest, ParserAcceptsCommentsSuffixesAndBlankLines) {
+  const FaultPlan plan = parse_fault_plan(
+      "# comment-only line\n"
+      "\n"
+      "host-crash host=1 start=1500ms dur=2s   # trailing comment\n"
+      "host-hang host=0 start=250000us dur=1000000000ns\n");
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kHostCrash);
+  EXPECT_DOUBLE_EQ(plan.events()[0].start, 1.5e9);
+  EXPECT_DOUBLE_EQ(plan.events()[0].duration, 2.0e9);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kHostHang);
+  EXPECT_DOUBLE_EQ(plan.events()[1].start, 0.25e9);
+  EXPECT_DOUBLE_EQ(plan.events()[1].duration, 1.0e9);
+}
+
+TEST(FaultPlanFileTest, DuplicateKeyIsAParseError) {
+  try {
+    parse_fault_plan("host-crash host=1 host=2 start=0.1 dur=0.2\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code, StatusCode::kParse);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(FaultPlanFileTest, MissingRequiredKeyAndUnknownKindAreParseErrors) {
+  EXPECT_THROW(parse_fault_plan("host-crash start=0.1 dur=0.2\n"),
+               StatusError);
+  EXPECT_THROW(parse_fault_plan("host-crash host=1 dur=0.2\n"), StatusError);
+  EXPECT_THROW(parse_fault_plan("host-melt host=1 start=0.1 dur=0.2\n"),
+               StatusError);
+  EXPECT_THROW(parse_fault_plan("host-crash host=one start=0.1 dur=0.2\n"),
+               StatusError);
+}
+
+TEST(FaultPlanFileTest, ZeroDurationParsesButFailsValidation) {
+  // The parser is syntax-only; the zero-length window is caught by
+  // validate(), exactly like a programmatically-built plan.
+  const FaultPlan plan =
+      parse_fault_plan("host-crash host=0 start=0.5 dur=0\n");
+  ASSERT_EQ(plan.events().size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].duration, 0.0);
+  EXPECT_THROW(plan.validate(8, 0, 4), std::invalid_argument);
+}
+
+TEST(FaultPlanFileTest, OverlappingHostWindowsValidateAndCompose) {
+  // Two overlapping crash windows on one host are legal; the host is down
+  // for their union.
+  FaultPlan plan;
+  plan.add(host_event(FaultKind::kHostCrash, 0, 1.0e9, 2.0e9));
+  plan.add(host_event(FaultKind::kHostCrash, 0, 2.0e9, 3.0e9));
+  EXPECT_NO_THROW(plan.validate(8, 0, 2));
+  const FaultPlan parsed = parse_fault_plan(render_fault_plan(plan));
+  io::Testbed tb = io::Testbed::dl585();
+  FaultInjector injector(tb.machine(), parsed);
+  EXPECT_FALSE(injector.host_crashed(0, 0.5e9));
+  EXPECT_TRUE(injector.host_crashed(0, 1.5e9));
+  EXPECT_TRUE(injector.host_crashed(0, 2.5e9));  // inside both windows
+  EXPECT_TRUE(injector.host_crashed(0, 4.5e9));  // second window only
+  EXPECT_FALSE(injector.host_crashed(0, 5.5e9));
+  EXPECT_FALSE(injector.host_crashed(1, 1.5e9));
+}
+
+TEST(FaultPlanFileTest, HostIndexRangeIsValidatesJob) {
+  const FaultPlan plan =
+      parse_fault_plan("host-recover host=5 start=0.1 dur=0.2 sev=0.5\n");
+  EXPECT_NO_THROW(plan.validate(8, 0, /*num_hosts=*/-1));  // lazy bound
+  EXPECT_THROW(plan.validate(8, 0, /*num_hosts=*/4), std::invalid_argument);
 }
 
 }  // namespace

@@ -8,6 +8,11 @@
 //                                        Algorithm 1 + classes (Fig 10)
 //   numaio_cli demo [--node N]           numademo policy table
 //   numaio_cli fio <jobfile>             run a fio-format job file
+//   numaio_cli fleet [--hosts N] [--tenants N] [--rate RPS] ...
+//                                        serve a multi-tenant request storm
+//                                        across N simulated hosts with
+//                                        admission control, shedding and a
+//                                        mid-run host crash (src/fleet)
 //   numaio_cli metrics [--in FILE]       metric registry / captured summary
 //   numaio_cli report [--trace-in FILE] [--format md|json] [--diff FILE]
 //                                        analyzed run report (critical path,
@@ -77,6 +82,16 @@ int usage() {
       "                                   inspect a saved host model\n"
       "  demo [--node N]                  numademo policy table\n"
       "  fio <jobfile>                    run a fio-format job file\n"
+      "  fleet [--hosts N] [--tenants N] [--rate RPS] [--seed S]\n"
+      "        [--duration SECONDS] [--queue-depth N] [--deadline-ms MS]\n"
+      "        [--plan FILE] [--print-plan]\n"
+      "                                   run the fleet serving core: a\n"
+      "                                   multi-tenant storm over N hosts\n"
+      "                                   with admission control, shedding,\n"
+      "                                   breakers and (by default) one\n"
+      "                                   host crashing mid-run; --plan\n"
+      "                                   replaces the default fault plan\n"
+      "                                   (docs/FORMATS.md section 6)\n"
       "  faults [--seed S] [--events N] [--jobfile FILE]\n"
       "                                   run I/O under an injected fault plan\n"
       "  replay <trace.csv>               replay a transfer trace\n"
@@ -135,7 +150,7 @@ std::string take_flag(std::vector<std::string>& args,
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] != flag) continue;
     if (i + 1 >= args.size()) {
-      usage_error(flag + " wants a file path");
+      usage_error(flag + " wants a value");
     }
     const std::string value = args[i + 1];
     args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
@@ -189,6 +204,52 @@ std::uint64_t u64_flag(const std::vector<std::string>& args,
                        const std::string& flag, std::uint64_t fallback) {
   const std::string text =
       flag_value(args, flag, std::to_string(fallback));
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + " wants an unsigned integer, got '" + text + "'");
+  }
+}
+
+// Consuming flag parsers for subcommands that reject unknown options:
+// each removes `flag VALUE` from args, so whatever remains afterwards is
+// by definition unrecognized and the command can fail loudly on it.
+
+int take_int(std::vector<std::string>& args, const std::string& flag,
+             int fallback) {
+  const std::string text = take_flag(args, flag);
+  if (text.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + " wants an integer, got '" + text + "'");
+  }
+}
+
+double take_double(std::vector<std::string>& args, const std::string& flag,
+                   double fallback) {
+  const std::string text = take_flag(args, flag);
+  if (text.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + " wants a number, got '" + text + "'");
+  }
+}
+
+std::uint64_t take_u64(std::vector<std::string>& args,
+                       const std::string& flag, std::uint64_t fallback) {
+  const std::string text = take_flag(args, flag);
+  if (text.empty()) return fallback;
   try {
     std::size_t pos = 0;
     const std::uint64_t v = std::stoull(text, &pos);
@@ -519,6 +580,55 @@ int cmd_faults(io::Testbed& tb, obs::Context& ctx,
   return 0;
 }
 
+/// The fleet serving core (src/fleet): a multi-tenant request storm over
+/// N simulated DL585 hosts. Strict flag parsing: anything left in `args`
+/// after the known flags are consumed is a usage error — this command is
+/// the template for scripting against exit codes, so typos must not
+/// silently become defaults.
+int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args) {
+  const int hosts = take_int(args, "--hosts", 4);
+  const int tenants = take_int(args, "--tenants", 3);
+  const double rate = take_double(args, "--rate", 900.0);
+  const std::uint64_t seed = take_u64(args, "--seed", 42);
+  const double duration_s = take_double(args, "--duration", 4.0);
+  const int queue_depth = take_int(args, "--queue-depth", 0);
+  const double deadline_ms = take_double(args, "--deadline-ms", 0.0);
+  const std::string plan_path = take_flag(args, "--plan");
+  const bool print_plan = take_switch(args, "--print-plan");
+  if (!args.empty()) {
+    usage_error("fleet: unknown option '" + args.front() + "'");
+  }
+  if (hosts < 1) usage_error("--hosts wants a positive count");
+  if (tenants < 1) usage_error("--tenants wants a positive count");
+  if (rate <= 0.0) usage_error("--rate wants a positive req/s");
+  if (duration_s <= 0.0) usage_error("--duration wants positive seconds");
+  if (deadline_ms < 0.0) usage_error("--deadline-ms wants >= 0");
+
+  fleet::StormScenario storm =
+      fleet::make_storm(hosts, tenants, rate, seed, duration_s * 1e9);
+  if (queue_depth > 0) storm.config.queue_depth = queue_depth;
+  if (deadline_ms > 0.0) storm.config.deadline = deadline_ms * 1e6;
+  if (!plan_path.empty()) {
+    // Replaces the built-in crash/recover schedule; exit 3 when the file
+    // is unreadable, 4 when it does not parse (docs/FORMATS.md section 6).
+    storm.plan = faults::parse_fault_plan(read_file(plan_path));
+  }
+  if (print_plan) {
+    std::printf("fault plan:\n%s\n", storm.plan.to_string().c_str());
+  }
+
+  fleet::FleetSim sim(storm.config, storm.tenants);
+  sim.set_fault_plan(std::move(storm.plan));
+  sim.set_observer(&ctx);
+  const fleet::FleetReport report = sim.run();
+  std::printf(
+      "fleet: %d hosts, %d tenants, %.0f req/s offered, seed %llu, "
+      "%.1f s horizon\n\n%s",
+      hosts, tenants, rate, static_cast<unsigned long long>(seed),
+      duration_s, report.summary().c_str());
+  return 0;
+}
+
 /// The seeded workload behind the default `report` run: a clean
 /// characterization (the paper's class tables) followed by the same
 /// degraded rdma-read job `faults` runs, so the report has a critical
@@ -725,6 +835,8 @@ int dispatch(const std::string& cmd, std::vector<std::string>& args,
   if (cmd == "classes") return cmd_classes(args);
   if (cmd == "export") return cmd_export(args);
   if (cmd == "synth-trace") return cmd_synth_trace(args);
+  // `fleet` builds its own hosts (one testbed per fleet host).
+  if (cmd == "fleet") return cmd_fleet(ctx, args);
 
   io::Testbed tb = io::Testbed::dl585();
   if (observing) tb.machine().solver().set_observer(&ctx);
