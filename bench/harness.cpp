@@ -19,6 +19,12 @@
 // directions: these are deterministic, drift means behavior changed), or
 // a *_stall_frac metric moved past --stall-tol (absolute). --skip-wall
 // drops the wall check for noisy shared CI runners; run_all.sh uses it.
+// Two suffix rules refine the metric gate: *_info metrics (host facts
+// like core counts) are recorded but never gated, and *_speedup metrics
+// (wall-time ratios, e.g. solver_storm_mt's threads_speedup) are gated
+// against an absolute --speedup-floor (default 3.0) instead of the
+// relative tolerance — and only when the current host has at least
+// threads_info hardware cores (--skip-speedup drops the rule entirely).
 // `perturb` rescales every wall_ms so CI can prove the gate actually
 // fails on an injected slowdown (see tools/CMakeLists.txt).
 #include <chrono>
@@ -31,6 +37,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "numaio.h"
@@ -466,6 +473,117 @@ BenchResult bench_solver_storm() {
   });
 }
 
+/// Parallel-solver speedup bench: 16 resource-disjoint shards (each a
+/// spanning flow plus ~40 churned flows) in ONE partitioned solver, every
+/// shard mutated each round so all 16 components re-solve per solve().
+/// The identical seeded churn runs twice — SolveOptions{threads=1} and
+/// {threads=8} — and `threads_speedup` is the wall ratio, the headline
+/// number of the parallel engine. The determinism contract rides along:
+/// `mt_checksum_delta` pins the two runs' probe checksums bit-identical
+/// (gated at 0), and the component counters pin the decomposition shape.
+/// `*_info` metrics (hardware cores, requested threads) are recorded but
+/// never gated; compare() floor-gates `*_speedup` only when the current
+/// host actually has `threads_info` cores — a laptop or 1-core CI box
+/// cannot measure parallel speedup, and a wall-noise relative gate on a
+/// ratio of wall times would be meaningless anyway.
+BenchResult bench_solver_storm_mt() {
+  using namespace numaio::sim;
+  constexpr int kShards = 16;
+  constexpr int kResPerShard = 6;
+  constexpr int kFlowsPerShard = 40;
+  constexpr int kRounds = 200;
+  constexpr int kThreads = 8;
+
+  struct RunOut {
+    double wall_ms = 0.0;
+    double checksum = 0.0;
+    double agg = 0.0;
+    FlowSolver::SolveStats stats;
+  };
+  const auto run_churn = [&](int threads) {
+    SolveOptions options;
+    options.threads = threads;
+    options.partition = true;
+    FlowSolver solver(options);
+    Rng rng(0x3417);
+    std::vector<std::vector<ResourceId>> res(kShards);
+    std::vector<std::vector<FlowId>> live(kShards);
+    auto make_flow = [&](int s) {
+      const auto n = 2 + rng.below(2);
+      std::vector<Usage> usages;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        usages.push_back(
+            {res[static_cast<std::size_t>(s)][rng.below(kResPerShard)],
+             rng.uniform(0.2, 1.5)});
+      }
+      const Gbps cap =
+          rng.uniform() < 0.4 ? rng.uniform(2.0, 18.0) : kUnlimited;
+      return solver.add_flow(std::move(usages), cap);
+    };
+    for (int s = 0; s < kShards; ++s) {
+      for (int r = 0; r < kResPerShard; ++r) {
+        res[static_cast<std::size_t>(s)].push_back(
+            solver.add_resource("r", rng.uniform(15.0, 45.0)));
+      }
+      // The spanning flow pins the shard to one component across churn,
+      // so the decomposition stays exactly kShards components.
+      std::vector<Usage> span;
+      for (ResourceId r : res[static_cast<std::size_t>(s)]) {
+        span.push_back({r, 0.1});
+      }
+      live[static_cast<std::size_t>(s)].push_back(
+          solver.add_flow(std::move(span), 1.0));
+      for (int f = 0; f < kFlowsPerShard; ++f) {
+        live[static_cast<std::size_t>(s)].push_back(make_flow(s));
+      }
+    }
+    RunOut out;
+    const auto start = Clock::now();  // setup excluded: identical anyway
+    for (int round = 0; round < kRounds; ++round) {
+      for (int s = 0; s < kShards; ++s) {
+        auto& flows = live[static_cast<std::size_t>(s)];
+        // Never the spanning flow at index 0.
+        const std::size_t victim = 1 + rng.below(flows.size() - 1);
+        solver.remove_flow(flows[victim]);
+        flows[victim] = make_flow(s);
+        if (round % 16 == s) {
+          solver.set_capacity(
+              res[static_cast<std::size_t>(s)][rng.below(kResPerShard)],
+              rng.uniform(15.0, 45.0));
+        }
+      }
+      const auto& rates = solver.solve();
+      const auto& probe = live[static_cast<std::size_t>(round % kShards)];
+      out.checksum += rates[probe[static_cast<std::size_t>(round) %
+                                  probe.size()]];
+    }
+    out.agg = solver.aggregate_rate();
+    out.wall_ms = ms_since(start);
+    out.stats = solver.stats();
+    return out;
+  };
+
+  BenchResult r;
+  const auto start = Clock::now();
+  const RunOut t1 = run_churn(1);
+  const RunOut t8 = run_churn(kThreads);
+  r.wall_ms = ms_since(start);
+  r.metrics = std::map<std::string, double>{
+      {"events", static_cast<double>(kRounds * kShards)},
+      {"rate_checksum_gbps", t1.checksum},
+      {"mt_checksum_delta", std::fabs(t1.checksum - t8.checksum)},
+      {"agg_final_gbps", t1.agg},
+      {"components", static_cast<double>(t8.stats.components)},
+      {"largest_component_flows",
+       static_cast<double>(t8.stats.largest_component_flows)},
+      {"parallel_batches", static_cast<double>(t8.stats.parallel_batches)},
+      {"threads_speedup", t8.wall_ms > 0.0 ? t1.wall_ms / t8.wall_ms : 0.0},
+      {"threads_info", static_cast<double>(kThreads)},
+      {"hw_concurrency_info",
+       static_cast<double>(std::thread::hardware_concurrency())}};
+  return r;
+}
+
 /// Fluid-simulation replay: staggered transfers over a 4-node fabric with
 /// completion-spawned follow-ups, capacity control events, no-op watchdog
 /// ticks (the cache-hit path across control points that touch nothing)
@@ -584,6 +702,7 @@ BenchSet run_benches(int reps) {
   out["multiuser_nic_ssd"] = bench_multiuser(tb);
   out["trace_stream_1m"] = bench_trace_stream();
   out["solver_storm"] = bench_solver_storm();
+  out["solver_storm_mt"] = bench_solver_storm_mt();
   out["fluid_replay"] = bench_fluid_replay();
   out["fleet_storm"] = bench_fleet_storm();
   return out;
@@ -593,11 +712,19 @@ BenchSet run_benches(int reps) {
 // compare / perturb.
 
 struct CompareOptions {
-  double wall_tol = 0.20;    ///< Relative; slowdowns only.
-  double metric_tol = 0.01;  ///< Relative, either direction.
-  double stall_tol = 0.02;   ///< Absolute, for *_stall_frac metrics.
+  double wall_tol = 0.20;      ///< Relative; slowdowns only.
+  double metric_tol = 0.01;    ///< Relative, either direction.
+  double stall_tol = 0.02;     ///< Absolute, for *_stall_frac metrics.
+  double speedup_floor = 3.0;  ///< Minimum for *_speedup metrics.
   bool skip_wall = false;
+  bool skip_speedup = false;   ///< Drop the *_speedup floor gate.
 };
+
+double metric_or(const BenchResult& r, const std::string& name,
+                 double fallback) {
+  const auto it = r.metrics.find(name);
+  return it == r.metrics.end() ? fallback : it->second;
+}
 
 bool ends_with(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
@@ -640,6 +767,32 @@ int compare(const BenchSet& base, const BenchSet& current,
         continue;
       }
       const double cur_value = mit->second;
+      // *_info metrics are facts about the measuring host (core count,
+      // requested threads): recorded for context, never gated — the
+      // baseline may have been refreshed on different hardware.
+      if (ends_with(metric, "_info")) continue;
+      // *_speedup metrics are ratios of two wall times: a relative gate
+      // against the baseline would gate noise on noise. They get an
+      // absolute floor instead, and only when the current host has the
+      // cores the bench asked for (threads_info) — a smaller box cannot
+      // measure parallel speedup, so the gate would only report the
+      // host's size, not a regression.
+      if (ends_with(metric, "_speedup")) {
+        const double hw = metric_or(c, "hw_concurrency_info", 0.0);
+        const double want = metric_or(c, "threads_info", 0.0);
+        if (options.skip_speedup || hw < want) {
+          std::printf("skip %-26s %s %.2fx (host has %.0f of %.0f cores)\n",
+                      name.c_str(), metric.c_str(), cur_value, hw, want);
+        } else if (cur_value < options.speedup_floor) {
+          std::printf("FAIL %-26s %s %.2fx < %.2fx floor\n", name.c_str(),
+                      metric.c_str(), cur_value, options.speedup_floor);
+          ++failures;
+        } else {
+          std::printf("ok   %-26s %s %.2fx (floor %.2fx)\n", name.c_str(),
+                      metric.c_str(), cur_value, options.speedup_floor);
+        }
+        continue;
+      }
       bool bad = false;
       if (ends_with(metric, "stall_frac")) {
         bad = std::fabs(cur_value - base_value) > options.stall_tol;
@@ -716,6 +869,7 @@ int usage() {
       "usage: bench_harness run [--out FILE] [--reps N]\n"
       "       bench_harness compare BASELINE CURRENT [--wall-tol F]\n"
       "               [--metric-tol F] [--stall-tol F] [--skip-wall]\n"
+      "               [--speedup-floor F] [--skip-speedup]\n"
       "       bench_harness perturb IN OUT --wall-scale F\n");
   return 2;
 }
@@ -753,7 +907,10 @@ int main(int argc, char** argv) {
           std::stod(flag_value(args, "--metric-tol", "0.01"));
       options.stall_tol =
           std::stod(flag_value(args, "--stall-tol", "0.02"));
+      options.speedup_floor =
+          std::stod(flag_value(args, "--speedup-floor", "3.0"));
       options.skip_wall = take_switch(args, "--skip-wall");
+      options.skip_speedup = take_switch(args, "--skip-speedup");
       if (args.size() != 2) return usage();
       return compare(load_bench_json(args[0]), load_bench_json(args[1]),
                      options);

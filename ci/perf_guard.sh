@@ -10,7 +10,12 @@
 #
 #   PERF_GUARD_FLAGS   compare flags, default "--skip-wall". Set to ""
 #                      (or "--wall-tol 0.20") on a quiet dedicated box to
-#                      gate wall time too.
+#                      gate wall time too. The solver_storm_mt bench's
+#                      threads_speedup metric is floor-gated (>= 3x at 8
+#                      threads) whenever the runner has >= 8 hardware
+#                      cores and skipped otherwise; add "--skip-speedup"
+#                      to drop that rule, or "--speedup-floor F" to tune
+#                      it.
 #   PERF_GUARD_CURRENT use an existing results file instead of running
 #                      the harness — how the CTest self-test proves the
 #                      gate fails on an injected slowdown.

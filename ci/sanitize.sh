@@ -22,10 +22,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # stress for the CSR arena / free-list / incidence bookkeeping (including
 # bit-identical churn vs the reference solver), exactly the code where an
 # out-of-bounds arena index or stale incidence back-pointer would hide.
+# The parallel suites ride along: component buckets index the same arena.
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$BUILD_DIR/tests/numaio_tests" \
-  --gtest_filter='*SolverProperty*:FlowSolverCache.*:FlowSolverFreeList.*:FlowSolverCapacityFactor.*:FlowSolverScratch.*'
+  --gtest_filter='*SolverProperty*:FlowSolverCache.*:FlowSolverFreeList.*:FlowSolverCapacityFactor.*:FlowSolverScratch.*:FlowSolverParallel.*:FlowSolverStatus.*:ThreadPool.*'
 
 # The fleet serving suite also runs standalone: its runtime is the one
 # place where event-engine callbacks hold (id, generation) handles across
@@ -43,3 +44,25 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 echo "sanitize: all tests passed under ASan+UBSan"
+
+# ThreadSanitizer pass over the parallel solver engine. TSan cannot be
+# combined with ASan, so it gets its own tree; the filter covers the
+# ThreadPool handshake and every multi-threaded solve path (sharded
+# churn, thread-count invariance, traced fio runs at 8 threads) — the
+# code where a missing happens-before edge would surface as a data race
+# on rates_, the per-worker scratch, or the stats counters.
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g"
+
+cmake -B "$TSAN_BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target numaio_tests
+
+TSAN_OPTIONS="halt_on_error=1" \
+  "$TSAN_BUILD_DIR/tests/numaio_tests" \
+  --gtest_filter='ThreadPool.*:*ParallelSolverProperty*:FlowSolverParallel.*'
+
+echo "sanitize: parallel solver is clean under TSan"

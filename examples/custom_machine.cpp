@@ -31,7 +31,12 @@ int main() {
   std::printf("%s\n", nm::render_interconnect(topo).c_str());
 
   // 2. Derive the fabric character from the wiring (no calibration data).
-  fabric::Machine machine{fabric::derived_profile(topo)};
+  //    SolveOptions picks the contention solver's execution engine; the
+  //    partitioned engine solves disconnected flow groups independently
+  //    (and in parallel when threads > 1) with bit-identical rates.
+  sim::SolveOptions solve;
+  solve.partition = true;
+  fabric::Machine machine{fabric::derived_profile(topo), solve};
   nm::Host host{machine};
 
   // 3. Run the methodology against the I/O-hub node.

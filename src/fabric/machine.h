@@ -19,7 +19,11 @@ namespace numaio::fabric {
 
 class Machine {
  public:
-  explicit Machine(HostProfile profile);
+  /// `solve` configures the owned solver's execution engine (threads /
+  /// component partitioning; simcore/solve_options.h). The default is
+  /// the serial monolithic solver — bit-identical to the historical
+  /// allocation.
+  explicit Machine(HostProfile profile, const sim::SolveOptions& solve = {});
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -63,6 +63,8 @@ struct FaultEvent {
   int flaps = 1;
 };
 
+/// Standard config aggregate (DESIGN.md §11 "Config aggregates"), same
+/// shape as mem::StreamConfig / io::StreamSpec / sim::SolveOptions.
 struct RandomPlanConfig {
   /// Seed and host shape for the config-aggregate random() overload; the
   /// deprecated positional overload overwrites these from its arguments.

@@ -162,7 +162,7 @@ class FleetRuntime {
     hosts_.reserve(static_cast<std::size_t>(config_.num_hosts));
     for (int h = 0; h < config_.num_hosts; ++h) {
       hosts_.emplace_back(
-          std::make_unique<io::Testbed>(io::Testbed::dl585()),
+          std::make_unique<io::Testbed>(io::Testbed::dl585(config_.solve)),
           config_.breaker);
     }
     io::Testbed& tb0 = *hosts_[0].tb;

@@ -43,6 +43,7 @@
 #include "fleet/breaker.h"
 #include "obs/obs.h"
 #include "simcore/retry.h"
+#include "simcore/solve_options.h"
 #include "simcore/status.h"
 #include "simcore/units.h"
 
@@ -77,6 +78,11 @@ struct FleetConfig {
   /// Arrivals stop here; the run then drains (every pending request
   /// completes or hits its deadline).
   sim::Ns horizon = 10.0e9;
+  /// Solver execution engine for every host's machine (threads / component
+  /// partitioning; simcore/solve_options.h). The fleet owns its testbeds,
+  /// so unlike model::OnlineConfig this is a concrete value: the default
+  /// keeps the serial monolithic solver.
+  sim::SolveOptions solve{};
 };
 
 struct TenantStats {

@@ -122,8 +122,10 @@ struct StreamShape {
   double tau = 0.0;                ///< Engine seconds-per-bit weight used.
 };
 
-/// Config-aggregate description of one stream; the preferred shape_stream
-/// entry point. When `placements` is empty the buffer lives whole on
+/// Config-aggregate description of one stream (DESIGN.md §11 "Config
+/// aggregates", same shape as mem::StreamConfig / faults::RandomPlanConfig
+/// / sim::SolveOptions); the preferred shape_stream entry point. When
+/// `placements` is empty the buffer lives whole on
 /// `mem_node`; otherwise it spans the listed (node, bytes) shares
 /// (interleaved policy) and DMA traffic splits across the per-node paths
 /// in proportion to the page shares, with the engine occupancy / window

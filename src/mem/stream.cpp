@@ -50,7 +50,7 @@ double kind_factor(StreamKind kind) {
 
 }  // namespace
 
-StreamBenchmark::StreamBenchmark(nm::Host& host, StreamConfig config)
+StreamBenchmark::StreamBenchmark(nm::Host& host, const StreamConfig& config)
     : host_(host), config_(config) {
   assert(config_.array_elems > 0);
   assert(config_.repetitions > 0);

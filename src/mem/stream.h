@@ -23,6 +23,10 @@ enum class StreamKind { kCopy, kScale, kAdd, kTriad };
 
 std::string to_string(StreamKind kind);
 
+/// Standard config aggregate (DESIGN.md §11 "Config aggregates"): plain
+/// struct, in-struct field defaults, passed const& with a `= {}` default
+/// so call sites name only the knobs they change. io::StreamSpec,
+/// faults::RandomPlanConfig and sim::SolveOptions share the shape.
 struct StreamConfig {
   StreamKind kind = StreamKind::kCopy;
   /// Array length in 8-byte elements. Default follows the paper: the LLC is
@@ -55,7 +59,7 @@ struct StreamResult {
 
 class StreamBenchmark {
  public:
-  StreamBenchmark(nm::Host& host, StreamConfig config);
+  explicit StreamBenchmark(nm::Host& host, const StreamConfig& config = {});
 
   /// Runs the benchmark with threads pinned to cpu_node and all arrays
   /// allocated on mem_node (the numactl binding of §IV-A).

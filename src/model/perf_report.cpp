@@ -96,7 +96,20 @@ RunReport build_run_report(std::string command, const HostModel* model,
     report.model = *model;
   }
   report.analysis = obs::analyze_stream(source);
-  if (metrics != nullptr) report.counters = metrics->counter_values();
+  if (metrics != nullptr) {
+    report.counters = metrics->counter_values();
+    // Gauges ride in the same table (the partitioned solver reports its
+    // component shape — solver.components & co — as gauges); re-sort so
+    // the merged list stays name-ordered for the renderers and the diff.
+    const auto gauges = metrics->gauge_values();
+    report.counters.insert(report.counters.end(), gauges.begin(),
+                           gauges.end());
+    std::sort(report.counters.begin(), report.counters.end(),
+              [](const obs::MetricsRegistry::NamedValue& a,
+                 const obs::MetricsRegistry::NamedValue& b) {
+                return a.name < b.name;
+              });
+  }
   return report;
 }
 

@@ -36,9 +36,11 @@ struct RunReport {
   bool has_model = false;
   HostModel model;  ///< Valid when has_model.
   obs::TraceAnalysis analysis;
-  /// Deterministic counters from the run's registry, name-sorted.
-  /// Histograms are deliberately excluded: solver.solve_us buckets wall
-  /// time and would break byte-determinism.
+  /// Deterministic counters AND gauges from the run's registry, merged
+  /// name-sorted into one table (gauges carry the partitioned solver's
+  /// component shape, solver.components & co). Histograms are
+  /// deliberately excluded: solver.solve_us buckets wall time and would
+  /// break byte-determinism.
   std::vector<obs::MetricsRegistry::NamedValue> counters;
 };
 

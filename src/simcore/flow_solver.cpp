@@ -7,6 +7,8 @@
 #include <limits>
 #include <utility>
 
+#include "simcore/thread_pool.h"
+
 namespace numaio::sim {
 
 namespace {
@@ -16,33 +18,157 @@ namespace {
 // residual/weight ratio.
 constexpr double kWeightEps = 1e-9;
 constexpr double kEps = 1e-12;
+// Removal churn tolerated before solve() re-derives components from the
+// live flows: union-find can only merge, so without periodic rebuilds a
+// long-lived solver would congeal into one stale mega-component and the
+// partitioning would stop paying for itself.
+constexpr std::size_t kRebuildMinRemovals = 16;
 }  // namespace
+
+/// Per-worker water-filling scratch. alignas(64) puts each worker's hot
+/// cursors (stamp, partial counters, the vector headers) on its own cache
+/// line; the vectors' payloads are separate heap blocks already, so two
+/// workers solving components concurrently never write the same line.
+struct alignas(64) FlowSolver::SolveScratch {
+  std::vector<FlowId> worklist;     ///< Monolithic-mode flow list.
+  std::vector<ResourceId> touched;  ///< Resources with live weight.
+  std::vector<double> weight;
+  std::vector<Gbps> residual;
+  std::vector<std::uint64_t> touch_stamp;  ///< Per resource.
+  std::vector<std::uint64_t> cand_stamp;   ///< Per flow slot.
+  std::uint64_t stamp = 0;
+  // Per-solve partial counters, summed into stats_ after the join so
+  // workers never contend on the shared SolveStats block.
+  std::uint64_t rounds = 0;
+  std::uint64_t flows_scanned = 0;
+  std::uint64_t resource_touches = 0;
+  std::uint64_t scratch_grows = 0;
+};
+
+FlowSolver::FlowSolver(const SolveOptions& options)
+    : options_(options.normalized()) {
+  scratch_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int w = 0; w < options_.threads; ++w) {
+    scratch_.push_back(std::make_unique<SolveScratch>());
+  }
+}
+
+FlowSolver::~FlowSolver() = default;
+FlowSolver::FlowSolver(FlowSolver&&) noexcept = default;
+FlowSolver& FlowSolver::operator=(FlowSolver&&) noexcept = default;
+
+void FlowSolver::set_options(const SolveOptions& options) {
+  const SolveOptions next = options.normalized();
+  if (next == options_) return;
+  const bool was_partition = options_.partition;
+  options_ = next;
+  pool_.reset();  // lazily recreated at the new width
+  while (scratch_.size() < static_cast<std::size_t>(options_.threads)) {
+    scratch_.push_back(std::make_unique<SolveScratch>());
+  }
+  if (options_.partition && !was_partition) {
+    // Components were not maintained while partitioning was off; derive
+    // them from the live flows at the next solve.
+    dsu_parent_.resize(resources_.size());
+    dsu_size_.resize(resources_.size());
+    comp_dirty_.assign(resources_.size(), 0);
+    dirty_roots_.clear();
+    need_rebuild_ = true;
+  }
+  // A partition toggle changes the floating-point association of the
+  // result, and any real change retires the current execution plan, so
+  // the cached rates cannot be reused.
+  bump_epoch();
+  all_dirty_ = true;
+  detached_dirty_ = true;
+}
 
 void FlowSolver::bump_epoch() {
   ++epoch_;
   cache_valid_ = false;
 }
 
-void FlowSolver::refresh_capacity(Resource& r) {
+void FlowSolver::refresh_capacity(ResourceId id) {
+  Resource& r = resources_[id];
   // factor == 1.0 bypasses the multiply so an unscaled resource's
   // effective capacity is bit-identical to its base.
   const Gbps eff = (r.factor == 1.0) ? r.base : r.base * r.factor;
   if (eff != r.capacity) {
     r.capacity = eff;
     bump_epoch();
+    if (options_.partition) mark_dirty(find_root(id));
   }
 }
 
 template <class T>
-void FlowSolver::ensure_size(std::vector<T>& v, std::size_t n) const {
-  if (v.capacity() < n) ++stats_.scratch_grows;
+void FlowSolver::ensure_size(std::vector<T>& v, std::size_t n,
+                             std::uint64_t& grows) {
+  if (v.capacity() < n) ++grows;
   v.resize(n);
+}
+
+ResourceId FlowSolver::find_root(ResourceId r) const {
+  while (dsu_parent_[r] != r) {
+    dsu_parent_[r] = dsu_parent_[dsu_parent_[r]];  // path halving
+    r = dsu_parent_[r];
+  }
+  return r;
+}
+
+ResourceId FlowSolver::unite(ResourceId a, ResourceId b) const {
+  a = find_root(a);
+  b = find_root(b);
+  if (a == b) return a;
+  // Size-major, lowest-id-minor tie break: the surviving root is a pure
+  // function of the union sequence, never of memory layout.
+  if (dsu_size_[a] < dsu_size_[b] ||
+      (dsu_size_[a] == dsu_size_[b] && b < a)) {
+    std::swap(a, b);
+  }
+  dsu_parent_[b] = a;
+  dsu_size_[a] += dsu_size_[b];
+  // A dirty mark on the absorbed root must survive on the merged root.
+  if (comp_dirty_[b] != 0) mark_dirty(a);
+  return a;
+}
+
+void FlowSolver::mark_dirty(ResourceId root) const {
+  if (comp_dirty_[root] == 0) {
+    comp_dirty_[root] = 1;
+    dirty_roots_.push_back(root);
+  }
+}
+
+void FlowSolver::rebuild_components() const {
+  for (ResourceId r = 0; r < resources_.size(); ++r) {
+    dsu_parent_[r] = r;
+    dsu_size_[r] = 1;
+  }
+  for (ResourceId r : dirty_roots_) comp_dirty_[r] = 0;
+  dirty_roots_.clear();
+  for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) {
+    const FlowMeta& m = flows_[f];
+    for (std::size_t i = m.begin + 1; i < m.begin + m.count; ++i) {
+      unite(usage_resource_[m.begin], usage_resource_[i]);
+    }
+  }
+  removed_since_rebuild_ = 0;
+  need_rebuild_ = false;
+  all_dirty_ = true;
+  detached_dirty_ = true;
+  ++stats_.component_rebuilds;
+  if (obs_ != nullptr) obs_->metrics.add(m_rebuilds_);
 }
 
 ResourceId FlowSolver::add_resource(std::string name, Gbps capacity) {
   assert(capacity >= 0.0);
   resources_.push_back(Resource{std::move(name), capacity, 1.0, capacity});
   incidence_.emplace_back();
+  if (options_.partition) {
+    dsu_parent_.push_back(resources_.size() - 1);
+    dsu_size_.push_back(1);
+    comp_dirty_.push_back(0);
+  }
   bump_epoch();
   return resources_.size() - 1;
 }
@@ -51,14 +177,14 @@ void FlowSolver::set_capacity(ResourceId id, Gbps capacity) {
   assert(id < resources_.size());
   assert(capacity >= 0.0);
   resources_[id].base = capacity;
-  refresh_capacity(resources_[id]);
+  refresh_capacity(id);
 }
 
 void FlowSolver::set_capacity_factor(ResourceId id, double factor) {
   assert(id < resources_.size());
   assert(std::isfinite(factor) && factor > 0.0);
   resources_[id].factor = factor;
-  refresh_capacity(resources_[id]);
+  refresh_capacity(id);
 }
 
 double FlowSolver::capacity_factor(ResourceId id) const {
@@ -141,6 +267,20 @@ FlowId FlowSolver::add_flow(std::vector<Usage> usages, Gbps rate_cap) {
     incidence_[r].push_back(IncidenceEntry{slot, idx});
   }
 
+  if (options_.partition) {
+    if (n == 0) {
+      detached_dirty_ = true;
+    } else {
+      // Union the flow's resources into one component and dirty it: the
+      // new flow changes every rate in the (merged) component.
+      ResourceId root = find_root(usage_resource_[m.begin]);
+      for (std::size_t i = 1; i < n; ++i) {
+        root = unite(root, usage_resource_[m.begin + i]);
+      }
+      mark_dirty(root);
+    }
+  }
+
   ++live_flows_;
   bump_epoch();
   return slot;
@@ -154,10 +294,22 @@ FlowId FlowSolver::add_flow_over(const std::vector<ResourceId>& path,
   return add_flow(std::move(usages), rate_cap);
 }
 
-void FlowSolver::remove_flow(FlowId id) {
-  assert(id < flows_.size());
+Status FlowSolver::remove_flow(FlowId id) {
+  if (id >= flows_.size() || !flows_[id].alive) {
+    return Status{StatusCode::kUsage,
+                  "remove_flow: no live flow #" + std::to_string(id)};
+  }
   FlowMeta& m = flows_[id];
-  assert(m.alive);
+  if (options_.partition) {
+    if (m.count > 0) {
+      mark_dirty(find_root(usage_resource_[m.begin]));
+    } else {
+      detached_dirty_ = true;
+    }
+    // The union-find cannot split; count removals so solve() knows when
+    // the component map is stale enough to rebuild.
+    ++removed_since_rebuild_;
+  }
 
   // Drop this flow's incidence entries; the back entry swapped into the
   // hole has its arena cell's position pointer fixed up.
@@ -189,16 +341,28 @@ void FlowSolver::remove_flow(FlowId id) {
   --live_flows_;
   assert(live_flows_ + free_slots_.size() == flows_.size());
   bump_epoch();
+  return Status{};
 }
 
-void FlowSolver::set_flow_cap(FlowId id, Gbps rate_cap) {
-  assert(id < flows_.size());
-  assert(flows_[id].alive);
+Status FlowSolver::set_flow_cap(FlowId id, Gbps rate_cap) {
+  if (id >= flows_.size() || !flows_[id].alive) {
+    return Status{StatusCode::kUsage,
+                  "set_flow_cap: no live flow #" + std::to_string(id)};
+  }
   assert(rate_cap >= 0.0);
   if (flows_[id].cap != rate_cap) {
     flows_[id].cap = rate_cap;
+    if (options_.partition) {
+      const FlowMeta& m = flows_[id];
+      if (m.count > 0) {
+        mark_dirty(find_root(usage_resource_[m.begin]));
+      } else {
+        detached_dirty_ = true;
+      }
+    }
     bump_epoch();
   }
+  return Status{};
 }
 
 Gbps FlowSolver::flow_cap(FlowId id) const {
@@ -224,6 +388,10 @@ void FlowSolver::set_observer(obs::Context* obs) {
   m_cache_misses_ = obs_->metrics.counter("solver.cache_misses");
   m_flows_scanned_ = obs_->metrics.counter("solver.flows_scanned");
   m_touches_ = obs_->metrics.counter("solver.resource_touches");
+  m_components_ = obs_->metrics.gauge("solver.components");
+  m_largest_comp_ = obs_->metrics.gauge("solver.largest_component_flows");
+  m_parallel_batches_ = obs_->metrics.counter("solver.parallel_batches");
+  m_rebuilds_ = obs_->metrics.counter("solver.component_rebuilds");
 }
 
 const std::vector<Gbps>& FlowSolver::solve() const {
@@ -259,63 +427,250 @@ void FlowSolver::solve_uncached() const {
   }
 #endif
 
-  ensure_size(rates_, flows_.size());
+  ensure_size(rates_, flows_.size(), stats_.scratch_grows);
+  if (options_.partition) {
+    solve_partitioned();
+    return;
+  }
+
   std::fill(rates_.begin(), rates_.end(), 0.0);
   if (live_flows_ == 0) return;
 
-  ensure_size(weight_, resources_.size());
-  ensure_size(residual_, resources_.size());
-  ensure_size(touch_stamp_, resources_.size());
-  ensure_size(cand_stamp_, flows_.size());
-  if (worklist_.capacity() < live_flows_) {
-    ++stats_.scratch_grows;
-    worklist_.reserve(live_flows_);
+  SolveScratch& s = *scratch_[0];
+  s.rounds = 0;
+  s.flows_scanned = 0;
+  s.resource_touches = 0;
+  s.scratch_grows = 0;
+  ensure_size(s.weight, resources_.size(), s.scratch_grows);
+  ensure_size(s.residual, resources_.size(), s.scratch_grows);
+  ensure_size(s.touch_stamp, resources_.size(), s.scratch_grows);
+  ensure_size(s.cand_stamp, flows_.size(), s.scratch_grows);
+  if (s.worklist.capacity() < live_flows_) {
+    ++s.scratch_grows;
+    s.worklist.reserve(live_flows_);
   }
-  if (touched_.capacity() < resources_.size()) {
-    ++stats_.scratch_grows;
-    touched_.reserve(resources_.size());
+  if (s.touched.capacity() < resources_.size()) {
+    ++s.scratch_grows;
+    s.touched.reserve(resources_.size());
   }
 
-  // Build the worklist (insertion order == the old ascending-id order)
-  // and accumulate per-resource weights in the same order the old solver
-  // did, collecting the touched-resource set on the way. weight_ and
-  // residual_ are initialized lazily at first touch via the stamp, so an
-  // untouched resource costs nothing.
-  const std::uint64_t touch_token = ++stamp_;
-  worklist_.clear();
-  touched_.clear();
+  // One span holding every live flow in insertion order (== the old
+  // ascending-id order): solve_span then reproduces the historical
+  // floating-point operation sequence exactly.
+  s.worklist.clear();
   for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) {
-    worklist_.push_back(f);
+    s.worklist.push_back(f);
+  }
+  solve_span(s.worklist.data(), s.worklist.size(), s);
+
+  stats_.rounds += s.rounds;
+  stats_.flows_scanned += s.flows_scanned;
+  stats_.resource_touches += s.resource_touches;
+  stats_.scratch_grows += s.scratch_grows;
+  if (obs_ != nullptr) {
+    obs_->metrics.add(m_rounds_, static_cast<double>(s.rounds));
+    obs_->metrics.observe(m_rounds_hist_, static_cast<double>(s.rounds));
+    obs_->metrics.add(m_flows_scanned_,
+                      static_cast<double>(s.flows_scanned));
+    obs_->metrics.add(m_touches_,
+                      static_cast<double>(s.resource_touches));
+  }
+}
+
+void FlowSolver::solve_partitioned() const {
+  if (need_rebuild_ ||
+      (removed_since_rebuild_ >= kRebuildMinRemovals &&
+       removed_since_rebuild_ * 2 >= live_flows_)) {
+    rebuild_components();
+  }
+
+  // Removed flows report 0: the monolithic path zero-fills the whole
+  // vector, but here clean components keep their cached slots, so only
+  // the dead slots are reset.
+  for (FlowId f : free_slots_) rates_[f] = 0.0;
+
+  if (live_flows_ == 0) {
+    for (ResourceId r : dirty_roots_) comp_dirty_[r] = 0;
+    dirty_roots_.clear();
+    all_dirty_ = false;
+    detached_dirty_ = false;
+    stats_.components = 0;
+    stats_.dirty_components = 0;
+    stats_.largest_component_flows = 0;
+    if (obs_ != nullptr) {
+      obs_->metrics.set(m_components_, 0.0);
+      obs_->metrics.set(m_largest_comp_, 0.0);
+    }
+    return;
+  }
+
+  ensure_size(comp_stamp_, resources_.size(), stats_.scratch_grows);
+  ensure_size(comp_flows_, resources_.size(), stats_.scratch_grows);
+  ensure_size(bucket_slot_, resources_.size(), stats_.scratch_grows);
+
+  // Bucket pass (serial): walk live flows once in insertion order,
+  // counting components and collecting the dirty ones' flows. A bucket's
+  // flow order is therefore insertion order, and bucket order is the
+  // first-appearance order of dirty components — both pure functions of
+  // the mutation history, which is what makes the parallel solve
+  // deterministic.
+  const std::uint64_t tok = ++bucket_token_;
+  std::size_t used = 0;  // dirty buckets this solve
+  std::uint64_t components = 0;
+  std::uint64_t largest = 0;
+  std::size_t detached_count = 0;
+  std::size_t detached_bucket = kNoBucket;
+  for (FlowId f = head_; f != kNoFlow; f = flows_[f].next) {
     const FlowMeta& m = flows_[f];
-    for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
-      const ResourceId r = usage_resource_[i];
-      if (touch_stamp_[r] != touch_token) {
-        touch_stamp_[r] = touch_token;
-        weight_[r] = 0.0;
-        residual_[r] = resources_[r].capacity;
-        touched_.push_back(r);
+    if (m.count == 0) {
+      // Zero-usage flows (pure cap-limited) share one pseudo-component.
+      ++detached_count;
+      if (all_dirty_ || detached_dirty_) {
+        if (detached_bucket == kNoBucket) {
+          detached_bucket = used++;
+          if (buckets_.size() < used) buckets_.emplace_back();
+          buckets_[detached_bucket].flows.clear();
+        }
+        buckets_[detached_bucket].flows.push_back(f);
       }
-      weight_[r] += usage_weight_[i];
+      continue;
+    }
+    const ResourceId root = find_root(usage_resource_[m.begin]);
+    if (comp_stamp_[root] != tok) {
+      comp_stamp_[root] = tok;
+      comp_flows_[root] = 0;
+      ++components;
+      if (all_dirty_ || comp_dirty_[root] != 0) {
+        bucket_slot_[root] = used++;
+        if (buckets_.size() < used) buckets_.emplace_back();
+        buckets_[bucket_slot_[root]].flows.clear();
+      } else {
+        bucket_slot_[root] = kNoBucket;
+      }
+    }
+    const std::size_t size = ++comp_flows_[root];
+    if (size > largest) largest = size;
+    if (bucket_slot_[root] != kNoBucket) {
+      buckets_[bucket_slot_[root]].flows.push_back(f);
+    }
+  }
+  if (detached_count > 0) ++components;
+
+  // Size every active worker's scratch serially: the workers themselves
+  // never allocate, so parallel solves stay malloc-free and the arrays
+  // (one block per worker, alignas(64) headers) cannot false-share.
+  const bool parallel = options_.threads > 1 && used > 1;
+  const std::size_t lanes =
+      parallel ? static_cast<std::size_t>(options_.threads) : 1;
+  for (std::size_t w = 0; w < lanes; ++w) {
+    SolveScratch& s = *scratch_[w];
+    s.rounds = 0;
+    s.flows_scanned = 0;
+    s.resource_touches = 0;
+    s.scratch_grows = 0;
+    ensure_size(s.weight, resources_.size(), s.scratch_grows);
+    ensure_size(s.residual, resources_.size(), s.scratch_grows);
+    ensure_size(s.touch_stamp, resources_.size(), s.scratch_grows);
+    ensure_size(s.cand_stamp, flows_.size(), s.scratch_grows);
+    if (s.touched.capacity() < resources_.size()) {
+      ++s.scratch_grows;
+      s.touched.reserve(resources_.size());
     }
   }
 
-  std::size_t unfrozen = worklist_.size();
+  if (parallel) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.threads);
+    }
+    ++stats_.parallel_batches;
+    if (obs_ != nullptr) obs_->metrics.add(m_parallel_batches_);
+    Bucket* const buckets = buckets_.data();
+    pool_->run(used, options_.deterministic,
+               [this, buckets](std::size_t i, int worker) {
+                 Bucket& b = buckets[i];
+                 solve_span(b.flows.data(), b.flows.size(),
+                            *scratch_[static_cast<std::size_t>(worker)]);
+               });
+  } else {
+    for (std::size_t i = 0; i < used; ++i) {
+      solve_span(buckets_[i].flows.data(), buckets_[i].flows.size(),
+                 *scratch_[0]);
+    }
+  }
+
+  for (ResourceId r : dirty_roots_) comp_dirty_[r] = 0;
+  dirty_roots_.clear();
+  all_dirty_ = false;
+  detached_dirty_ = false;
+
   std::uint64_t rounds = 0;
   std::uint64_t scanned = 0;
   std::uint64_t touches = 0;
+  std::uint64_t grows = 0;
+  for (std::size_t w = 0; w < lanes; ++w) {
+    const SolveScratch& s = *scratch_[w];
+    rounds += s.rounds;
+    scanned += s.flows_scanned;
+    touches += s.resource_touches;
+    grows += s.scratch_grows;
+  }
+  stats_.rounds += rounds;
+  stats_.flows_scanned += scanned;
+  stats_.resource_touches += touches;
+  stats_.scratch_grows += grows;
+  stats_.components = components;
+  stats_.dirty_components = used;
+  stats_.largest_component_flows = largest;
+  if (obs_ != nullptr) {
+    obs_->metrics.add(m_rounds_, static_cast<double>(rounds));
+    obs_->metrics.observe(m_rounds_hist_, static_cast<double>(rounds));
+    obs_->metrics.add(m_flows_scanned_, static_cast<double>(scanned));
+    obs_->metrics.add(m_touches_, static_cast<double>(touches));
+    obs_->metrics.set(m_components_, static_cast<double>(components));
+    obs_->metrics.set(m_largest_comp_, static_cast<double>(largest));
+  }
+}
+
+void FlowSolver::solve_span(FlowId* flows, std::size_t n,
+                            SolveScratch& s) const {
+  if (n == 0) return;
+
+  // Build per-resource weights walking the span in order, initializing
+  // weight/residual lazily at first touch via the stamp so untouched
+  // resources cost nothing.
+  const std::uint64_t touch_token = ++s.stamp;
+  s.touched.clear();
+  for (std::size_t k = 0; k < n; ++k) {
+    const FlowId f = flows[k];
+    rates_[f] = 0.0;
+    const FlowMeta& m = flows_[f];
+    for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
+      const ResourceId r = usage_resource_[i];
+      if (s.touch_stamp[r] != touch_token) {
+        s.touch_stamp[r] = touch_token;
+        s.weight[r] = 0.0;
+        s.residual[r] = resources_[r].capacity;
+        s.touched.push_back(r);
+      }
+      s.weight[r] += usage_weight_[i];
+    }
+  }
+
+  std::size_t unfrozen = n;
   while (unfrozen > 0) {
-    ++rounds;
+    ++s.rounds;
     // Largest uniform rate increment delta all unfrozen flows can take.
     // min() over the touched set only: every other resource has exactly
     // zero weight, so the old full-resource scan excluded it too.
     double delta = std::numeric_limits<double>::infinity();
-    for (ResourceId r : touched_) {
-      if (weight_[r] > kWeightEps && std::isfinite(residual_[r])) {
-        delta = std::min(delta, std::max(residual_[r], 0.0) / weight_[r]);
+    for (ResourceId r : s.touched) {
+      if (s.weight[r] > kWeightEps && std::isfinite(s.residual[r])) {
+        delta =
+            std::min(delta, std::max(s.residual[r], 0.0) / s.weight[r]);
       }
     }
     for (std::size_t k = 0; k < unfrozen; ++k) {
-      const FlowId f = worklist_[k];
+      const FlowId f = flows[k];
       if (std::isfinite(flows_[f].cap)) {
         delta = std::min(delta, flows_[f].cap - rates_[f]);
       }
@@ -325,50 +680,50 @@ void FlowSolver::solve_uncached() const {
     delta = std::max(delta, 0.0);
 
     for (std::size_t k = 0; k < unfrozen; ++k) {
-      const FlowId f = worklist_[k];
+      const FlowId f = flows[k];
       const FlowMeta& m = flows_[f];
       rates_[f] += delta;
       for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
-        residual_[usage_resource_[i]] -= delta * usage_weight_[i];
+        s.residual[usage_resource_[i]] -= delta * usage_weight_[i];
       }
-      touches += m.count;
+      s.resource_touches += m.count;
     }
-    scanned += unfrozen;
+    s.flows_scanned += unfrozen;
 
     // Saturation pass: instead of materializing a saturated[] bitmap and
     // rescanning every unfrozen flow's usages, mark the flows incident
     // to each saturated resource as freeze candidates (the incidence
     // list is exactly the set of flows the old scan would have matched).
-    const std::uint64_t round_token = ++stamp_;
-    for (ResourceId r : touched_) {
-      if (weight_[r] > kWeightEps && std::isfinite(residual_[r]) &&
-          residual_[r] <= kEps * std::max(1.0, resources_[r].capacity)) {
+    const std::uint64_t round_token = ++s.stamp;
+    for (ResourceId r : s.touched) {
+      if (s.weight[r] > kWeightEps && std::isfinite(s.residual[r]) &&
+          s.residual[r] <= kEps * std::max(1.0, resources_[r].capacity)) {
         for (const IncidenceEntry& e : incidence_[r]) {
-          cand_stamp_[e.flow] = round_token;
+          s.cand_stamp[e.flow] = round_token;
         }
       }
     }
 
-    // Freeze pass, compacting the worklist in place. Processing stays in
+    // Freeze pass, compacting the span in place. Processing stays in
     // insertion order so the weight-release subtractions happen in the
     // same floating-point order as the old per-id scan.
     std::size_t out = 0;
     bool any_frozen_this_round = false;
     for (std::size_t k = 0; k < unfrozen; ++k) {
-      const FlowId f = worklist_[k];
+      const FlowId f = flows[k];
       const FlowMeta& m = flows_[f];
       const bool freeze =
           (std::isfinite(m.cap) && rates_[f] >= m.cap - kEps) ||
-          cand_stamp_[f] == round_token;
+          s.cand_stamp[f] == round_token;
       if (freeze) {
         any_frozen_this_round = true;
         for (std::size_t i = m.begin; i < m.begin + m.count; ++i) {
           const ResourceId r = usage_resource_[i];
-          weight_[r] -= usage_weight_[i];
-          if (weight_[r] < kWeightEps) weight_[r] = 0.0;
+          s.weight[r] -= usage_weight_[i];
+          if (s.weight[r] < kWeightEps) s.weight[r] = 0.0;
         }
       } else {
-        worklist_[out++] = f;
+        flows[out++] = f;
       }
     }
     // Progress guarantee: a positive delta saturates something; a zero
@@ -378,16 +733,6 @@ void FlowSolver::solve_uncached() const {
       break;
     }
     unfrozen = out;
-  }
-
-  stats_.rounds += rounds;
-  stats_.flows_scanned += scanned;
-  stats_.resource_touches += touches;
-  if (obs_ != nullptr) {
-    obs_->metrics.add(m_rounds_, static_cast<double>(rounds));
-    obs_->metrics.observe(m_rounds_hist_, static_cast<double>(rounds));
-    obs_->metrics.add(m_flows_scanned_, static_cast<double>(scanned));
-    obs_->metrics.add(m_touches_, static_cast<double>(touches));
   }
 }
 

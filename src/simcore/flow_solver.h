@@ -30,23 +30,43 @@
 //    is reusable member storage: after warm-up a solve performs zero
 //    heap allocations (stats().scratch_grows counts the exceptions).
 //
-// The allocation is bit-identical to the historical per-flow-vector
-// solver: live flows are kept on an insertion-order list and every
-// floating-point accumulation (initial weights, residual subtraction,
-// freeze-time weight release, aggregate/utilization sums) walks flows in
-// that order, which is exactly the ascending-FlowId order the old solver
-// used before ids were recycled.
+// Execution engine (SolveOptions; DESIGN.md §11): with `partition` on,
+// an incremental union-find over resources tracks resource-connected
+// components — flows in disjoint components cannot interact under
+// max-min fairness, so each component solves independently and a
+// mutation dirties only its own component (clean components keep their
+// cached rates across solves). With `threads` > 1 the dirty components
+// of a solve run concurrently on a sim::ThreadPool, each worker using
+// its own cache-line-padded scratch block. Rates are bit-identical
+// across thread counts (each component's arithmetic is self-contained
+// and accumulates in flow-insertion order); they are NOT bit-identical
+// between partition on/off on multi-component graphs, because the
+// monolithic solver's global water-filling delta reassociates the
+// floating-point arithmetic across components. The default options
+// therefore keep partitioning off.
+//
+// The default (monolithic) allocation is bit-identical to the historical
+// per-flow-vector solver: live flows are kept on an insertion-order list
+// and every floating-point accumulation (initial weights, residual
+// subtraction, freeze-time weight release, aggregate/utilization sums)
+// walks flows in that order, which is exactly the ascending-FlowId order
+// the old solver used before ids were recycled.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/obs.h"
+#include "simcore/solve_options.h"
+#include "simcore/status.h"
 #include "simcore/units.h"
 
 namespace numaio::sim {
+
+class ThreadPool;
 
 using ResourceId = std::size_t;
 using FlowId = std::size_t;
@@ -71,7 +91,35 @@ class FlowSolver {
     std::uint64_t flows_scanned = 0;  ///< Unfrozen-flow visits across rounds.
     std::uint64_t resource_touches = 0;  ///< Per-usage residual updates.
     std::uint64_t scratch_grows = 0;  ///< Solve-path scratch (re)allocations.
+    // Component partitioning (SolveOptions::partition; otherwise 0).
+    std::uint64_t parallel_batches = 0;    ///< Multi-component pool dispatches.
+    std::uint64_t component_rebuilds = 0;  ///< Full union-find rebuilds.
+    std::uint64_t components = 0;  ///< Components at the last real solve.
+    std::uint64_t dirty_components = 0;  ///< Components re-solved by it.
+    std::uint64_t largest_component_flows = 0;  ///< Biggest component then.
   };
+
+  FlowSolver() : FlowSolver(SolveOptions{}) {}
+  /// Execution-engine configuration (threads / partitioning /
+  /// determinism); see simcore/solve_options.h. Options are normalized:
+  /// threads > 1 implies partition.
+  explicit FlowSolver(const SolveOptions& options);
+  ~FlowSolver();
+
+  // Movable (tests and builders hand solvers around by value) but not
+  // copyable: the worker pool and per-worker scratch are identity-bound.
+  FlowSolver(FlowSolver&&) noexcept;
+  FlowSolver& operator=(FlowSolver&&) noexcept;
+  FlowSolver(const FlowSolver&) = delete;
+  FlowSolver& operator=(const FlowSolver&) = delete;
+
+  /// Reconfigures the execution engine in place (flows, resources and
+  /// stats survive). A real change invalidates the solve cache: toggling
+  /// `partition` changes the floating-point association of the next
+  /// solve, so the cached rates cannot be reused. Setting the current
+  /// options again is a no-op.
+  void set_options(const SolveOptions& options);
+  const SolveOptions& options() const { return options_; }
 
   /// Registers a resource. `capacity` may be kUnlimited.
   ResourceId add_resource(std::string name, Gbps capacity);
@@ -106,11 +154,18 @@ class FlowSolver {
                        Gbps rate_cap = kUnlimited);
 
   /// Removes a flow; the slot and its arena span go on the free-list and
-  /// a later add_flow may hand the same id out again. Holding a FlowId
-  /// across remove_flow is a use-after-free bug on the caller's side.
-  void remove_flow(FlowId id);
+  /// a later add_flow may hand the same id out again. Returns
+  /// StatusCode::kUsage — with the solver untouched — when `id` is out
+  /// of range or already dead, so double-remove races surface as a typed
+  /// error instead of free-list corruption (historically this asserted in
+  /// debug builds and silently corrupted in release).
+  Status remove_flow(FlowId id);
 
-  void set_flow_cap(FlowId id, Gbps rate_cap);
+  /// Replaces a live flow's private rate cap. Returns StatusCode::kUsage
+  /// (solver untouched) for an out-of-range or dead id, mirroring
+  /// remove_flow; setting the current cap again keeps the solve cache
+  /// warm.
+  Status set_flow_cap(FlowId id, Gbps rate_cap);
   Gbps flow_cap(FlowId id) const;
   bool flow_alive(FlowId id) const;
   std::size_t live_flow_count() const { return live_flows_; }
@@ -119,8 +174,11 @@ class FlowSolver {
   /// then records round-level profiling counters (`solver.rounds`,
   /// `solver.rounds_per_solve`, `solver.flows_scanned`,
   /// `solver.resource_touches`), cache behavior (`solver.solves`,
-  /// `solver.cache_hits`, `solver.cache_misses`) and wall time
-  /// (`solver.solve_us`, cache misses only). The context must outlive
+  /// `solver.cache_hits`, `solver.cache_misses`), wall time
+  /// (`solver.solve_us`, cache misses only) and — in partition mode —
+  /// component shape (`solver.components`,
+  /// `solver.largest_component_flows` gauges, `solver.parallel_batches`
+  /// and `solver.component_rebuilds` counters). The context must outlive
   /// the solver or be detached first.
   void set_observer(obs::Context* obs);
 
@@ -129,7 +187,8 @@ class FlowSolver {
   /// The returned vector is indexed by FlowId (slot); removed flows
   /// report 0. The reference stays valid until the next mutation +
   /// solve. Logically const but not safe to call concurrently: it reuses
-  /// member scratch.
+  /// member scratch (worker threads, when enabled, live entirely inside
+  /// one solve() call).
   const std::vector<Gbps>& solve() const;
 
   /// Sum of the allocation over all live flows. Free when cached.
@@ -141,13 +200,15 @@ class FlowSolver {
 
   /// Mutation epoch: bumped whenever a change invalidates the solve
   /// cache. Value-preserving mutations (set_capacity to the same
-  /// capacity, set_flow_cap to the same cap) keep the cache warm.
+  /// capacity, set_flow_cap to the same cap, failed remove_flow/
+  /// set_flow_cap on a dead id) keep the cache warm.
   std::uint64_t epoch() const { return epoch_; }
 
   const SolveStats& stats() const { return stats_; }
 
  private:
   static constexpr FlowId kNoFlow = static_cast<FlowId>(-1);
+  static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
 
   struct Resource {
     std::string name;
@@ -177,11 +238,39 @@ class FlowSolver {
     std::size_t usage = 0;  ///< Arena index of the usage.
   };
 
+  /// Per-worker water-filling scratch (defined in flow_solver.cpp),
+  /// cache-line padded so concurrent component solves never share lines.
+  struct SolveScratch;
+
+  /// One dirty component's work item: its flows in insertion order.
+  struct Bucket {
+    std::vector<FlowId> flows;
+  };
+
   void bump_epoch();
-  void refresh_capacity(Resource& r);
+  void refresh_capacity(ResourceId id);
   template <class T>
-  void ensure_size(std::vector<T>& v, std::size_t n) const;
+  static void ensure_size(std::vector<T>& v, std::size_t n,
+                          std::uint64_t& grows);
   void solve_uncached() const;
+  /// Water-fills one flow set (a component, or all live flows in
+  /// monolithic mode) using scratch `s`. `flows` is compacted in place
+  /// as flows freeze; only rates_ slots of `flows` are written.
+  void solve_span(FlowId* flows, std::size_t n, SolveScratch& s) const;
+  void solve_partitioned() const;
+
+  // Union-find over resources (partition mode). find() path-compresses,
+  // so the parent array mutates under logically-const solves.
+  ResourceId find_root(ResourceId r) const;
+  /// const because rebuild_components() runs under logically-const
+  /// solves; the union-find arrays are mutable.
+  ResourceId unite(ResourceId a, ResourceId b) const;
+  void mark_dirty(ResourceId root) const;
+  /// Re-derives components from live flows (union-find cannot split, so
+  /// removal churn is absorbed by periodic rebuilds) and marks all dirty.
+  void rebuild_components() const;
+
+  SolveOptions options_{};
 
   std::vector<Resource> resources_;
   std::vector<FlowMeta> flows_;
@@ -204,15 +293,32 @@ class FlowSolver {
   mutable std::uint64_t cached_epoch_ = 0;
   mutable std::vector<Gbps> rates_;  ///< Cached allocation, by slot.
 
-  // Reusable solve scratch. Stamp arrays avoid O(R)/O(F) clears: an
-  // entry is "set" when it equals the current token drawn from stamp_.
-  mutable std::vector<FlowId> worklist_;     ///< Unfrozen flows, in order.
-  mutable std::vector<ResourceId> touched_;  ///< Resources with live weight.
-  mutable std::vector<double> weight_;
-  mutable std::vector<Gbps> residual_;
-  mutable std::vector<std::uint64_t> touch_stamp_;  ///< Per resource.
-  mutable std::vector<std::uint64_t> cand_stamp_;   ///< Per flow slot.
-  mutable std::uint64_t stamp_ = 0;
+  // Component state (partition mode only; empty otherwise). comp_dirty_
+  // is indexed by component root resource; dirty_roots_ lists exactly
+  // the set roots (entries may go stale when a dirty root is absorbed by
+  // a union — find_root never returns those, and the solve-time sweep
+  // clears them with the rest).
+  mutable std::vector<ResourceId> dsu_parent_;
+  mutable std::vector<std::uint32_t> dsu_size_;
+  mutable std::vector<std::uint8_t> comp_dirty_;
+  mutable std::vector<ResourceId> dirty_roots_;
+  mutable bool all_dirty_ = true;       ///< Rebuild/reconfigure: solve all.
+  mutable bool detached_dirty_ = true;  ///< Zero-usage flow set changed.
+  mutable bool need_rebuild_ = false;
+  mutable std::size_t removed_since_rebuild_ = 0;
+
+  // Solve-time component bucketing scratch (serial pass), stamp-cleared.
+  mutable std::vector<Bucket> buckets_;
+  mutable std::vector<std::uint64_t> comp_stamp_;   ///< Per resource.
+  mutable std::vector<std::size_t> comp_flows_;     ///< Flows under root.
+  mutable std::vector<std::size_t> bucket_slot_;    ///< Root -> bucket.
+  mutable std::uint64_t bucket_token_ = 0;
+
+  // Per-worker scratch (scratch_[0] doubles as the monolithic scratch)
+  // and the lazily created pool. unique_ptr keeps each worker's block on
+  // its own heap allocation, cache-line aligned via alignas on the type.
+  mutable std::vector<std::unique_ptr<SolveScratch>> scratch_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 
   mutable SolveStats stats_;
 
@@ -227,6 +333,10 @@ class FlowSolver {
   obs::MetricsRegistry::Id m_cache_misses_ = obs::MetricsRegistry::kNone;
   obs::MetricsRegistry::Id m_flows_scanned_ = obs::MetricsRegistry::kNone;
   obs::MetricsRegistry::Id m_touches_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_components_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_largest_comp_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_parallel_batches_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_rebuilds_ = obs::MetricsRegistry::kNone;
 };
 
 }  // namespace numaio::sim

@@ -35,14 +35,16 @@ FluidSimulation::TransferId FluidSimulation::start_transfer_at(
   if (at <= now_) {
     activate(id);
   } else {
-    pending_.push_back(Pending{at, id});
     // Descending by time (ties: later id last) so the soonest start is at
-    // the back and pops cheaply.
-    std::sort(pending_.begin(), pending_.end(),
-              [](const Pending& a, const Pending& b) {
-                if (a.at != b.at) return a.at > b.at;
-                return a.id > b.id;
-              });
+    // the back and pops cheaply. A positional insert keeps the invariant
+    // at O(log n + shift) instead of the former full re-sort per arrival.
+    const Pending p{at, id};
+    const auto later = [](const Pending& a, const Pending& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    };
+    pending_.insert(
+        std::upper_bound(pending_.begin(), pending_.end(), p, later), p);
   }
   return id;
 }
@@ -78,15 +80,18 @@ void FluidSimulation::complete(TransferId id) {
 
 void FluidSimulation::schedule_control(Ns at, ControlFn fn) {
   assert(fn);
-  controls_.push_back(Control{std::max(at, now_), next_control_seq_++,
-                              std::move(fn)});
+  Control c{std::max(at, now_), next_control_seq_++, std::move(fn)};
   // Descending by time; FIFO at equal times (higher seq sorts earlier in
   // the vector, so the back — the next to fire — has the lowest seq).
-  std::sort(controls_.begin(), controls_.end(),
-            [](const Control& a, const Control& b) {
-              if (a.at != b.at) return a.at > b.at;
-              return a.seq > b.seq;
-            });
+  // Positional insert: (at, seq) is unique, so the resulting order is
+  // exactly what the former full re-sort produced.
+  const auto later = [](const Control& a, const Control& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  };
+  controls_.insert(
+      std::upper_bound(controls_.begin(), controls_.end(), c, later),
+      std::move(c));
 }
 
 bool FluidSimulation::abort_transfer(TransferId id) {

@@ -1,0 +1,86 @@
+#include "simcore/thread_pool.h"
+
+namespace numaio::sim {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  helpers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    helpers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+void ThreadPool::run_share(int worker, std::size_t count, bool deterministic,
+                           const Task& task) {
+  if (deterministic) {
+    for (std::size_t i = static_cast<std::size_t>(worker); i < count;
+         i += static_cast<std::size_t>(threads_)) {
+      task(i, worker);
+    }
+  } else {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      task(i, worker);
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t count, bool deterministic,
+                     const Task& task) {
+  if (count == 0) return;
+  if (threads_ == 1) {
+    run_share(0, count, /*deterministic=*/true, task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    count_ = count;
+    deterministic_ = deterministic;
+    next_.store(0, std::memory_order_relaxed);
+    active_helpers_ = threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_share(0, count, deterministic, task);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_helpers_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const Task* task = nullptr;
+    std::size_t count = 0;
+    bool deterministic = true;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      count = count_;
+      deterministic = deterministic_;
+    }
+    run_share(worker, count, deterministic, *task);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_helpers_;
+    }
+    // The batch owner in run() is the only waiter.
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace numaio::sim

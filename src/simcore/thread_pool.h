@@ -1,0 +1,70 @@
+// A small fixed-size fork-join pool for solver-style workloads: one
+// blocking run(count, task) at a time, executed by `threads` workers of
+// which the calling thread is worker 0. There is no task queue and no
+// futures — the pool exists to fan a batch of independent, uniformly
+// shaped work items (component solves, analysis passes) across cores
+// with a deterministic item -> worker mapping when asked for one.
+//
+// Memory model: run() publishes the batch under a mutex and waits for
+// every helper to check back in under the same mutex, so everything the
+// tasks wrote happens-before run() returning (TSan-clean; exercised by
+// the TSan step in ci/sanitize.sh). Tasks must not throw — an exception
+// escaping a helper thread terminates the process — and must not call
+// back into the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace numaio::sim {
+
+class ThreadPool {
+ public:
+  /// Task invoked as task(index, worker): `index` in [0, count) names the
+  /// work item, `worker` in [0, threads) names the executing lane (e.g.
+  /// to pick per-worker scratch).
+  using Task = std::function<void(std::size_t index, int worker)>;
+
+  /// Spawns threads - 1 helper threads (worker 0 is the caller of run()).
+  /// `threads` is clamped to >= 1; a 1-thread pool runs everything inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs task(i, worker) for every i in [0, count); returns when all
+  /// invocations finished. `deterministic` pins item i to worker
+  /// i mod threads (each worker walks its residue class in ascending
+  /// order); otherwise workers claim items from a shared atomic counter.
+  void run(std::size_t count, bool deterministic, const Task& task);
+
+ private:
+  void worker_loop(int worker);
+  /// Executes worker `worker`'s share of the current batch.
+  void run_share(int worker, std::size_t count, bool deterministic,
+                 const Task& task);
+
+  const int threads_;
+  std::vector<std::thread> helpers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;  ///< Wakes helpers on a new batch.
+  std::condition_variable done_cv_;   ///< Wakes run() when helpers finish.
+  std::uint64_t generation_ = 0;      ///< Batch number; helpers latch it.
+  int active_helpers_ = 0;            ///< Helpers still in this batch.
+  std::size_t count_ = 0;
+  bool deterministic_ = true;
+  bool stop_ = false;
+  const Task* task_ = nullptr;
+  std::atomic<std::size_t> next_{0};  ///< Claim counter (dynamic mode).
+};
+
+}  // namespace numaio::sim

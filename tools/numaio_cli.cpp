@@ -129,6 +129,10 @@ int usage() {
       "                                   exposition format\n"
       "  --chrome-out FILE                write the trace as Chrome\n"
       "                                   trace-event JSON (Perfetto)\n"
+      "  --solver-threads N               run the contention solver on N\n"
+      "                                   threads with component\n"
+      "                                   partitioning (N > 1); results\n"
+      "                                   are bit-identical to N=1\n"
       "exit codes: 0 ok, 1 runtime failure, 2 usage, 3 unreadable file,\n"
       "            4 malformed input file\n");
   return kExitUsage;
@@ -585,7 +589,8 @@ int cmd_faults(io::Testbed& tb, obs::Context& ctx,
 /// after the known flags are consumed is a usage error — this command is
 /// the template for scripting against exit codes, so typos must not
 /// silently become defaults.
-int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args) {
+int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
+              const sim::SolveOptions& solve) {
   const int hosts = take_int(args, "--hosts", 4);
   const int tenants = take_int(args, "--tenants", 3);
   const double rate = take_double(args, "--rate", 900.0);
@@ -606,6 +611,7 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args) {
 
   fleet::StormScenario storm =
       fleet::make_storm(hosts, tenants, rate, seed, duration_s * 1e9);
+  storm.config.solve = solve;
   if (queue_depth > 0) storm.config.queue_depth = queue_depth;
   if (deadline_ms > 0.0) storm.config.deadline = deadline_ms * 1e6;
   if (!plan_path.empty()) {
@@ -830,15 +836,16 @@ namespace {
 /// hook with a wall-clock read on a hot path) so runs without --trace-out/
 /// --metrics-out cost nothing measurable.
 int dispatch(const std::string& cmd, std::vector<std::string>& args,
-             obs::Context& ctx, bool observing, obs::MemorySink* capture) {
+             obs::Context& ctx, bool observing, obs::MemorySink* capture,
+             const sim::SolveOptions& solve) {
   if (cmd == "metrics") return cmd_metrics(args);
   if (cmd == "classes") return cmd_classes(args);
   if (cmd == "export") return cmd_export(args);
   if (cmd == "synth-trace") return cmd_synth_trace(args);
   // `fleet` builds its own hosts (one testbed per fleet host).
-  if (cmd == "fleet") return cmd_fleet(ctx, args);
+  if (cmd == "fleet") return cmd_fleet(ctx, args, solve);
 
-  io::Testbed tb = io::Testbed::dl585();
+  io::Testbed tb = io::Testbed::dl585(solve);
   if (observing) tb.machine().solver().set_observer(&ctx);
   if (cmd == "report") return cmd_report(tb, ctx, capture, args);
   if (cmd == "hardware") return cmd_hardware(tb);
@@ -873,6 +880,13 @@ int main(int argc, char** argv) {
     const std::string prom_out = take_flag(args, "--prom-out");
     const std::string chrome_out = take_flag(args, "--chrome-out");
     const bool deterministic = take_switch(args, "--trace-deterministic");
+    const int solver_threads = take_int(args, "--solver-threads", 1);
+    if (solver_threads < 1) {
+      usage_error("--solver-threads wants a positive thread count");
+    }
+    sim::SolveOptions solve;
+    solve.threads = solver_threads;
+    solve.partition = solver_threads > 1;
 
     obs::Context ctx;
     ctx.trace.set_deterministic(deterministic);
@@ -916,7 +930,7 @@ int main(int argc, char** argv) {
     const bool observing = sink != nullptr || !metrics_out.empty() ||
                            !prom_out.empty();
     const int rc = dispatch(cmd, args, ctx, observing,
-                            need_capture ? &capture : nullptr);
+                            need_capture ? &capture : nullptr, solve);
     if (rc < 0) {
       std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
       return usage();
