@@ -389,6 +389,34 @@ BenchResult bench_trace_stream() {
   });
 }
 
+/// Flame-fold scale bench: 10^6 synthetic records nested 32 spans deep
+/// through FoldedStackCollector (obs/profile.h), the same shape the
+/// profiling ctest pins. Wall time is the headline (records / wall_ms =
+/// fold throughput); every simulated metric carries the *_info suffix —
+/// reported for context, never gated — because the interesting contract
+/// here is the gated wall time plus the O(open spans) peak the ctest
+/// already asserts, not the exact stack census of the generator.
+BenchResult bench_flame_fold() {
+  obs::SyntheticTraceConfig config;
+  config.records = 1000000;
+  config.depth = 32;
+  config.fanout = 8;
+  config.seed = 11;
+  obs::SyntheticTraceSource source(config);
+  return timed(3, [&] {
+    std::ostringstream out;
+    const obs::FoldStats stats =
+        obs::export_folded_stacks(source, out, obs::FoldWeight::kSelf);
+    return std::map<std::string, double>{
+        {"records_info", static_cast<double>(stats.records)},
+        {"spans_info", static_cast<double>(stats.spans)},
+        {"stacks_info", static_cast<double>(stats.stacks)},
+        {"peak_open_spans_info",
+         static_cast<double>(stats.peak_open_spans)},
+        {"folded_bytes_info", static_cast<double>(out.str().size())}};
+  });
+}
+
 /// Solver hot-path stress: hundreds of flows over a shared 8-node fabric
 /// with add/remove churn, capacity control events, and the
 /// aggregate/utilization read-backs the fluid layer issues after every
@@ -701,6 +729,7 @@ BenchSet run_benches(int reps) {
   out["fio_rdma_degraded_seed42"] = bench_fio_degraded(tb);
   out["multiuser_nic_ssd"] = bench_multiuser(tb);
   out["trace_stream_1m"] = bench_trace_stream();
+  out["flame_fold_1m"] = bench_flame_fold();
   out["solver_storm"] = bench_solver_storm();
   out["solver_storm_mt"] = bench_solver_storm_mt();
   out["fluid_replay"] = bench_fluid_replay();

@@ -44,6 +44,21 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
     "$SMOKE_DIR/big_chrome.json"
 echo "run_all: large-trace streaming smoke green (10^6 records)"
 
+# Flame-fold smoke: a 10^6-record deep-chain capture (spans nested 32
+# deep) folded to flamegraph.pl input. Checks the record count survives
+# the deep generator, the fold stays within its O(open spans) bound
+# (the CLI prints the peak), and every folded line is `path weight` with
+# a positive integer weight and no empty frames.
+"$CLI" synth-trace --out "$SMOKE_DIR/deep.jsonl" --records 1000000 \
+    --depth 32 --fanout 8
+[ "$(wc -l < "$SMOKE_DIR/deep.jsonl")" -eq 1000000 ]
+"$CLI" export --trace-in "$SMOKE_DIR/deep.jsonl" \
+    --folded "$SMOKE_DIR/deep.folded" | grep -q 'peak 33 open'
+[ -s "$SMOKE_DIR/deep.folded" ]
+awk 'NF != 2 || $2 + 0 <= 0 || $1 ~ /^;|;;|;$/ { bad = 1 }
+     END { exit bad }' "$SMOKE_DIR/deep.folded"
+echo "run_all: flame-fold smoke green (10^6 records, depth 32)"
+
 "$ROOT/ci/perf_guard.sh" "$BUILD_DIR"
 "$ROOT/ci/sanitize.sh" "$BUILD_DIR-sanitize"
 

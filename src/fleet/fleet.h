@@ -117,6 +117,7 @@ struct FleetReport {
   double shed_fraction = 0.0;   ///< shed / submitted.
   sim::Ns accepted_p50 = 0.0;   ///< Latency percentiles over completions.
   sim::Ns accepted_p99 = 0.0;
+  sim::Ns accepted_p999 = 0.0;  ///< Tail beyond p99 (storms live here).
   sim::Ns makespan = 0.0;       ///< Simulated time when the run drained.
 
   /// Human-readable table (the CLI's `fleet` output).

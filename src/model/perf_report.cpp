@@ -96,6 +96,8 @@ RunReport build_run_report(std::string command, const HostModel* model,
     report.model = *model;
   }
   report.analysis = obs::analyze_stream(source);
+  // One more streaming pass for §6: the scheduler-latency profile.
+  report.sched = obs::profile_scheduler(source);
   if (metrics != nullptr) {
     report.counters = metrics->counter_values();
     // Gauges ride in the same table (the partitioned solver reports its
@@ -210,6 +212,21 @@ std::string render_markdown(const RunReport& report,
     }
   }
 
+  if (!report.sched.empty()) {
+    out << "\n## Scheduler latency\n\n";
+    out << "| metric | count | p50 ms | p95 ms | p99 ms | p99.9 ms |\n";
+    out << "|---|---|---|---|---|---|\n";
+    for (const obs::MetricsRegistry::Histogram* h :
+         {&report.sched.queue_wait, &report.sched.dispatch,
+          &report.sched.migration}) {
+      out << "| " << h->name << " | " << h->count << " | "
+          << fixed(h->quantile(0.50), 3) << " | "
+          << fixed(h->quantile(0.95), 3) << " | "
+          << fixed(h->quantile(0.99), 3) << " | "
+          << fixed(h->quantile(0.999), 3) << " |\n";
+    }
+  }
+
   if (!report.counters.empty()) {
     out << "\n## Counters\n\n| counter | value |\n|---|---|\n";
     for (const auto& c : report.counters) {
@@ -318,6 +335,26 @@ std::string render_json(const RunReport& report,
     out << ", \"caused\": " << a.faults.by_fault[i].second << "}";
   }
   out << "]}";
+
+  out << ",\n  \"sched_latency\": [";
+  if (!report.sched.queue_wait.name.empty()) {
+    bool first = true;
+    for (const obs::MetricsRegistry::Histogram* h :
+         {&report.sched.queue_wait, &report.sched.dispatch,
+          &report.sched.migration}) {
+      out << (first ? "\n" : ",\n") << "    {\"name\": ";
+      json_string(out, h->name);
+      out << ", \"count\": " << h->count << ", \"p50_ms\": "
+          << g17(h->quantile(0.50)) << ", \"p95_ms\": "
+          << g17(h->quantile(0.95)) << ", \"p99_ms\": "
+          << g17(h->quantile(0.99)) << ", \"p999_ms\": "
+          << g17(h->quantile(0.999)) << "}";
+      first = false;
+    }
+    out << "\n  ]";
+  } else {
+    out << "]";
+  }
 
   out << ",\n  \"counters\": {";
   for (std::size_t i = 0; i < report.counters.size(); ++i) {
@@ -613,6 +650,28 @@ ReportSummary parse_report_json(const std::string& text) {
       require(faults, "aborts", JsonValue::Kind::kNumber, "faults").num);
   s.caused = static_cast<int>(
       require(faults, "caused", JsonValue::Kind::kNumber, "faults").num);
+
+  // §6 is newer than the format: absent (pre-profiling reports) parses
+  // as an empty row set so old baselines keep diffing.
+  const JsonValue* sched = root.find("sched_latency");
+  if (sched != nullptr && sched->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& row : sched->items) {
+      ReportSummary::SchedRow r;
+      r.name =
+          require(row, "name", JsonValue::Kind::kString, "sched row").str;
+      r.count = static_cast<int>(
+          require(row, "count", JsonValue::Kind::kNumber, "sched row").num);
+      r.p50_ms =
+          require(row, "p50_ms", JsonValue::Kind::kNumber, "sched row").num;
+      r.p95_ms =
+          require(row, "p95_ms", JsonValue::Kind::kNumber, "sched row").num;
+      r.p99_ms =
+          require(row, "p99_ms", JsonValue::Kind::kNumber, "sched row").num;
+      r.p999_ms =
+          require(row, "p999_ms", JsonValue::Kind::kNumber, "sched row").num;
+      s.sched_latency.push_back(std::move(r));
+    }
+  }
   return s;
 }
 
@@ -792,6 +851,52 @@ std::string diff_reports(const ReportSummary& before,
       << " -> " << after.retries << ", aborts: " << before.aborts << " -> "
       << after.aborts << ", caused: " << before.caused << " -> "
       << after.caused << "\n";
+
+  out << "\n## Scheduler latency\n\n";
+  if (before.sched_latency.empty() && after.sched_latency.empty()) {
+    out << "- no scheduler-latency rows on either side\n";
+  } else {
+    int sched_changes = 0;
+    for (const ReportSummary::SchedRow& b : before.sched_latency) {
+      const ReportSummary::SchedRow* a = nullptr;
+      for (const ReportSummary::SchedRow& row : after.sched_latency) {
+        if (row.name == b.name) {
+          a = &row;
+          break;
+        }
+      }
+      if (a == nullptr) {
+        out << "- " << b.name << ": gone (was " << b.count << " samples)\n";
+        ++sched_changes;
+      } else if (a->count != b.count || a->p50_ms != b.p50_ms ||
+                 a->p99_ms != b.p99_ms || a->p999_ms != b.p999_ms) {
+        out << "- " << b.name << ": count " << b.count << " -> " << a->count
+            << ", p50 " << fixed(b.p50_ms, 3) << " -> " << fixed(a->p50_ms, 3)
+            << " ms, p99 " << fixed(b.p99_ms, 3) << " -> "
+            << fixed(a->p99_ms, 3) << " ms, p99.9 " << fixed(b.p999_ms, 3)
+            << " -> " << fixed(a->p999_ms, 3) << " ms\n";
+        ++sched_changes;
+      }
+    }
+    for (const ReportSummary::SchedRow& a : after.sched_latency) {
+      bool known = false;
+      for (const ReportSummary::SchedRow& b : before.sched_latency) {
+        if (b.name == a.name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        out << "- " << a.name << ": new (" << a.count << " samples, p99.9 "
+            << fixed(a.p999_ms, 3) << " ms)\n";
+        ++sched_changes;
+      }
+    }
+    if (sched_changes == 0) {
+      out << "- unchanged across "
+          << before.sched_latency.size() << " metrics\n";
+    }
+  }
   return out.str();
 }
 

@@ -23,6 +23,7 @@
 #include "model/characterize.h"
 #include "obs/analysis.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace numaio::model {
 
@@ -42,6 +43,10 @@ struct RunReport {
   /// deliberately excluded: solver.solve_us buckets wall time and would
   /// break byte-determinism.
   std::vector<obs::MetricsRegistry::NamedValue> counters;
+  /// §6: queue-wait / dispatch-to-start / migration-delay distributions
+  /// derived from the capture's fleet.*/sched.* records (obs/profile.h).
+  /// Simulated-time based, so it stays byte-deterministic.
+  obs::SchedLatencyProfile sched;
 };
 
 /// Assembles a report by streaming a record source through the analyzer
@@ -94,6 +99,17 @@ struct ReportSummary {
   int retries = 0;
   int aborts = 0;
   int caused = 0;
+  /// §6 scheduler-latency rows; empty when the report predates them
+  /// (parse tolerates their absence so old baselines still diff).
+  struct SchedRow {
+    std::string name;
+    int count = 0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double p999_ms = 0.0;
+  };
+  std::vector<SchedRow> sched_latency;
 };
 
 /// Parses a render_json() document back into its diffable summary.

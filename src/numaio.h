@@ -16,11 +16,14 @@
 
 // Observability: structured tracing, metrics registry, scoped timers,
 // the streaming record-source core, trace analysis (critical path,
-// contention) and exporters (Chrome trace JSON for Perfetto, Prometheus
-// text exposition).
+// contention), exporters (Chrome trace JSON for Perfetto, Prometheus
+// text exposition), the profiling layer (folded stacks, scheduler
+// tail-latency histograms) and the live telemetry serve mode.
 #include "obs/analysis.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/serve.h"
 #include "obs/stream.h"
 
 // Simulation core: units, RNG, statistics, retry policy, status codes,

@@ -104,12 +104,27 @@ void MetricsRegistry::set(Id id, double value) {
 
 void MetricsRegistry::observe(Id id, double value) {
   if (id >= histograms_.size()) return;
-  Histogram& h = histograms_[id];
+  histograms_[id].observe(value);
+}
+
+void MetricsRegistry::Histogram::observe(double value) {
   // First bucket whose upper bound is >= value; past-the-end = overflow.
-  const auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(), value);
-  h.counts[static_cast<std::size_t>(it - h.bounds.begin())] += 1;
-  h.count += 1;
-  h.sum += value;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  counts[static_cast<std::size_t>(it - bounds.begin())] += 1;
+  count += 1;
+  sum += value;
+}
+
+void MetricsRegistry::merge_histogram(const Histogram& histogram) {
+  if (histogram.bounds.empty()) return;
+  const Id id = this->histogram(histogram.name, histogram.bounds);
+  Histogram& h = histograms_[id];
+  const std::size_t n = std::min(h.counts.size(), histogram.counts.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    h.counts[i] += histogram.counts[i];
+  }
+  h.count += histogram.count;
+  h.sum += histogram.sum;
 }
 
 double MetricsRegistry::value(std::string_view name) const {
@@ -257,7 +272,8 @@ std::string MetricsRegistry::summary() const {
         out << ", mean " << number(h->sum / static_cast<double>(h->count));
         out << ", p50 " << number(h->quantile(0.50)) << ", p95 "
             << number(h->quantile(0.95)) << ", p99 "
-            << number(h->quantile(0.99));
+            << number(h->quantile(0.99)) << ", p99.9 "
+            << number(h->quantile(0.999));
       }
       out << ")\n";
       for (std::size_t i = 0; i < h->counts.size(); ++i) {

@@ -61,9 +61,22 @@ class MetricsRegistry {
     /// the +inf overflow bucket report bounds.back() — the estimate is
     /// clamped to the observable range. Returns 0 for an empty histogram.
     double quantile(double q) const;
+
+    /// Records one sample (same bucketing as MetricsRegistry::observe).
+    /// Lets standalone collectors (obs/profile.h) accumulate into a plain
+    /// Histogram value before merging it into a registry.
+    void observe(double value);
   };
   /// nullptr when no histogram of that name exists.
   const Histogram* find_histogram(std::string_view name) const;
+
+  /// Folds an externally accumulated histogram into the registry: buckets,
+  /// count and sum are added into the histogram of the same name
+  /// (registered on first merge). Bounds must match an existing
+  /// registration; empty-bounds inputs are ignored. This is how the
+  /// scheduler-latency profile (obs/profile.h) lands in Prometheus
+  /// exports without the collector owning a registry.
+  void merge_histogram(const Histogram& histogram);
 
   /// Name-sorted snapshots, the exporters' iteration surface (the JSON
   /// and Prometheus renderings must not depend on registration order).

@@ -1,0 +1,170 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <ostream>
+
+namespace numaio::obs {
+
+namespace {
+
+/// Millisecond buckets shared by the three scheduler-latency histograms:
+/// sub-ms dispatch decisions up to the second-scale waits an overload
+/// storm produces. Matching fleet.latency_ms's flavor keeps Grafana
+/// queries uniform.
+std::vector<double> sched_latency_bounds() {
+  return {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+          250.0, 500.0, 1000.0};
+}
+
+MetricsRegistry::Histogram make_sched_histogram(const char* name) {
+  MetricsRegistry::Histogram h;
+  h.name = name;
+  h.bounds = sched_latency_bounds();
+  h.counts.assign(h.bounds.size() + 1, 0);
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Folded stacks.
+
+void FoldedStackCollector::record(const Event& event) {
+  stats_.records += 1;
+  if (event.kind == 'B') {
+    stats_.spans += 1;
+    OpenSpan span;
+    const auto parent = open_.find(event.parent);
+    if (parent != open_.end()) {
+      span.path = parent->second.path;
+      span.path += ';';
+      span.path += event.name;
+      span.parent = event.parent;
+    } else {
+      span.path = event.name;
+    }
+    span.t0 = event.t_sim;
+    open_.emplace(event.id, std::move(span));
+    if (open_.size() > stats_.peak_open_spans) {
+      stats_.peak_open_spans = open_.size();
+    }
+  } else if (event.kind == 'E') {
+    fold(event.span, event.t_sim);
+  }
+  // Instants carry no duration; they shape the analysis module's cause
+  // chains, not the flame.
+}
+
+void FoldedStackCollector::fold(EventId id, double end_t) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;  // end without begin: tolerated
+  OpenSpan& span = it->second;
+  const bool timed = span.t0 >= 0.0 && end_t >= span.t0;
+  const double duration = timed ? end_t - span.t0 : 0.0;
+  const double weight = weight_ == FoldWeight::kSelf
+                            ? std::max(0.0, duration - span.child_ns)
+                            : duration;
+  folded_[span.path] += weight;
+  const auto parent = open_.find(span.parent);
+  if (parent != open_.end()) parent->second.child_ns += duration;
+  open_.erase(it);
+}
+
+void FoldedStackCollector::finish() {
+  // Drain unclosed spans innermost-first (ids are monotonic and nesting
+  // is LIFO, so the largest open id has no open children left). With no
+  // end record, the only duration we can stand behind is the child time
+  // already attributed beneath the span.
+  while (!open_.empty()) {
+    const auto it = std::prev(open_.end());
+    const EventId id = it->first;
+    const double synthetic_end =
+        it->second.t0 >= 0.0 ? it->second.t0 + it->second.child_ns : -1.0;
+    fold(id, synthetic_end);
+  }
+  stats_.stacks = 0;
+  for (const auto& [path, weight] : folded_) {
+    if (std::llround(weight) > 0) stats_.stacks += 1;
+  }
+}
+
+void FoldedStackCollector::write(std::ostream& out) const {
+  for (const auto& [path, weight] : folded_) {
+    const long long w = std::llround(weight);
+    if (w <= 0) continue;
+    out << path << ' ' << w << '\n';
+  }
+}
+
+FoldStats export_folded_stacks(RecordSource& source, std::ostream& out,
+                               FoldWeight weight) {
+  FoldedStackCollector collector(weight);
+  source.stream(collector);
+  collector.finish();
+  collector.write(out);
+  return collector.stats();
+}
+
+// ---------------------------------------------------------------------
+// Scheduler latency.
+
+void SchedLatencyProfile::merge_into(MetricsRegistry& registry) const {
+  registry.merge_histogram(queue_wait);
+  registry.merge_histogram(dispatch);
+  registry.merge_histogram(migration);
+}
+
+SchedLatencyCollector::SchedLatencyCollector() {
+  profile_.queue_wait = make_sched_histogram("sched.queue_wait_ms");
+  profile_.dispatch = make_sched_histogram("sched.dispatch_ms");
+  profile_.migration = make_sched_histogram("sched.migration_ms");
+}
+
+void SchedLatencyCollector::record(const Event& event) {
+  const double t = event.t_sim;
+  if (t < 0.0) return;  // untimed records carry no latency information
+  const std::string& name = event.name;
+
+  if (name == "fleet.admit") {
+    if (event.outcome == "admitted") pending_[event.detail].admit_t = t;
+    return;
+  }
+  if (name == "fleet.dispatch") {
+    PendingTask& task = pending_[event.detail];
+    if (task.first_dispatch_t < 0.0) {
+      task.first_dispatch_t = t;
+      if (task.admit_t >= 0.0 && t >= task.admit_t) {
+        profile_.queue_wait.observe((t - task.admit_t) / 1e6);
+      }
+    }
+    if (event.outcome == "started" && !task.started) {
+      task.started = true;
+      if (t >= task.first_dispatch_t) {
+        profile_.dispatch.observe((t - task.first_dispatch_t) / 1e6);
+      }
+    }
+    return;
+  }
+  if (name == "sched.migrate" || name == "fleet.replace") {
+    PendingTask& task = pending_[event.detail];
+    if (task.last_move_t >= 0.0 && t >= task.last_move_t) {
+      profile_.migration.observe((t - task.last_move_t) / 1e6);
+    }
+    task.last_move_t = t;
+    return;
+  }
+  if (name == "fleet.complete" || name == "fleet.fail" ||
+      name == "fleet.shed" || name == "fleet.reject") {
+    pending_.erase(event.detail);
+  }
+}
+
+SchedLatencyProfile profile_scheduler(RecordSource& source) {
+  SchedLatencyCollector collector;
+  source.stream(collector);
+  return collector.profile();
+}
+
+}  // namespace numaio::obs

@@ -1,0 +1,150 @@
+// Profiling views over the record stream: folded stacks and scheduler
+// tail latency.
+//
+// The analysis module (obs/analysis.h) answers "what dominated this
+// run"; this one answers the two follow-up questions a tuner asks next:
+//
+//   1. *Where* exactly did the time go? FoldedStackCollector walks the
+//      span tree of any RecordSource in one streaming pass and folds
+//      every span into its ancestry path — `root;child;grandchild` — with
+//      a simulated-time weight, the folded-stack format flamegraph.pl
+//      and speedscope consume directly (docs/FORMATS.md §7). Weight is
+//      selectable: kWall charges a span its full duration (inclusive
+//      flame), kSelf its duration minus time spent in child spans
+//      (exclusive flame, the default — weights sum to distinct time).
+//
+//   2. How long did *scheduled work wait*? SchedLatencyCollector derives
+//      per-task queue-wait, dispatch-to-start and migration-delay
+//      distributions from the `fleet.*` / `sched.*` records the serving
+//      core and the online scheduler already emit, as fixed-bucket
+//      millisecond histograms (p50/p95/p99/p99.9). The profile merges
+//      into a MetricsRegistry, so the Prometheus exporter and `report`
+//      §6 render it with no extra wiring.
+//
+// Both collectors are single-pass TraceVisitors holding O(open spans +
+// in-flight tasks + distinct stacks) state — they ride the same
+// streaming core as everything else and also work as a live tap on a
+// running TraceRecorder (obs/serve.h).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/stream.h"
+#include "obs/trace.h"
+
+namespace numaio::obs {
+
+/// What a folded stack line weighs.
+enum class FoldWeight {
+  kWall,  ///< Span duration (inclusive; parents outweigh children).
+  kSelf,  ///< Duration minus child-span time (exclusive; sums to total).
+};
+
+/// What a fold pass did — the bench/ctest surface for the O(open spans)
+/// memory claim and for throughput numbers.
+struct FoldStats {
+  std::uint64_t records = 0;          ///< Records visited.
+  std::uint64_t spans = 0;            ///< Span begins seen.
+  std::uint64_t stacks = 0;           ///< Distinct folded lines emitted.
+  std::uint64_t peak_open_spans = 0;  ///< High-water open-span count.
+};
+
+/// Streams records into a folded-stack profile. Feed every record via
+/// record() (directly, through a RecordSource pass, or live through
+/// VisitorSink), then finish() once, then write(). Output lines are
+/// `path;to;span <weight>` with integer nanosecond weights, sorted by
+/// path, zero-weight stacks omitted — byte-deterministic for
+/// deterministic captures.
+class FoldedStackCollector final : public TraceVisitor {
+ public:
+  explicit FoldedStackCollector(FoldWeight weight = FoldWeight::kSelf)
+      : weight_(weight) {}
+
+  void record(const Event& event) override;
+
+  /// Folds still-open spans (innermost first) using the child time they
+  /// accumulated — an unclosed span contributes no self time but keeps
+  /// its closed children attributed. Call once, after the last record.
+  void finish();
+
+  /// Writes the folded lines. Valid before finish() too (a live rolling
+  /// snapshot of closed spans), but stats().stacks is set by finish().
+  void write(std::ostream& out) const;
+
+  const FoldStats& stats() const { return stats_; }
+
+ private:
+  struct OpenSpan {
+    std::string path;     ///< "root;...;this".
+    EventId parent = 0;   ///< Enclosing open span (0: root).
+    double t0 = -1.0;     ///< Begin t_sim; -1 untimed.
+    double child_ns = 0.0;  ///< Closed-child simulated time.
+  };
+
+  void fold(EventId id, double end_t);
+
+  FoldWeight weight_;
+  std::map<EventId, OpenSpan> open_;
+  std::map<std::string, double> folded_;  ///< path -> weight (ns).
+  FoldStats stats_;
+};
+
+/// One streaming pass: source -> folded-stack lines on `out`. The
+/// convenience wrapper behind `numaio_cli export --folded`.
+FoldStats export_folded_stacks(RecordSource& source, std::ostream& out,
+                               FoldWeight weight = FoldWeight::kSelf);
+
+/// The three scheduler-latency distributions, in milliseconds:
+///   queue_wait  fleet.admit -> first fleet.dispatch attempt,
+///   dispatch    first dispatch attempt -> the "started" one (refused
+///               attempts push it out),
+///   migration   gap between consecutive re-placements of one task
+///               (sched.migrate instants and fleet.replace events).
+struct SchedLatencyProfile {
+  MetricsRegistry::Histogram queue_wait;
+  MetricsRegistry::Histogram dispatch;
+  MetricsRegistry::Histogram migration;
+
+  bool empty() const {
+    return queue_wait.count == 0 && dispatch.count == 0 &&
+           migration.count == 0;
+  }
+
+  /// Folds all three histograms into `registry` (under their catalogued
+  /// sched.* names), so export_prometheus renders them as numaio_sched_*
+  /// histogram families.
+  void merge_into(MetricsRegistry& registry) const;
+};
+
+/// Derives the scheduler-latency profile record by record. Tasks are
+/// keyed by their request/task detail string; state is dropped when a
+/// request completes, fails or is shed, so memory stays O(in-flight
+/// requests + live tasks).
+class SchedLatencyCollector final : public TraceVisitor {
+ public:
+  SchedLatencyCollector();
+
+  void record(const Event& event) override;
+
+  const SchedLatencyProfile& profile() const { return profile_; }
+
+ private:
+  struct PendingTask {
+    double admit_t = -1.0;
+    double first_dispatch_t = -1.0;
+    bool started = false;
+    double last_move_t = -1.0;
+  };
+
+  std::map<std::string, PendingTask> pending_;
+  SchedLatencyProfile profile_;
+};
+
+/// One streaming pass: source -> scheduler-latency profile.
+SchedLatencyProfile profile_scheduler(RecordSource& source);
+
+}  // namespace numaio::obs

@@ -184,6 +184,10 @@ void JsonlTextSource::stream(TraceVisitor& visitor) {
 // Synthetic workload generator.
 
 void SyntheticTraceSource::stream(TraceVisitor& visitor) {
+  if (config_.depth > 1) {
+    stream_deep(visitor);
+    return;
+  }
   const std::uint64_t total = std::max<std::uint64_t>(config_.records, 8);
   const std::size_t window =
       static_cast<std::size_t>(std::max(config_.concurrent_streams, 1));
@@ -303,6 +307,130 @@ void SyntheticTraceSource::stream(TraceVisitor& visitor) {
     close_oldest();
   }
   t += 1.0 + static_cast<double>(rng() % 997);
+  Event end;
+  end.id = next_id++;
+  end.span = root_id;
+  end.kind = 'E';
+  end.outcome = "ok";
+  end.t_sim = t;
+  emit(std::move(end));
+}
+
+// Deep-chain shape (config_.depth > 1): under one root, consecutive
+// blocks of `depth` strictly nested spans — synth.d1;synth.d2;...;
+// synth.leafK, with K cycling over `fanout` — each block fully closed
+// (LIFO) before the next opens, instants padding the tail so the record
+// count lands exactly on config_.records. The folded-stack stress
+// fixture: 10^6 records fold into `fanout` deep stacks plus their
+// prefixes while never holding more than depth + 1 open spans.
+void SyntheticTraceSource::stream_deep(TraceVisitor& visitor) {
+  const std::uint64_t total = std::max<std::uint64_t>(config_.records, 8);
+  const std::uint64_t depth =
+      static_cast<std::uint64_t>(std::max(config_.depth, 2));
+  const std::uint64_t fanout =
+      static_cast<std::uint64_t>(std::max(config_.fanout, 1));
+  const int nodes = std::max(config_.nodes, 2);
+
+  std::uint64_t state =
+      config_.seed != 0 ? config_.seed : 0x9e3779b97f4a7c15ull;
+  const auto rng = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  EventId next_id = 1;
+  double t = 0.0;
+  std::uint64_t emitted = 0;
+  const auto emit = [&](Event&& e) {
+    e.wall_us = -1.0;
+    ++emitted;
+    visitor.record(e);
+  };
+  const auto advance = [&] {
+    t += 1.0 + static_cast<double>(rng() % 97);
+  };
+
+  Event root;
+  root.id = next_id++;
+  root.span = root.id;
+  root.kind = 'B';
+  root.name = "synth.run";
+  root.t_sim = t;
+  const EventId root_id = root.id;
+  emit(std::move(root));
+
+  // One block = depth begins + one instant + depth ends.
+  const std::uint64_t block_records = 2 * depth + 1;
+  std::uint64_t block = 0;
+  std::vector<EventId> chain;
+  chain.reserve(depth);
+  while (emitted + block_records + 1 <= total) {
+    chain.clear();
+    EventId parent = root_id;
+    for (std::uint64_t level = 0; level < depth; ++level) {
+      advance();
+      Event b;
+      b.id = next_id++;
+      b.span = b.id;
+      b.parent = parent;
+      b.kind = 'B';
+      b.name = level + 1 == depth
+                   ? "synth.leaf" + std::to_string(block % fanout)
+                   : "synth.d" + std::to_string(level + 1);
+      if (level + 1 == depth) {
+        b.node_a =
+            static_cast<int>(rng() % static_cast<std::uint64_t>(nodes));
+        b.node_b =
+            static_cast<int>(rng() % static_cast<std::uint64_t>(nodes));
+        b.dir = (rng() & 1) != 0 ? 'w' : 'r';
+      }
+      b.t_sim = t;
+      parent = b.id;
+      chain.push_back(b.id);
+      emit(std::move(b));
+    }
+    advance();
+    Event i;
+    i.id = next_id++;
+    i.span = chain.back();
+    i.kind = 'I';
+    i.name = "synth.attempt";
+    i.outcome = "launched";
+    i.t_sim = t;
+    emit(std::move(i));
+    while (!chain.empty()) {
+      advance();
+      Event e;
+      e.id = next_id++;
+      e.span = chain.back();
+      e.kind = 'E';
+      e.outcome = "ok";
+      e.t_sim = t;
+      if (chain.size() == depth) {
+        e.bytes = static_cast<long long>(1 + rng() % 64) * (1 << 20);
+      }
+      chain.pop_back();
+      emit(std::move(e));
+    }
+    ++block;
+  }
+
+  // Pad to the exact record count (minus the root's end) with instants.
+  while (emitted + 1 < total) {
+    advance();
+    Event i;
+    i.id = next_id++;
+    i.span = root_id;
+    i.kind = 'I';
+    i.name = "synth.attempt";
+    i.outcome = "launched";
+    i.t_sim = t;
+    emit(std::move(i));
+  }
+
+  advance();
   Event end;
   end.id = next_id++;
   end.span = root_id;

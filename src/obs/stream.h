@@ -131,6 +131,14 @@ struct SyntheticTraceConfig {
   int concurrent_streams = 32;      ///< Open-span window (excl. the root).
   int nodes = 8;                    ///< Node ids drawn for transfer pairs.
   std::uint64_t seed = 42;          ///< Generator seed.
+  /// depth > 1 switches to the deep-chain shape: consecutive blocks of
+  /// `depth` nested spans (synth.d1;...;synth.leafK paths), the folded-
+  /// stack stress fixture. Open spans stay <= depth + 1. depth <= 1
+  /// keeps the classic rolling-window shape byte-identical.
+  int depth = 1;
+  /// Deep-chain mode: distinct leaf names cycled across chains, i.e. the
+  /// number of distinct folded stacks the capture produces.
+  int fanout = 1;
 };
 
 /// Deterministic synthetic capture of arbitrary size with a bounded
@@ -146,6 +154,8 @@ class SyntheticTraceSource final : public RecordSource {
   void stream(TraceVisitor& visitor) override;
 
  private:
+  void stream_deep(TraceVisitor& visitor);
+
   SyntheticTraceConfig config_;
 };
 

@@ -147,6 +147,9 @@ class TraceRecorder {
   /// must outlive recording.
   void set_sink(TraceSink* sink);
   bool enabled() const { return sink_ != nullptr; }
+  /// The attached sink (nullptr when detached) — lets callers tee a live
+  /// tap with whatever sink is already wired (the CLI's --serve-port).
+  TraceSink* sink() const { return sink_; }
 
   /// Deterministic mode: never sample the wall clock; every record carries
   /// wall_us = -1 and the JSONL/CSV serializers omit the field, so two

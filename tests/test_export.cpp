@@ -1,8 +1,9 @@
 // Exporter tests: an exact golden rendering of a hand-built capture in
 // Chrome trace-event JSON (metadata, X/B/i phases, flow-event cause
 // edges), and Prometheus text exposition pinned by golden plus a
-// parse-back validator that re-checks the format rules (TYPE headers,
-// cumulative buckets, +Inf terminator, _sum/_count consistency).
+// parse-back validator (tests/prom_parse.h, shared with the live-serve
+// tests) that re-checks the format rules (TYPE headers, cumulative
+// buckets, +Inf terminator, _sum/_count consistency).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -13,6 +14,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prom_parse.h"
 
 namespace numaio::obs {
 namespace {
@@ -135,67 +137,7 @@ TEST(PrometheusExport, GoldenRendering) {
   EXPECT_EQ(out.str(), expected);
 }
 
-/// Minimal exposition-format parser: validates comment/TYPE structure,
-/// metric-name charset, and histogram bucket monotonicity, filling
-/// family -> declared type. Fails the test on any malformed line (void
-/// return so the ASSERT macros can bail out).
-void parse_back(const std::string& text,
-                std::map<std::string, std::string>* out_types) {
-  std::map<std::string, std::string>& types = *out_types;
-  std::map<std::string, double> last_bucket;  // family -> last cumulative
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
-    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
-    if (line.rfind("# HELP ", 0) == 0) continue;
-    if (line.rfind("# TYPE ", 0) == 0) {
-      std::istringstream fields(line.substr(7));
-      std::string family, type;
-      fields >> family >> type;
-      ASSERT_TRUE(type == "counter" || type == "gauge" ||
-                  type == "histogram")
-          << line;
-      types[family] = type;
-      continue;
-    }
-    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
-    // Sample line: name[{labels}] value
-    const std::size_t name_end = line.find_first_of("{ ");
-    ASSERT_NE(name_end, std::string::npos) << line;
-    const std::string name = line.substr(0, name_end);
-    for (const char c : name) {
-      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9') || c == '_' || c == ':';
-      ASSERT_TRUE(ok) << "bad metric name char in " << name;
-    }
-    const std::size_t value_at = line.find_last_of(' ');
-    const double value = std::stod(line.substr(value_at + 1));
-    // Every sample must belong to a declared family.
-    std::string family = name;
-    for (const std::string suffix : {"_bucket", "_sum", "_count"}) {
-      const std::size_t pos = family.size() > suffix.size()
-                                  ? family.rfind(suffix)
-                                  : std::string::npos;
-      if (pos != std::string::npos && pos == family.size() - suffix.size() &&
-          types.count(family.substr(0, pos)) != 0U) {
-        family = family.substr(0, pos);
-        break;
-      }
-    }
-    ASSERT_NE(types.count(family), 0U) << "sample without TYPE: " << line;
-    if (types[family] == "histogram" &&
-        line.find("_bucket{le=") != std::string::npos) {
-      ASSERT_GE(value, last_bucket[family]) << "non-cumulative: " << line;
-      last_bucket[family] = value;
-      if (line.find("le=\"+Inf\"") != std::string::npos) {
-        last_bucket.erase(family);
-      }
-    }
-  }
-  for (const auto& [family, cum] : last_bucket) {
-    ADD_FAILURE() << "histogram " << family << " missing +Inf bucket";
-  }
-}
+using test_support::parse_back;
 
 TEST(PrometheusExport, ParsesBackWithCatalogueHelp) {
   MetricsRegistry metrics;

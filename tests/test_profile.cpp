@@ -1,0 +1,292 @@
+// Profiling-layer tests (obs/profile.h): folded-stack semantics (wall vs
+// self weights, unclosed spans, path nesting), byte-determinism of the
+// folded export over a fixed-seed fleet run, the O(open spans) memory
+// bound on a million-record deep synthetic trace, the scheduler-latency
+// collector's event protocol, and the extreme-rank (q = 0.999) quantile
+// interpolation the new p99.9 columns stand on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/stream.h"
+#include "obs/trace.h"
+
+namespace numaio::obs {
+namespace {
+
+Event make(EventId id, SpanId span, EventId parent, char kind,
+           const std::string& name, double t_sim,
+           const std::string& outcome = "",
+           const std::string& detail = "") {
+  Event e;
+  e.id = id;
+  e.span = span;
+  e.parent = parent;
+  e.kind = kind;
+  e.name = name;
+  e.t_sim = t_sim;
+  e.outcome = outcome;
+  e.detail = detail;
+  e.wall_us = -1.0;
+  return e;
+}
+
+// --- Folded stacks ---------------------------------------------------------
+
+/// root [0, 1000] ns containing child [200, 700] ns.
+std::vector<Event> nested_capture() {
+  std::vector<Event> events;
+  events.push_back(make(1, 1, 0, 'B', "root", 0.0));
+  events.push_back(make(2, 2, 1, 'B', "child", 200.0));
+  events.push_back(make(3, 2, 0, 'E', "", 700.0, "ok"));
+  events.push_back(make(4, 1, 0, 'E', "", 1000.0, "ok"));
+  return events;
+}
+
+TEST(FoldedStacks, SelfWeightExcludesChildTime) {
+  const std::vector<Event> events = nested_capture();
+  VectorSource source(events);
+  std::ostringstream out;
+  const FoldStats stats =
+      export_folded_stacks(source, out, FoldWeight::kSelf);
+  EXPECT_EQ(out.str(), "root 500\nroot;child 500\n");
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.spans, 2u);
+  EXPECT_EQ(stats.stacks, 2u);
+  EXPECT_EQ(stats.peak_open_spans, 2u);
+}
+
+TEST(FoldedStacks, WallWeightChargesFullDuration) {
+  const std::vector<Event> events = nested_capture();
+  VectorSource source(events);
+  std::ostringstream out;
+  export_folded_stacks(source, out, FoldWeight::kWall);
+  EXPECT_EQ(out.str(), "root 1000\nroot;child 500\n");
+}
+
+TEST(FoldedStacks, UnclosedSpanKeepsClosedChildrenAttributed) {
+  // root never ends; its child closes with 300 ns. finish() must fold
+  // the root at its accumulated child time: zero self weight (dropped
+  // from the output), child line intact under the root path.
+  std::vector<Event> events;
+  events.push_back(make(1, 1, 0, 'B', "root", 0.0));
+  events.push_back(make(2, 2, 1, 'B', "child", 100.0));
+  events.push_back(make(3, 2, 0, 'E', "", 400.0, "ok"));
+  VectorSource source(events);
+  std::ostringstream out;
+  const FoldStats stats =
+      export_folded_stacks(source, out, FoldWeight::kSelf);
+  EXPECT_EQ(out.str(), "root;child 300\n");
+  EXPECT_EQ(stats.stacks, 1u);
+
+  // Under wall weight the unclosed root is charged its child time — the
+  // only duration the stream can stand behind.
+  VectorSource source2(events);
+  std::ostringstream wall;
+  export_folded_stacks(source2, wall, FoldWeight::kWall);
+  EXPECT_EQ(wall.str(), "root 300\nroot;child 300\n");
+}
+
+TEST(FoldedStacks, EndWithoutBeginIsTolerated) {
+  std::vector<Event> events;
+  events.push_back(make(1, 7, 0, 'E', "", 500.0, "ok"));
+  events.push_back(make(2, 0, 0, 'I', "note", 600.0));
+  VectorSource source(events);
+  std::ostringstream out;
+  const FoldStats stats = export_folded_stacks(source, out);
+  EXPECT_EQ(out.str(), "");
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.spans, 0u);
+}
+
+TEST(FoldedStacks, FixedSeedFleetRunFoldsByteIdentically) {
+  // The acceptance bar: two same-seed fleet storms, captured
+  // deterministically, must fold to byte-identical, well-formed output.
+  const auto run_folded = []() {
+    Context ctx;
+    ctx.trace.set_deterministic(true);
+    MemorySink capture;
+    ctx.trace.set_sink(&capture);
+    fleet::StormScenario storm = fleet::make_storm(
+        /*num_hosts=*/2, /*num_tenants=*/2, /*offered_rps=*/120.0,
+        /*seed=*/7, /*horizon=*/0.4e9);
+    fleet::FleetSim sim(storm.config, storm.tenants);
+    sim.set_fault_plan(std::move(storm.plan));
+    sim.set_observer(&ctx);
+    sim.run();
+    VectorSource source(capture.events);
+    std::ostringstream out;
+    export_folded_stacks(source, out);
+    return out.str();
+  };
+  const std::string first = run_folded();
+  const std::string second = run_folded();
+  EXPECT_EQ(first, second);
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("fleet.run"), std::string::npos) << first;
+
+  // Every line must be valid folded format: `path;to;span <integer>`
+  // with a positive weight and no empty path frames.
+  std::istringstream lines(first);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    const std::string path = line.substr(0, space);
+    EXPECT_EQ(path.find(' '), std::string::npos) << line;
+    EXPECT_NE(path.front(), ';') << line;
+    EXPECT_NE(path.back(), ';') << line;
+    EXPECT_EQ(path.find(";;"), std::string::npos) << line;
+    const long long weight = std::stoll(line.substr(space + 1));
+    EXPECT_GT(weight, 0) << line;
+  }
+}
+
+TEST(FoldedStacks, MillionRecordDeepTraceHoldsOpenSpanBound) {
+  // The streaming-memory claim: folding a 10^6-record capture whose
+  // spans nest 32 deep must never hold more than the nesting depth of
+  // open spans (+1 for the synthetic root) — peak state is O(open
+  // spans), not O(records).
+  SyntheticTraceConfig config;
+  config.records = 1000000;
+  config.depth = 32;
+  config.fanout = 8;
+  config.seed = 11;
+  SyntheticTraceSource source(config);
+  FoldedStackCollector collector(FoldWeight::kSelf);
+  source.stream(collector);
+  collector.finish();
+  const FoldStats& stats = collector.stats();
+  EXPECT_EQ(stats.records, 1000000u);
+  EXPECT_GT(stats.spans, 10000u);
+  EXPECT_LE(stats.peak_open_spans, 33u);
+  EXPECT_GT(stats.stacks, 0u);
+}
+
+// --- Scheduler latency -----------------------------------------------------
+
+TEST(SchedLatency, MeasuresQueueWaitDispatchAndMigration) {
+  // One request: admitted at 1 ms, first (refused) dispatch at 3 ms,
+  // started at 6 ms, then two migrations 2 ms apart.
+  const std::string req = "acme prio 1 req 4";
+  std::vector<Event> events;
+  events.push_back(make(1, 0, 0, 'I', "fleet.admit", 1.0e6, "admitted", req));
+  events.push_back(
+      make(2, 0, 0, 'I', "fleet.dispatch", 3.0e6, "refused", req));
+  events.push_back(
+      make(3, 0, 0, 'I', "fleet.dispatch", 6.0e6, "started", req));
+  events.push_back(make(4, 0, 0, 'I', "sched.migrate", 8.0e6, "", req));
+  events.push_back(make(5, 0, 0, 'I', "sched.migrate", 10.0e6, "", req));
+  events.push_back(make(6, 0, 0, 'I', "fleet.complete", 12.0e6, "ok", req));
+  VectorSource source(events);
+  const SchedLatencyProfile profile = profile_scheduler(source);
+
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.queue_wait.count, 1u);
+  EXPECT_DOUBLE_EQ(profile.queue_wait.sum, 2.0);  // 1 ms -> 3 ms
+  EXPECT_EQ(profile.dispatch.count, 1u);
+  EXPECT_DOUBLE_EQ(profile.dispatch.sum, 3.0);  // 3 ms -> 6 ms
+  EXPECT_EQ(profile.migration.count, 1u);       // first move only arms it
+  EXPECT_DOUBLE_EQ(profile.migration.sum, 2.0);  // 8 ms -> 10 ms
+}
+
+TEST(SchedLatency, RefusedOnlyDispatchNeverCountsAsStart) {
+  const std::string req = "acme prio 0 req 9";
+  std::vector<Event> events;
+  events.push_back(make(1, 0, 0, 'I', "fleet.admit", 0.0, "admitted", req));
+  events.push_back(
+      make(2, 0, 0, 'I', "fleet.dispatch", 2.0e6, "refused", req));
+  events.push_back(make(3, 0, 0, 'I', "fleet.shed", 5.0e6, "shed", req));
+  VectorSource source(events);
+  const SchedLatencyProfile profile = profile_scheduler(source);
+  EXPECT_EQ(profile.queue_wait.count, 1u);
+  EXPECT_EQ(profile.dispatch.count, 0u);
+  EXPECT_EQ(profile.migration.count, 0u);
+}
+
+TEST(SchedLatency, UntimedAndUnrelatedRecordsAreIgnored) {
+  std::vector<Event> events;
+  events.push_back(make(1, 0, 0, 'I', "fleet.admit", -1.0, "admitted", "x"));
+  events.push_back(make(2, 0, 0, 'I', "fio.retry", 1.0e6, "retry", "x"));
+  VectorSource source(events);
+  const SchedLatencyProfile profile = profile_scheduler(source);
+  EXPECT_TRUE(profile.empty());
+  // Named histograms exist even when empty — report §6 renders
+  // zero-count rows rather than vanishing.
+  EXPECT_EQ(profile.queue_wait.name, "sched.queue_wait_ms");
+  EXPECT_EQ(profile.dispatch.name, "sched.dispatch_ms");
+  EXPECT_EQ(profile.migration.name, "sched.migration_ms");
+}
+
+TEST(SchedLatency, MergeIntoRegistryFeedsPrometheusNames) {
+  const std::string req = "t prio 0 req 1";
+  std::vector<Event> events;
+  events.push_back(make(1, 0, 0, 'I', "fleet.admit", 0.0, "admitted", req));
+  events.push_back(
+      make(2, 0, 0, 'I', "fleet.dispatch", 4.0e6, "started", req));
+  VectorSource source(events);
+  const SchedLatencyProfile profile = profile_scheduler(source);
+
+  MetricsRegistry registry;
+  profile.merge_into(registry);
+  const MetricsRegistry::Histogram* h =
+      registry.find_histogram("sched.queue_wait_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 4.0);
+  // Merging twice doubles the counts (merge is additive, not replace).
+  profile.merge_into(registry);
+  EXPECT_EQ(registry.find_histogram("sched.queue_wait_ms")->count, 2u);
+}
+
+// --- Extreme-rank quantiles (the p99.9 columns) ----------------------------
+
+TEST(HistogramQuantile, ExtremeRankInterpolatesWithFewSamples) {
+  // Three samples in the single finite bucket [0, 10]: rank 0.999 * 3 =
+  // 2.997 interpolates to 10 * (2.997 / 3) = 9.99 — the estimate moves
+  // continuously with q even when the sample count is tiny.
+  MetricsRegistry::Histogram h;
+  h.name = "t";
+  h.bounds = {10.0};
+  h.counts.assign(2, 0);
+  h.observe(5.0);
+  h.observe(5.0);
+  h.observe(5.0);
+  EXPECT_NEAR(h.quantile(0.999), 9.99, 1e-12);
+  // And it stays ordered against the neighbouring quantiles.
+  EXPECT_LT(h.quantile(0.99), h.quantile(0.999));
+  EXPECT_LE(h.quantile(0.999), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, ExtremeRankAcrossBuckets) {
+  // 1 sample in [0,1], 3 in (1,2]: rank 3.996 lands in the second
+  // bucket -> 1 + (3.996 - 1) / 3 = 1.99866...
+  MetricsRegistry::Histogram h;
+  h.name = "t";
+  h.bounds = {1.0, 2.0};
+  h.counts.assign(3, 0);
+  h.observe(0.5);
+  h.observe(1.2);
+  h.observe(1.5);
+  h.observe(1.8);
+  EXPECT_NEAR(h.quantile(0.999), 1.0 + 2.996 / 3.0, 1e-12);
+}
+
+TEST(HistogramQuantile, OverflowRankClampsToLastBound) {
+  MetricsRegistry::Histogram h;
+  h.name = "t";
+  h.bounds = {10.0};
+  h.counts.assign(2, 0);
+  h.observe(500.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 10.0);
+}
+
+}  // namespace
+}  // namespace numaio::obs

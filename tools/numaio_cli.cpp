@@ -18,10 +18,17 @@
 //                                        analyzed run report (critical path,
 //                                        contention, class table, fault audit)
 //                                        or deltas against a saved JSON report
-//   numaio_cli export --trace-in FILE [--chrome FILE]
+//   numaio_cli export --trace-in FILE [--chrome FILE] [--folded FILE]
 //                                        re-render a capture for Perfetto
+//                                        or flamegraph.pl / speedscope
 //   numaio_cli synth-trace --out FILE    write a deterministic synthetic
-//                                        capture (scale testing)
+//                                        capture (scale testing); --depth/
+//                                        --fanout build deep span chains
+//   numaio_cli serve [--port P] [--refresh-ms MS] [--rounds N]
+//                                        run fleet storm rounds while a
+//                                        local HTTP endpoint serves live
+//                                        Prometheus text and a rolling
+//                                        report (src/obs/serve.h)
 //   numaio_cli help
 //
 // `report --trace-in` and `export --trace-in` stream the JSONL capture
@@ -40,6 +47,7 @@
 // Everything runs against the simulated DL585 testbed; on real hardware
 // the same library calls would sit on top of libnuma (see DESIGN.md).
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +56,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "numaio.h"
@@ -85,13 +94,17 @@ int usage() {
       "  fleet [--hosts N] [--tenants N] [--rate RPS] [--seed S]\n"
       "        [--duration SECONDS] [--queue-depth N] [--deadline-ms MS]\n"
       "        [--plan FILE] [--print-plan]\n"
+      "        [--serve-port P] [--refresh-ms MS] [--linger-ms MS]\n"
       "                                   run the fleet serving core: a\n"
       "                                   multi-tenant storm over N hosts\n"
       "                                   with admission control, shedding,\n"
       "                                   breakers and (by default) one\n"
       "                                   host crashing mid-run; --plan\n"
       "                                   replaces the default fault plan\n"
-      "                                   (docs/FORMATS.md section 6)\n"
+      "                                   (docs/FORMATS.md section 6);\n"
+      "                                   --serve-port exposes live\n"
+      "                                   telemetry over HTTP during the\n"
+      "                                   run (0 = ephemeral port)\n"
       "  faults [--seed S] [--events N] [--jobfile FILE]\n"
       "                                   run I/O under an injected fault plan\n"
       "  replay <trace.csv>               replay a transfer trace\n"
@@ -110,14 +123,29 @@ int usage() {
       "                                   --diff prints class-structure and\n"
       "                                   critical-path deltas against a\n"
       "                                   saved --format json report\n"
-      "  export [--trace-in FILE --chrome FILE]\n"
+      "  export [--trace-in FILE [--chrome FILE] [--folded FILE]\n"
+      "          [--fold-weight wall|self]]\n"
       "         [--metrics-in FILE --prom FILE]\n"
       "                                   re-render saved captures (Chrome\n"
-      "                                   trace JSON / Prometheus text);\n"
-      "                                   traces stream, any size\n"
+      "                                   trace JSON / folded stacks for\n"
+      "                                   flamegraph.pl or speedscope /\n"
+      "                                   Prometheus text); traces stream,\n"
+      "                                   any size\n"
       "  synth-trace --out FILE [--records N] [--streams N] [--seed S]\n"
+      "              [--depth D] [--fanout F]\n"
       "                                   write a deterministic synthetic\n"
-      "                                   JSONL capture for scale testing\n"
+      "                                   JSONL capture for scale testing;\n"
+      "                                   --depth > 1 nests spans D deep\n"
+      "                                   (flame-fold stress shape)\n"
+      "  serve [--port P] [--refresh-ms MS] [--rounds N] [--linger-ms MS]\n"
+      "        [--hosts N] [--tenants N] [--rate RPS] [--seed S]\n"
+      "        [--duration SECONDS]\n"
+      "                                   run N fleet storm rounds while\n"
+      "                                   serving GET /metrics (Prometheus\n"
+      "                                   text), /report (rolling markdown)\n"
+      "                                   and /healthz on 127.0.0.1:P\n"
+      "                                   (default port 0 = ephemeral,\n"
+      "                                   printed on stdout)\n"
       "  help                             this text\n"
       "global options (any subcommand):\n"
       "  --trace-out FILE                 write a span/event trace (JSONL;\n"
@@ -600,6 +628,9 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   const double deadline_ms = take_double(args, "--deadline-ms", 0.0);
   const std::string plan_path = take_flag(args, "--plan");
   const bool print_plan = take_switch(args, "--print-plan");
+  const int serve_port = take_int(args, "--serve-port", -1);
+  const int refresh_ms = take_int(args, "--refresh-ms", 250);
+  const int linger_ms = take_int(args, "--linger-ms", 0);
   if (!args.empty()) {
     usage_error("fleet: unknown option '" + args.front() + "'");
   }
@@ -608,6 +639,8 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   if (rate <= 0.0) usage_error("--rate wants a positive req/s");
   if (duration_s <= 0.0) usage_error("--duration wants positive seconds");
   if (deadline_ms < 0.0) usage_error("--deadline-ms wants >= 0");
+  if (serve_port > 65535) usage_error("--serve-port wants a port <= 65535");
+  if (linger_ms < 0) usage_error("--linger-ms wants >= 0");
 
   fleet::StormScenario storm =
       fleet::make_storm(hosts, tenants, rate, seed, duration_s * 1e9);
@@ -626,12 +659,117 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   fleet::FleetSim sim(storm.config, storm.tenants);
   sim.set_fault_plan(std::move(storm.plan));
   sim.set_observer(&ctx);
+
+  // --serve-port: tee a live telemetry tap with whatever sink main()
+  // wired (file serializer, capture, or none) and expose the rolling
+  // snapshot over HTTP for the duration of the run (obs/serve.h). The
+  // port is printed (and flushed) before the storm starts so scripts can
+  // scrape mid-run; --linger-ms keeps the endpoint up after the drain.
+  obs::TelemetryHub hub;
+  obs::TelemetryServer server(hub);
+  std::unique_ptr<obs::TelemetryTap> tap;
+  std::unique_ptr<obs::VisitorSink> tap_sink;
+  obs::TeeSink serve_tee;
+  obs::TraceSink* const prev_sink = ctx.trace.sink();
+  if (serve_port >= 0) {
+    tap = std::make_unique<obs::TelemetryTap>(hub, &ctx.metrics, refresh_ms);
+    tap_sink = std::make_unique<obs::VisitorSink>(*tap);
+    serve_tee.add(prev_sink);  // add() ignores nullptr
+    serve_tee.add(tap_sink.get());
+    ctx.trace.set_sink(&serve_tee);
+    server.start(serve_port);
+    std::printf("serving telemetry on http://127.0.0.1:%d"
+                " (GET /metrics /report /healthz), refresh %d ms\n",
+                server.port(), refresh_ms);
+    std::fflush(stdout);
+  }
+
   const fleet::FleetReport report = sim.run();
+
+  if (tap != nullptr) {
+    tap->flush();  // final state stays scrapeable regardless of cadence
+    if (linger_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+    server.stop();
+    ctx.trace.set_sink(prev_sink);
+  }
   std::printf(
       "fleet: %d hosts, %d tenants, %.0f req/s offered, seed %llu, "
       "%.1f s horizon\n\n%s",
       hosts, tenants, rate, static_cast<unsigned long long>(seed),
       duration_s, report.summary().c_str());
+  return 0;
+}
+
+/// `serve`: the standing-telemetry counterpart of `fleet --serve-port`.
+/// Runs `--rounds` storm rounds back to back (seed advancing per round)
+/// with the live tap attached the whole time, so /metrics and /report
+/// roll forward across rounds; then lingers `--linger-ms` before
+/// shutting the endpoint down.
+int cmd_serve(obs::Context& ctx, std::vector<std::string>& args,
+              const sim::SolveOptions& solve) {
+  const int port = take_int(args, "--port", 0);
+  const int refresh_ms = take_int(args, "--refresh-ms", 250);
+  const int rounds = take_int(args, "--rounds", 3);
+  const int linger_ms = take_int(args, "--linger-ms", 0);
+  const int hosts = take_int(args, "--hosts", 4);
+  const int tenants = take_int(args, "--tenants", 3);
+  const double rate = take_double(args, "--rate", 900.0);
+  const std::uint64_t seed = take_u64(args, "--seed", 42);
+  const double duration_s = take_double(args, "--duration", 2.0);
+  if (!args.empty()) {
+    usage_error("serve: unknown option '" + args.front() + "'");
+  }
+  if (port < 0 || port > 65535) usage_error("--port wants 0..65535");
+  if (rounds < 1) usage_error("--rounds wants a positive count");
+  if (linger_ms < 0) usage_error("--linger-ms wants >= 0");
+  if (hosts < 1) usage_error("--hosts wants a positive count");
+  if (tenants < 1) usage_error("--tenants wants a positive count");
+  if (rate <= 0.0) usage_error("--rate wants a positive req/s");
+  if (duration_s <= 0.0) usage_error("--duration wants positive seconds");
+
+  obs::TelemetryHub hub;
+  obs::TelemetryTap tap(hub, &ctx.metrics, refresh_ms);
+  obs::VisitorSink tap_sink(tap);
+  obs::TeeSink tee;
+  obs::TraceSink* const prev_sink = ctx.trace.sink();
+  tee.add(prev_sink);  // add() ignores nullptr
+  tee.add(&tap_sink);
+  ctx.trace.set_sink(&tee);
+
+  obs::TelemetryServer server(hub);
+  server.start(port);
+  std::printf("serving telemetry on http://127.0.0.1:%d"
+              " (GET /metrics /report /healthz), refresh %d ms\n",
+              server.port(), refresh_ms);
+  std::fflush(stdout);
+
+  for (int round = 0; round < rounds; ++round) {
+    fleet::StormScenario storm = fleet::make_storm(
+        hosts, tenants, rate, seed + static_cast<std::uint64_t>(round),
+        duration_s * 1e9);
+    storm.config.solve = solve;
+    fleet::FleetSim sim(storm.config, storm.tenants);
+    sim.set_fault_plan(std::move(storm.plan));
+    sim.set_observer(&ctx);
+    const fleet::FleetReport report = sim.run();
+    tap.flush();  // round boundary is always scrapeable
+    std::printf("round %d/%d: %lld submitted, %lld completed, "
+                "accepted p99 %.1f ms / p99.9 %.1f ms (generation %llu)\n",
+                round + 1, rounds, report.submitted, report.completed,
+                report.accepted_p99 / 1e6, report.accepted_p999 / 1e6,
+                static_cast<unsigned long long>(hub.generation()));
+    std::fflush(stdout);
+  }
+  if (linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  server.stop();
+  ctx.trace.set_sink(prev_sink);
+  std::printf("served %llu records across %d rounds, %llu refreshes\n",
+              static_cast<unsigned long long>(tap.records_seen()), rounds,
+              static_cast<unsigned long long>(hub.generation()));
   return 0;
 }
 
@@ -746,22 +884,51 @@ int cmd_report(io::Testbed& tb, obs::Context& ctx, obs::MemorySink* capture,
 int cmd_export(const std::vector<std::string>& args) {
   const std::string trace_in = flag_value(args, "--trace-in", "");
   const std::string chrome = flag_value(args, "--chrome", "");
+  const std::string folded = flag_value(args, "--folded", "");
+  const std::string fold_weight = flag_value(args, "--fold-weight", "self");
   const std::string metrics_in = flag_value(args, "--metrics-in", "");
   const std::string prom = flag_value(args, "--prom", "");
   if (trace_in.empty() && metrics_in.empty()) {
     usage_error("export wants --trace-in FILE and/or --metrics-in FILE");
   }
+  if (fold_weight != "wall" && fold_weight != "self") {
+    usage_error("--fold-weight must be wall or self, got '" + fold_weight +
+                "'");
+  }
   if (!trace_in.empty()) {
-    if (chrome.empty()) usage_error("--trace-in wants --chrome FILE");
-    // Two streaming passes over the file; the capture never lands in
+    if (chrome.empty() && folded.empty()) {
+      usage_error("--trace-in wants --chrome FILE and/or --folded FILE");
+    }
+    // Streaming passes over the file; the capture never lands in
     // memory, so exports scale to any trace the disk holds.
     obs::JsonlFileSource source = open_trace_source(trace_in);
-    std::ofstream file(chrome, std::ios::binary);
-    if (!file) {
-      throw StatusError(StatusCode::kNoFile,
-                        "cannot write '" + chrome + "'");
+    if (!chrome.empty()) {
+      std::ofstream file(chrome, std::ios::binary);
+      if (!file) {
+        throw StatusError(StatusCode::kNoFile,
+                          "cannot write '" + chrome + "'");
+      }
+      obs::export_chrome_trace(source, file);
     }
-    obs::export_chrome_trace(source, file);
+    if (!folded.empty()) {
+      std::ofstream file(folded, std::ios::binary);
+      if (!file) {
+        throw StatusError(StatusCode::kNoFile,
+                          "cannot write '" + folded + "'");
+      }
+      const obs::FoldWeight weight = fold_weight == "wall"
+                                         ? obs::FoldWeight::kWall
+                                         : obs::FoldWeight::kSelf;
+      const obs::FoldStats stats =
+          obs::export_folded_stacks(source, file, weight);
+      std::printf("folded %llu records into %llu stacks "
+                  "(%llu spans, peak %llu open) -> %s\n",
+                  static_cast<unsigned long long>(stats.records),
+                  static_cast<unsigned long long>(stats.stacks),
+                  static_cast<unsigned long long>(stats.spans),
+                  static_cast<unsigned long long>(stats.peak_open_spans),
+                  folded.c_str());
+    }
   }
   if (!metrics_in.empty()) {
     if (prom.empty()) usage_error("--metrics-in wants --prom FILE");
@@ -804,9 +971,13 @@ int cmd_synth_trace(const std::vector<std::string>& args) {
   config.concurrent_streams =
       int_flag(args, "--streams", config.concurrent_streams);
   config.seed = u64_flag(args, "--seed", config.seed);
+  config.depth = int_flag(args, "--depth", config.depth);
+  config.fanout = int_flag(args, "--fanout", config.fanout);
   if (config.concurrent_streams < 1) {
     usage_error("--streams wants a positive count");
   }
+  if (config.depth < 1) usage_error("--depth wants a positive depth");
+  if (config.fanout < 1) usage_error("--fanout wants a positive count");
 
   std::ofstream file(out, std::ios::binary);
   if (!file) {
@@ -842,8 +1013,10 @@ int dispatch(const std::string& cmd, std::vector<std::string>& args,
   if (cmd == "classes") return cmd_classes(args);
   if (cmd == "export") return cmd_export(args);
   if (cmd == "synth-trace") return cmd_synth_trace(args);
-  // `fleet` builds its own hosts (one testbed per fleet host).
+  // `fleet` and `serve` build their own hosts (one testbed per fleet
+  // host).
   if (cmd == "fleet") return cmd_fleet(ctx, args, solve);
+  if (cmd == "serve") return cmd_serve(ctx, args, solve);
 
   io::Testbed tb = io::Testbed::dl585(solve);
   if (observing) tb.machine().solver().set_observer(&ctx);
