@@ -720,6 +720,32 @@ BenchResult bench_fleet_storm() {
   });
 }
 
+/// The fleet-scale request path (DESIGN.md §12): thousands of tenants at
+/// six-figure offered rps over 16 hosts, batched admission epochs over
+/// sharded tenant state, coarse service modeling, class-spread placement
+/// and a mid-run host crash. sched_rps carries the throughput contract —
+/// the perf guard holds it to an absolute 1e5 floor (it is simulated-time
+/// deterministic, so the floor gates capability, not host noise) — and
+/// placement_p99_ms pins the admission -> first-dispatch tail.
+BenchResult bench_fleet_scale() {
+  using namespace numaio::fleet;
+  return timed(2, [&] {
+    StormScenario storm = make_scale_storm(
+        /*num_hosts=*/16, /*num_tenants=*/2000, /*offered_rps=*/150000.0,
+        /*seed=*/11, /*horizon=*/1.0e9);
+    FleetSim sim(storm.config, storm.tenants);
+    sim.set_fault_plan(storm.plan);
+    const FleetReport report = sim.run();
+    return std::map<std::string, double>{
+        {"sched_rps", report.attempts_per_s},
+        {"placement_p99_ms", report.placement_p99 / 1e6},
+        {"shed_fraction", report.shed_fraction},
+        {"completed", static_cast<double>(report.completed)},
+        {"replaced", static_cast<double>(report.replaced)},
+        {"breaker_trips", static_cast<double>(report.breaker_trips)}};
+  });
+}
+
 BenchSet run_benches(int reps) {
   io::Testbed tb = io::Testbed::dl585();
   BenchSet out;
@@ -734,6 +760,7 @@ BenchSet run_benches(int reps) {
   out["solver_storm_mt"] = bench_solver_storm_mt();
   out["fluid_replay"] = bench_fluid_replay();
   out["fleet_storm"] = bench_fleet_storm();
+  out["fleet_scale"] = bench_fleet_scale();
   return out;
 }
 
@@ -745,6 +772,7 @@ struct CompareOptions {
   double metric_tol = 0.01;    ///< Relative, either direction.
   double stall_tol = 0.02;     ///< Absolute, for *_stall_frac metrics.
   double speedup_floor = 3.0;  ///< Minimum for *_speedup metrics.
+  double rps_floor = 1.0e5;    ///< Minimum for fleet_scale's sched_rps.
   bool skip_wall = false;
   bool skip_speedup = false;   ///< Drop the *_speedup floor gate.
 };
@@ -819,6 +847,22 @@ int compare(const BenchSet& base, const BenchSet& current,
         } else {
           std::printf("ok   %-26s %s %.2fx (floor %.2fx)\n", name.c_str(),
                       metric.c_str(), cur_value, options.speedup_floor);
+        }
+        continue;
+      }
+      // fleet_scale's sched_rps is the ISSUE 9 throughput contract: an
+      // absolute floor, not a relative band. It is computed from
+      // simulated time, so unlike wall-clock it cannot regress from host
+      // noise — falling below the floor means the request path itself
+      // lost capability.
+      if (name == "fleet_scale" && metric == "sched_rps") {
+        if (cur_value < options.rps_floor) {
+          std::printf("FAIL %-26s %s %.0f < %.0f floor\n", name.c_str(),
+                      metric.c_str(), cur_value, options.rps_floor);
+          ++failures;
+        } else {
+          std::printf("ok   %-26s %s %.0f (floor %.0f)\n", name.c_str(),
+                      metric.c_str(), cur_value, options.rps_floor);
         }
         continue;
       }
@@ -898,7 +942,7 @@ int usage() {
       "usage: bench_harness run [--out FILE] [--reps N]\n"
       "       bench_harness compare BASELINE CURRENT [--wall-tol F]\n"
       "               [--metric-tol F] [--stall-tol F] [--skip-wall]\n"
-      "               [--speedup-floor F] [--skip-speedup]\n"
+      "               [--speedup-floor F] [--skip-speedup] [--rps-floor F]\n"
       "       bench_harness perturb IN OUT --wall-scale F\n");
   return 2;
 }
@@ -938,6 +982,8 @@ int main(int argc, char** argv) {
           std::stod(flag_value(args, "--stall-tol", "0.02"));
       options.speedup_floor =
           std::stod(flag_value(args, "--speedup-floor", "3.0"));
+      options.rps_floor =
+          std::stod(flag_value(args, "--rps-floor", "1.0e5"));
       options.skip_wall = take_switch(args, "--skip-wall");
       options.skip_speedup = take_switch(args, "--skip-speedup");
       if (args.size() != 2) return usage();

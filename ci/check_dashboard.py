@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Grafana dashboard checker for the numaio metric families.
+
+Usage: check_dashboard.py DASHBOARD.json PROM_SNAPSHOT.txt
+
+Two gates, both cheap and deterministic:
+
+  1. The dashboard must be well-formed JSON with at least one panel
+     carrying a PromQL expr (a truncated or hand-mangled file fails
+     loudly instead of rendering as an empty board).
+  2. Every `numaio_*` series name referenced by any expr must exist in
+     the given Prometheus text-exposition snapshot — the output of
+     `numaio_cli ... --prom-out FILE` or a GET /metrics scrape. This
+     pins the dashboard to the exporter's real naming scheme (numaio_
+     prefix, dots to underscores, counters suffixed _total, histograms
+     split into _bucket/_sum/_count), so a renamed or dropped metric
+     breaks CI here rather than silently blanking a panel.
+
+Exit code 0 on success, 1 with one line per problem otherwise.
+"""
+
+import json
+import re
+import sys
+
+
+def series_names(prom_text):
+    """All series names in a text-exposition snapshot (labels stripped)."""
+    names = set()
+    for line in prom_text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        names.add(re.split(r"[{ ]", line, maxsplit=1)[0])
+    return names
+
+
+def panel_exprs(node):
+    """Every 'expr' string anywhere in the dashboard tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "expr" and isinstance(value, str):
+                yield value
+            else:
+                yield from panel_exprs(value)
+    elif isinstance(node, list):
+        for value in node:
+            yield from panel_exprs(value)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    dash_path, prom_path = sys.argv[1], sys.argv[2]
+
+    with open(dash_path, encoding="utf-8") as f:
+        dashboard = json.load(f)  # gate 1: must parse
+
+    exprs = list(panel_exprs(dashboard.get("panels", [])))
+    if not exprs:
+        print(f"FAIL {dash_path}: no panel exprs found")
+        return 1
+
+    referenced = set()
+    for expr in exprs:
+        referenced.update(re.findall(r"numaio_[a-z0-9_]+", expr))
+    if not referenced:
+        print(f"FAIL {dash_path}: exprs reference no numaio_* families")
+        return 1
+
+    with open(prom_path, encoding="utf-8") as f:
+        exported = series_names(f.read())
+
+    missing = sorted(referenced - exported)
+    for name in missing:
+        print(f"FAIL {dash_path}: {name} not exported (see {prom_path})")
+    if missing:
+        return 1
+
+    print(
+        f"dashboard ok: {len(exprs)} exprs over "
+        f"{len(referenced)} exported numaio_* series"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

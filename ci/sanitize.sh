@@ -31,11 +31,13 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 # The fleet serving suite also runs standalone: its runtime is the one
 # place where event-engine callbacks hold (id, generation) handles across
 # host crashes that tear down in-flight state — exactly where a stale
-# pointer or double-detach would surface as a use-after-free.
+# pointer or double-detach would surface as a use-after-free. The scale
+# suites (FleetScale/ShardSet) add the batched admission path: per-shard
+# arenas drained by pool lanes and 2,000-tenant storm runs.
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$BUILD_DIR/tests/numaio_tests" \
-  --gtest_filter='TokenBucket*:BoundedQueue*:CircuitBreaker*:AdmissionStatus*:FleetSim*:FaultPlanFile*'
+  --gtest_filter='TokenBucket*:BoundedQueue*:CircuitBreaker*:AdmissionStatus*:FleetSim*:FleetScale*:ShardSet*:FaultPlanFile*'
 
 # halt_on_error: the first sanitizer report fails the test run instead of
 # scrolling past; detect_leaks exercises the Host/Buffer ownership paths.
@@ -61,8 +63,11 @@ cmake -B "$TSAN_BUILD_DIR" -S "$ROOT" \
 
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target numaio_tests
 
+# FleetScale/ShardSet join the TSan filter for the batched admission
+# fan-out: shard arenas and verdict bytes are written concurrently by
+# pool lanes, relying only on the fork-join barrier for publication.
 TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/tests/numaio_tests" \
-  --gtest_filter='ThreadPool.*:*ParallelSolverProperty*:FlowSolverParallel.*'
+  --gtest_filter='ThreadPool.*:*ParallelSolverProperty*:FlowSolverParallel.*:FleetScale*:ShardSet*'
 
 echo "sanitize: parallel solver is clean under TSan"

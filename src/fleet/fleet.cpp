@@ -10,6 +10,8 @@
 
 #include "faults/injector.h"
 #include "fleet/admission.h"
+#include "fleet/placement.h"
+#include "fleet/shard.h"
 #include "io/fio.h"
 #include "io/nic.h"
 #include "io/testbed.h"
@@ -17,6 +19,7 @@
 #include "simcore/event_engine.h"
 #include "simcore/rng.h"
 #include "simcore/stats.h"
+#include "simcore/thread_pool.h"
 
 namespace numaio::fleet {
 
@@ -45,6 +48,20 @@ FleetSim::FleetSim(FleetConfig config, std::vector<TenantSpec> tenants)
     throw StatusError(StatusCode::kUsage,
                       "queue depth and per-host inflight must be >= 1");
   }
+  if (config_.shards < 1) {
+    throw StatusError(StatusCode::kUsage, "shards must be >= 1");
+  }
+  if (config_.batch_window < 0.0) {
+    throw StatusError(StatusCode::kUsage, "batch window must be >= 0");
+  }
+  if (config_.batch_window > 0.0 &&
+      config_.batch_window >= config_.deadline) {
+    throw StatusError(StatusCode::kUsage,
+                      "batch window must be shorter than the deadline");
+  }
+  if (config_.summary_refresh <= 0.0) {
+    throw StatusError(StatusCode::kUsage, "summary refresh must be > 0");
+  }
 }
 
 FleetSim::~FleetSim() = default;
@@ -65,6 +82,7 @@ struct Request {
   int tenant = 0;
   int priority = 0;
   sim::Ns submit = 0.0;
+  sim::Ns admitted_at = 0.0;  ///< When admission said yes (epoch drain).
   sim::Ns deadline_at = 0.0;
   sim::Bytes bytes = 0;
   const char* engine = io::kTcpSend;
@@ -96,16 +114,14 @@ struct HostState {
       : tb(std::move(testbed)), breaker(breaker_cfg) {}
 };
 
+/// Per-tenant bookkeeping that stays on the main event loop. Quota
+/// buckets and retry budgets live in the ShardSet arenas instead
+/// (fleet/shard.h), so batched epochs can drain them shard-parallel.
 struct TenantRuntime {
-  TokenBucket bucket;
   sim::Rng arrivals;
-  int retry_budget = 0;
   TenantStats stats;
   std::vector<double> latencies;
-  explicit TenantRuntime(const TenantSpec& spec, sim::Rng rng)
-      : bucket(spec.quota_rate_per_s, spec.quota_burst),
-        arrivals(rng),
-        retry_budget(spec.retry_budget) {}
+  explicit TenantRuntime(sim::Rng rng) : arrivals(rng) {}
 };
 
 class FleetRuntime {
@@ -117,12 +133,18 @@ class FleetRuntime {
         specs_(tenants),
         obs_(obs),
         queue_(config.queue_depth),
+        shards_(std::span<const TenantSpec>(tenants), config.shards),
+        placer_(config.num_hosts,
+                PlacerConfig{/*rel_gap=*/0.08, config.summary_refresh}),
         backoff_rng_(sim::Rng(config.seed).fork(0x666c656574u, 1)),
         workload_rng_(sim::Rng(config.seed).fork(0x666c656574u, 2)) {
     build_hosts();
+    if (config_.batch_window > 0.0 && config_.shards > 1) {
+      admit_pool_ = std::make_unique<sim::ThreadPool>(
+          std::min(config_.shards, 8));
+    }
     for (std::size_t t = 0; t < specs_.size(); ++t) {
       tenants_.emplace_back(
-          specs_[t],
           sim::Rng(config_.seed).fork(0x666c656574u, 0x100 + t));
       tenants_.back().stats.name = specs_[t].name;
       tenants_.back().stats.priority = specs_[t].priority;
@@ -172,6 +194,31 @@ class FleetRuntime {
                                          model::Direction::kDeviceRead);
     const auto wc = model::classify(wm, tb0.machine().topology());
     const auto rc = model::classify(rm, tb0.machine().topology());
+    if (config_.service_model == ServiceModel::kCoarse ||
+        config_.placement == PlacementPolicy::kClassSpread) {
+      // Coarse service capacity: what max_inflight_per_host concurrent
+      // class-1 TCP streams get from the max-min-fair solver on an
+      // unloaded host. One solve at build time; the flows are removed
+      // again, so the probe is invisible to the run's own rates.
+      serve_nodes_ = wc.classes[0];
+      sim::FlowSolver& solver = tb0.machine().solver();
+      std::vector<sim::FlowId> probes;
+      for (int i = 0; i < config_.max_inflight_per_host; ++i) {
+        io::StreamSpec spec;
+        spec.device = &tb0.nic();
+        spec.engine = io::kTcpSend;
+        const topo::NodeId node =
+            serve_nodes_[static_cast<std::size_t>(i) % serve_nodes_.size()];
+        spec.cpu_node = node;
+        spec.mem_node = node;
+        const io::StreamShape shape = io::shape_stream(tb0.machine(), spec);
+        probes.push_back(solver.add_flow(shape.usages, shape.rate_cap));
+      }
+      const auto& rates = solver.solve();
+      coarse_capacity_ = 0.0;
+      for (const sim::FlowId f : probes) coarse_capacity_ += rates[f];
+      solver.remove_flows(probes);
+    }
     model::OnlineConfig sched_cfg;
     sched_cfg.policy = model::OnlinePolicy::kModelAdaptive;
     for (int h = 0; h < config_.num_hosts; ++h) {
@@ -206,6 +253,18 @@ class FleetRuntime {
     h_latency_ms_ = m.histogram(
         "fleet.latency_ms", {5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0,
                              800.0});
+    m_batch_epochs_ = m.counter("fleet.batch_epochs");
+    m_batch_admitted_ = m.counter("fleet.batch_admitted");
+    m_batch_rejected_ = m.counter("fleet.batch_rejected");
+    h_batch_arrivals_ = m.histogram(
+        "fleet.batch_arrivals",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0});
+    h_placement_ms_ = m.histogram(
+        "fleet.placement_ms", {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 250.0});
+    m_place_spread_ = m.counter("placement.class_spread");
+    m_place_fallback_ = m.counter("placement.class_fallback");
+    m_summary_refreshes_ = m.counter("placement.summary_refreshes");
+    g_class_count_ = m.gauge("placement.class_count");
   }
 
   // --- small helpers -----------------------------------------------------
@@ -263,6 +322,17 @@ class FleetRuntime {
     const double factor = host_factor(h, hs.last_advance);
     hs.last_advance = now;
     if (hs.inflight.empty() || factor <= 0.0) return;
+    if (config_.service_model == ServiceModel::kCoarse) {
+      // Processor sharing against the class-summary capacity: every
+      // in-flight request gets an equal slice, no per-request solve.
+      const double per_req =
+          coarse_capacity_ * factor /
+          static_cast<double>(hs.inflight.size());
+      for (Request* req : hs.inflight) {
+        req->remaining -= per_req * dt / 8.0;
+      }
+      return;
+    }
     const auto& rates = hs.tb->machine().solver().solve();
     for (Request* req : hs.inflight) {
       // Gbps -> bytes/ns is a /8 (bits/ns == Gbps).
@@ -277,13 +347,24 @@ class FleetRuntime {
     const std::uint64_t generation = ++hs.projection;
     const double factor = host_factor(h, now);
     if (hs.inflight.empty() || factor <= 0.0) return;
-    const auto& rates = hs.tb->machine().solver().solve();
     sim::Ns eta = std::numeric_limits<double>::infinity();
-    for (const Request* req : hs.inflight) {
-      const double bytes_per_ns = rates[req->flow] * factor / 8.0;
-      if (bytes_per_ns <= 0.0) continue;
-      const sim::Ns tt = std::max(req->remaining, 0.0) / bytes_per_ns;
-      eta = std::min(eta, tt);
+    if (config_.service_model == ServiceModel::kCoarse) {
+      const double bytes_per_ns =
+          coarse_capacity_ * factor /
+          static_cast<double>(hs.inflight.size()) / 8.0;
+      if (bytes_per_ns <= 0.0) return;
+      for (const Request* req : hs.inflight) {
+        const sim::Ns tt = std::max(req->remaining, 0.0) / bytes_per_ns;
+        eta = std::min(eta, tt);
+      }
+    } else {
+      const auto& rates = hs.tb->machine().solver().solve();
+      for (const Request* req : hs.inflight) {
+        const double bytes_per_ns = rates[req->flow] * factor / 8.0;
+        if (bytes_per_ns <= 0.0) continue;
+        const sim::Ns tt = std::max(req->remaining, 0.0) / bytes_per_ns;
+        eta = std::min(eta, tt);
+      }
     }
     if (!std::isfinite(eta)) return;
     engine_.schedule_at(now + eta, [this, h, generation] {
@@ -310,8 +391,10 @@ class FleetRuntime {
   // --- attempt lifecycle -------------------------------------------------
   void detach_attempt(Request& req) {
     HostState& hs = hosts_[static_cast<std::size_t>(req.host)];
-    hs.tb->machine().solver().remove_flow(req.flow);
-    hs.sched->note_finish(req.node);
+    if (config_.service_model != ServiceModel::kCoarse) {
+      hs.tb->machine().solver().remove_flow(req.flow);
+      hs.sched->note_finish(req.node);
+    }
     hs.inflight.erase(
         std::find(hs.inflight.begin(), hs.inflight.end(), &req));
     req.inflight = false;
@@ -337,20 +420,33 @@ class FleetRuntime {
       return;
     }
 
-    const std::string engine_name(req.engine);
-    req.node = hs.sched->place_request(engine_name, req.id, now);
-    hs.sched->note_start(req.node);
-    io::StreamSpec spec;
-    spec.device = &hs.tb->nic();
-    spec.engine = engine_name;
-    spec.cpu_node = req.node;
-    spec.mem_node = req.node;
-    const io::StreamShape shape = io::shape_stream(hs.tb->machine(), spec);
-    req.flow =
-        hs.tb->machine().solver().add_flow(shape.usages, shape.rate_cap);
+    if (config_.service_model == ServiceModel::kCoarse) {
+      // Coarse service: no per-request solver flow. Node choice is a
+      // round-robin over the shared classification's class-1 nodes — the
+      // per-node distinction the fluid model resolves is below the
+      // resolution the coarse capacity models.
+      req.node = serve_nodes_[node_rr_++ % serve_nodes_.size()];
+    } else {
+      const std::string engine_name(req.engine);
+      req.node = hs.sched->place_request(engine_name, req.id, now);
+      hs.sched->note_start(req.node);
+      io::StreamSpec spec;
+      spec.device = &hs.tb->nic();
+      spec.engine = engine_name;
+      spec.cpu_node = req.node;
+      spec.mem_node = req.node;
+      const io::StreamShape shape = io::shape_stream(hs.tb->machine(), spec);
+      req.flow =
+          hs.tb->machine().solver().add_flow(shape.usages, shape.rate_cap);
+    }
     req.remaining = static_cast<double>(req.bytes);
     req.inflight = true;
     hs.inflight.push_back(&req);
+    if (req.attempts == 1) {
+      const sim::Ns wait = now - req.admitted_at;
+      placement_lat_.push_back(wait);
+      if (obs_ != nullptr) obs_->metrics.observe(h_placement_ms_, wait / 1e6);
+    }
     emit("fleet.dispatch", req, "started", 0, now);
 
     const sim::Ns timeout_at =
@@ -396,11 +492,12 @@ class FleetRuntime {
       fail_request(req, now, "retries", cause);
       return;
     }
-    if (tenant.retry_budget <= 0) {
+    int& retry_budget = shards_.retry_budget(req.tenant);
+    if (retry_budget <= 0) {
       fail_request(req, now, "retry-budget", cause);
       return;
     }
-    --tenant.retry_budget;
+    --retry_budget;
     ++tenant.stats.retries;
     ++retries_;
     if (obs_ != nullptr) obs_->metrics.add(m_retries_);
@@ -486,34 +583,118 @@ class FleetRuntime {
     ++tenant.stats.submitted;
     if (obs_ != nullptr) obs_->metrics.add(m_requests_);
 
-    const Status verdict = admission_status(tenant.bucket.try_take(now),
-                                            "tenant quota exceeded");
-    if (!verdict.ok()) {
+    if (config_.batch_window > 0.0) {
+      // Batched admission: park the arrival until the epoch boundary.
+      batch_ids_.push_back(req.id);
+      arm_epoch(now);
+    } else {
+      const Status verdict = admission_status(
+          shards_.bucket(t).try_take(now), "tenant quota exceeded");
+      finish_admission(req, now, verdict.ok(), /*batched=*/false);
+      if (verdict.ok()) try_dispatch(now);
+    }
+    schedule_arrival(t, now);
+  }
+
+  /// Applies one admission verdict: stats, metrics, the deadline event,
+  /// and the queue push. Per-request mode also emits the fleet.admit /
+  /// fleet.reject event; a batched epoch covers its whole burst with one
+  /// fleet.admit_batch span instead. The deadline anchors to the
+  /// original submit time, so batching never extends a deadline.
+  void finish_admission(Request& req, sim::Ns now, bool admitted,
+                        bool batched) {
+    TenantRuntime& tenant = tenant_of(req);
+    if (!admitted) {
       req.done = true;
       ++tenant.stats.rejected_quota;
       if (obs_ != nullptr) obs_->metrics.add(m_rejected_);
-      emit("fleet.reject", req, status_code_name(verdict.code), 0, now);
-    } else {
-      ++tenant.stats.admitted;
-      if (obs_ != nullptr) obs_->metrics.add(m_admitted_);
-      req.deadline_at = now + config_.deadline;
-      emit("fleet.admit", req, "admitted", 0, now);
-      const int id = req.id;
-      engine_.schedule_at(req.deadline_at, [this, id] {
-        Request& r = *requests_[static_cast<std::size_t>(id)];
-        // In-flight attempts carry their own deadline-clamped timeout.
-        if (r.done || r.inflight) return;
-        if (r.queued) {
-          queue_.remove(r.id);
-          r.queued = false;
-          note_queue_depth();
-        }
-        fail_request(r, engine_.now(), "deadline", 0);
-      });
-      enqueue(req, now);
-      try_dispatch(now);
+      if (!batched) {
+        emit("fleet.reject", req,
+             status_code_name(StatusCode::kOverloaded), 0, now);
+      }
+      return;
     }
-    schedule_arrival(t, now);
+    ++tenant.stats.admitted;
+    if (obs_ != nullptr) obs_->metrics.add(m_admitted_);
+    req.deadline_at = req.submit + config_.deadline;
+    req.admitted_at = now;
+    if (!batched) emit("fleet.admit", req, "admitted", 0, now);
+    const int id = req.id;
+    engine_.schedule_at(req.deadline_at, [this, id] {
+      Request& r = *requests_[static_cast<std::size_t>(id)];
+      // In-flight attempts carry their own deadline-clamped timeout.
+      if (r.done || r.inflight) return;
+      if (r.queued) {
+        queue_.remove(r.id);
+        r.queued = false;
+        note_queue_depth();
+      }
+      fail_request(r, engine_.now(), "deadline", 0);
+    });
+    enqueue(req, now);
+  }
+
+  /// Schedules the next epoch drain at the next multiple of the batch
+  /// window (fixed grid, so epoch boundaries — and the traces they emit
+  /// — do not depend on which arrival armed them).
+  void arm_epoch(sim::Ns now) {
+    if (epoch_armed_) return;
+    epoch_armed_ = true;
+    const double w = config_.batch_window;
+    const sim::Ns at = (std::floor(now / w) + 1.0) * w;
+    engine_.schedule_at(at, [this] { drain_epoch(engine_.now()); });
+  }
+
+  /// Drains one admission epoch: all parked arrivals get their quota
+  /// verdicts in one sharded sweep (fleet/shard.h), then verdicts apply
+  /// in arrival order on this thread — trace bytes are invariant to the
+  /// shard count. One span replaces per-request admit/reject events.
+  void drain_epoch(sim::Ns now) {
+    epoch_armed_ = false;
+    if (batch_ids_.empty()) return;
+    const std::size_t count = batch_ids_.size();
+    obs::SpanId span = 0;
+    if (trace() != nullptr) {
+      obs::EventFields fields;
+      fields.t_sim = now;
+      fields.bytes = static_cast<long long>(count);
+      // The shard count stays out of the detail string on purpose: trace
+      // bytes are contracted to be invariant to it (DESIGN.md §12).
+      const std::string detail = std::to_string(count) + " arrivals";
+      fields.detail = detail;
+      span = trace()->begin_span("fleet.admit_batch", run_span_, fields);
+    }
+    arrivals_.clear();
+    for (const int id : batch_ids_) {
+      const Request& req = *requests_[static_cast<std::size_t>(id)];
+      // Buckets refill to the original submit time: verdicts match what
+      // the per-request path would have said at arrival.
+      arrivals_.push_back(ShardSet::Arrival{req.tenant, req.submit});
+    }
+    shards_.admit_batch(arrivals_, verdicts_, admit_pool_.get());
+    long long admitted = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      Request& req = *requests_[static_cast<std::size_t>(batch_ids_[i])];
+      const bool ok = verdicts_[i] != 0;
+      finish_admission(req, now, ok, /*batched=*/true);
+      if (ok) ++admitted;
+    }
+    batch_ids_.clear();
+    if (obs_ != nullptr) {
+      obs_->metrics.add(m_batch_epochs_);
+      obs_->metrics.observe(h_batch_arrivals_, static_cast<double>(count));
+      obs_->metrics.add(m_batch_admitted_, static_cast<double>(admitted));
+      obs_->metrics.add(m_batch_rejected_,
+                        static_cast<double>(count) -
+                            static_cast<double>(admitted));
+    }
+    if (trace() != nullptr) {
+      obs::EventFields fields;
+      fields.t_sim = now;
+      fields.bytes = admitted;
+      trace()->end_span(span, "ok", fields);
+    }
+    try_dispatch(now);
   }
 
   void schedule_arrival(int t, sim::Ns now) {
@@ -530,9 +711,59 @@ class FleetRuntime {
   }
 
   // --- dispatch ----------------------------------------------------------
-  /// Host choice: least in-flight among hosts with a free slot whose
-  /// breaker admits (ties: lowest index). -1 when none.
-  int pick_host(sim::Ns now) const {
+  /// Rebuilds the class placer's host-class table from coarse summaries
+  /// (capacity under the current fault factor, free slots, breaker
+  /// admission, windowed p99). Called lazily from pick_host when the
+  /// table is past its staleness bound — never per dispatch.
+  void refresh_summaries(sim::Ns now) {
+    summaries_.clear();
+    for (int h = 0; h < config_.num_hosts; ++h) {
+      const HostState& hs = hosts_[static_cast<std::size_t>(h)];
+      HostSummary s;
+      s.capacity_gbps = coarse_capacity_ * host_factor(h, now);
+      s.free_slots = config_.max_inflight_per_host -
+                     static_cast<int>(hs.inflight.size());
+      s.admitting = hs.breaker.can_accept(now);
+      s.window_p99 = hs.breaker.window_p99();
+      summaries_.push_back(s);
+    }
+    placer_.refresh(summaries_, now);
+    if (obs_ != nullptr) {
+      obs_->metrics.add(m_summary_refreshes_);
+      obs_->metrics.set(g_class_count_, placer_.num_classes());
+    }
+  }
+
+  /// Host choice. kLeastLoaded: least in-flight among hosts with a free
+  /// slot whose breaker admits (ties: lowest index). kClassSpread: the
+  /// paper-§VI placer — round-robin across capacity classes, least
+  /// loaded within one. -1 when none.
+  int pick_host(sim::Ns now) {
+    if (config_.placement == PlacementPolicy::kClassSpread) {
+      if (placer_.stale(now)) refresh_summaries(now);
+      scratch_load_.clear();
+      for (const HostState& hs : hosts_) {
+        scratch_load_.push_back(static_cast<int>(hs.inflight.size()));
+      }
+      const long long spread0 = placer_.spread_picks();
+      const long long fallback0 = placer_.fallback_picks();
+      const int pick =
+          placer_.pick(scratch_load_, [this, now](int h) {
+            const HostState& hs = hosts_[static_cast<std::size_t>(h)];
+            return static_cast<int>(hs.inflight.size()) <
+                       config_.max_inflight_per_host &&
+                   hs.breaker.can_accept(now);
+          });
+      if (obs_ != nullptr) {
+        obs_->metrics.add(
+            m_place_spread_,
+            static_cast<double>(placer_.spread_picks() - spread0));
+        obs_->metrics.add(
+            m_place_fallback_,
+            static_cast<double>(placer_.fallback_picks() - fallback0));
+      }
+      return pick;
+    }
     int best = -1;
     for (int h = 0; h < config_.num_hosts; ++h) {
       const HostState& hs = hosts_[static_cast<std::size_t>(h)];
@@ -701,6 +932,10 @@ class FleetRuntime {
       report.accepted_p99 = sim::percentile(all_latencies_, 0.99);
       report.accepted_p999 = sim::percentile(all_latencies_, 0.999);
     }
+    if (!placement_lat_.empty()) {
+      report.placement_p50 = sim::percentile(placement_lat_, 0.5);
+      report.placement_p99 = sim::percentile(placement_lat_, 0.99);
+    }
     if (obs_ != nullptr) {
       obs_->metrics.set(
           g_goodput_,
@@ -718,9 +953,24 @@ class FleetRuntime {
   std::vector<TenantRuntime> tenants_;
   std::vector<std::unique_ptr<Request>> requests_;
   BoundedQueue queue_;
+  ShardSet shards_;
+  ClassPlacer placer_;
+  std::unique_ptr<sim::ThreadPool> admit_pool_;
   std::unique_ptr<faults::FaultInjector> injector_;
   sim::Rng backoff_rng_;
   sim::Rng workload_rng_;
+  // Batched-admission epoch state (batch_window > 0).
+  std::vector<int> batch_ids_;  ///< Arrivals parked until the next drain.
+  bool epoch_armed_ = false;
+  std::vector<ShardSet::Arrival> arrivals_;   ///< Scratch per epoch.
+  std::vector<unsigned char> verdicts_;       ///< Scratch per epoch.
+  // Coarse service model / class placement state.
+  double coarse_capacity_ = 0.0;  ///< Gbps an unloaded host serves.
+  std::vector<topo::NodeId> serve_nodes_;  ///< Class-1 nodes (round-robin).
+  std::size_t node_rr_ = 0;
+  std::vector<HostSummary> summaries_;  ///< Scratch per refresh.
+  std::vector<int> scratch_load_;       ///< Scratch per pick.
+  std::vector<double> placement_lat_;   ///< Admission -> first dispatch.
   obs::SpanId run_span_ = 0;
   sim::Ns dispatch_wakeup_at_ = -1.0;
   long long dispatches_ = 0;
@@ -745,6 +995,15 @@ class FleetRuntime {
   obs::MetricsRegistry::Id g_breakers_open_ = obs::MetricsRegistry::kNone;
   obs::MetricsRegistry::Id g_goodput_ = obs::MetricsRegistry::kNone;
   obs::MetricsRegistry::Id h_latency_ms_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_batch_epochs_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_batch_admitted_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_batch_rejected_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id h_batch_arrivals_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id h_placement_ms_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_place_spread_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_place_fallback_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id m_summary_refreshes_ = obs::MetricsRegistry::kNone;
+  obs::MetricsRegistry::Id g_class_count_ = obs::MetricsRegistry::kNone;
 };
 
 FleetReport FleetRuntime::run() {
@@ -806,9 +1065,11 @@ std::string FleetReport::summary() const {
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "dispatch: %.0f attempts/s, accepted p50 %.1f ms / p99 %.1f "
-                "ms / p99.9 %.1f ms, max queue %d, %d breaker trips\n",
+                "ms / p99.9 %.1f ms, max queue %d, %d breaker trips, "
+                "placement p99 %.2f ms\n",
                 attempts_per_s, accepted_p50 / 1e6, accepted_p99 / 1e6,
-                accepted_p999 / 1e6, max_queue_depth, breaker_trips);
+                accepted_p999 / 1e6, max_queue_depth, breaker_trips,
+                placement_p99 / 1e6);
   out += buf;
   return out;
 }
@@ -850,6 +1111,64 @@ StormScenario make_storm(int num_hosts, int num_tenants, double offered_rps,
 
   // One host dies mid-run and comes back at half capacity while it warms
   // its caches and rebuilds connections.
+  const int victim = num_hosts > 1 ? 1 : 0;
+  faults::FaultEvent crash;
+  crash.kind = faults::FaultKind::kHostCrash;
+  crash.host = victim;
+  crash.start = 0.30 * horizon;
+  crash.duration = 0.25 * horizon;
+  storm.plan.add(crash);
+  faults::FaultEvent recover;
+  recover.kind = faults::FaultKind::kHostRecover;
+  recover.host = victim;
+  recover.start = crash.start + crash.duration;
+  recover.duration = 0.20 * horizon;
+  recover.severity = 0.5;
+  storm.plan.add(recover);
+  return storm;
+}
+
+StormScenario make_scale_storm(int num_hosts, int num_tenants,
+                               double offered_rps, std::uint64_t seed,
+                               sim::Ns horizon) {
+  StormScenario storm;
+  storm.config.num_hosts = num_hosts;
+  storm.config.seed = seed;
+  storm.config.horizon = horizon;
+  // Scale knobs: deep queue, wide per-host concurrency, small requests,
+  // tight deadlines — a key-value / RPC fleet, not a bulk-transfer one.
+  storm.config.queue_depth = 512;
+  storm.config.max_inflight_per_host = 64;
+  storm.config.deadline = 0.25e9;
+  storm.config.retry.max_retries = 2;
+  storm.config.retry.timeout = 0.08e9;
+  storm.config.retry.base_backoff = 1.0e6;
+  storm.config.retry.max_backoff = 0.02e9;
+  storm.config.breaker.failure_threshold = 8;
+  storm.config.breaker.open_cooldown = 0.05e9;
+  // The ISSUE 9 request path: batched admission over sharded tenant
+  // state, coarse service, class-spread placement.
+  storm.config.shards = 8;
+  storm.config.batch_window = 2.0e6;
+  storm.config.service_model = ServiceModel::kCoarse;
+  storm.config.placement = PlacementPolicy::kClassSpread;
+  storm.config.summary_refresh = 10.0e6;
+
+  const double per_tenant =
+      offered_rps / static_cast<double>(num_tenants);
+  for (int t = 0; t < num_tenants; ++t) {
+    TenantSpec spec;
+    spec.name = "t";
+    spec.name += std::to_string(t);
+    spec.priority = t % 4;
+    spec.arrival_rate_per_s = per_tenant;
+    spec.quota_rate_per_s = per_tenant * 1.5;
+    spec.quota_burst = 8.0;
+    spec.retry_budget = 8;
+    spec.request_bytes = 256 * sim::kKiB;
+    storm.tenants.push_back(std::move(spec));
+  }
+
   const int victim = num_hosts > 1 ? 1 : 0;
   faults::FaultEvent crash;
   crash.kind = faults::FaultKind::kHostCrash;

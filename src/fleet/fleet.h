@@ -61,6 +61,28 @@ struct TenantSpec {
   sim::Bytes request_bytes = 16 * sim::kMiB;
 };
 
+/// How requests are served on a host (DESIGN.md §12).
+enum class ServiceModel {
+  /// Full per-request fluid-flow simulation: every attempt is a solver
+  /// flow and rates come from max-min-fair contention (PR 6 behavior).
+  kFluid,
+  /// Two-level model: requests share the host's class-summary capacity
+  /// (processor sharing, no per-request solver flows) and node choice
+  /// is a round-robin over the shared classification's class-1 nodes.
+  /// This is what carries the fleet past 10^5 scheduled requests/s.
+  kCoarse,
+};
+
+/// Cross-host placement policy (DESIGN.md §12).
+enum class PlacementPolicy {
+  /// Least in-flight across all hosts (PR 6 behavior).
+  kLeastLoaded,
+  /// Paper §VI: partition hosts into equal-performance classes via the
+  /// gap classifier over cadence-refreshed capacity summaries, spread
+  /// placements round-robin across classes, least-loaded within one.
+  kClassSpread,
+};
+
 struct FleetConfig {
   int num_hosts = 4;
   int queue_depth = 64;
@@ -83,6 +105,25 @@ struct FleetConfig {
   /// so unlike model::OnlineConfig this is a concrete value: the default
   /// keeps the serial monolithic solver.
   sim::SolveOptions solve{};
+  /// Admission sharding (DESIGN.md §12): per-tenant quota buckets and
+  /// retry budgets split into this many tenant-hash-keyed shards, each
+  /// with its own arena. Results — and deterministic trace bytes — are
+  /// invariant to the shard count; shards only let a batched epoch fan
+  /// the quota math across the deterministic sim::ThreadPool.
+  int shards = 1;
+  /// Batched admission: > 0 drains arrivals in epochs at fixed
+  /// multiples of this window, emitting one `fleet.admit_batch` span
+  /// per epoch instead of per-request admit/reject events. 0 keeps the
+  /// per-request admission path byte-identical to PR 6. Must be
+  /// shorter than `deadline`; quota verdicts refill to the original
+  /// arrival instant, so they match the per-request path exactly.
+  sim::Ns batch_window = 0.0;
+  ServiceModel service_model = ServiceModel::kFluid;
+  PlacementPolicy placement = PlacementPolicy::kLeastLoaded;
+  /// kClassSpread summary staleness bound: host class summaries
+  /// (capacity head-room, breaker state, windowed p99) refresh at most
+  /// once per this much simulated time, pulled lazily at placement.
+  sim::Ns summary_refresh = 50.0e6;
 };
 
 struct TenantStats {
@@ -118,6 +159,10 @@ struct FleetReport {
   sim::Ns accepted_p50 = 0.0;   ///< Latency percentiles over completions.
   sim::Ns accepted_p99 = 0.0;
   sim::Ns accepted_p999 = 0.0;  ///< Tail beyond p99 (storms live here).
+  /// Placement latency: admission -> first dispatch, over requests that
+  /// reached a host (the ROADMAP's fleet-scale p99 deliverable).
+  sim::Ns placement_p50 = 0.0;
+  sim::Ns placement_p99 = 0.0;
   sim::Ns makespan = 0.0;       ///< Simulated time when the run drained.
 
   /// Human-readable table (the CLI's `fleet` output).
@@ -176,5 +221,15 @@ struct StormScenario {
 };
 StormScenario make_storm(int num_hosts, int num_tenants, double offered_rps,
                          std::uint64_t seed, sim::Ns horizon);
+
+/// The ISSUE 9 scale scenario: thousands of small-request tenants over
+/// the batched (2 ms epochs), sharded (8), coarse-service,
+/// class-placed request path, with one host crashing mid-run and
+/// recovering at half capacity. Small requests (256 KiB) put per-host
+/// service capacity near 10^4 req/s, so the fleet clears >= 10^5
+/// scheduled requests/s — the bench floor ci/perf_guard.sh gates.
+StormScenario make_scale_storm(int num_hosts, int num_tenants,
+                               double offered_rps, std::uint64_t seed,
+                               sim::Ns horizon);
 
 }  // namespace numaio::fleet

@@ -1,0 +1,82 @@
+// Class-aware cross-host placement (paper §VI, DESIGN.md §12).
+//
+// The paper's §VI insight, lifted from NUMA nodes to fleet hosts:
+// equal-performance resources should be treated as one class, with load
+// spread round-robin *across* classes and least-loaded *within* one.
+// Hosts are partitioned by the same §V-A gap clustering the NUMA
+// classifier uses (model::gap_classes), driven not by live per-request
+// state but by coarse per-host summaries — capacity head-room, breaker
+// admission, windowed p99 — refreshed on a cadence. Placement between
+// refreshes consults the (possibly stale) class table; the staleness
+// bound is FleetConfig::summary_refresh and the contract is spelled out
+// in DESIGN.md §12.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "simcore/units.h"
+
+namespace numaio::fleet {
+
+/// Coarse per-host view, refreshed on the summary cadence.
+struct HostSummary {
+  double capacity_gbps = 0.0;  ///< Effective capacity (degrades on faults).
+  int free_slots = 0;          ///< Inflight head-room at refresh time.
+  bool admitting = true;       ///< Breaker would admit at refresh time.
+  sim::Ns window_p99 = 0.0;    ///< Breaker's windowed p99 (0 = not full).
+};
+
+struct PlacerConfig {
+  /// Relative capacity gap that opens a new host class (§V-A walk).
+  double rel_gap = 0.08;
+  /// Minimum simulated time between class-table rebuilds.
+  sim::Ns refresh_period = 50.0e6;
+};
+
+class ClassPlacer {
+ public:
+  ClassPlacer(int num_hosts, PlacerConfig config)
+      : num_hosts_(num_hosts), config_(config) {}
+
+  /// Whether the class table is due for a rebuild at `now`.
+  bool stale(sim::Ns now) const {
+    return !refreshed_ || now - last_refresh_ >= config_.refresh_period;
+  }
+
+  /// Rebuilds the class table from fresh summaries (one per host).
+  /// Classes are ordered fastest first; host ids ascend within a class.
+  void refresh(std::span<const HostSummary> summaries, sim::Ns now);
+
+  /// Picks a host: starting from the round-robin cursor class, take the
+  /// least-loaded eligible host (ties: lower id) of the first class that
+  /// has one, then advance the cursor past that class. `live_load` is
+  /// current inflight per host (live, not summary — load changes every
+  /// dispatch; class membership does not). Returns -1 when no host is
+  /// eligible. Before the first refresh there are no classes and the
+  /// scan degrades to global least-loaded.
+  int pick(std::span<const int> live_load,
+           const std::function<bool(int)>& eligible);
+
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  const std::vector<std::vector<int>>& classes() const { return classes_; }
+  /// Picks served by the cursor class vs. ones that fell through to a
+  /// later class (cursor class had no eligible host).
+  long long spread_picks() const { return spread_picks_; }
+  long long fallback_picks() const { return fallback_picks_; }
+  long long refreshes() const { return refreshes_; }
+
+ private:
+  int num_hosts_;
+  PlacerConfig config_;
+  std::vector<std::vector<int>> classes_;  ///< Host ids, fastest first.
+  std::size_t cursor_ = 0;
+  bool refreshed_ = false;
+  sim::Ns last_refresh_ = 0.0;
+  long long spread_picks_ = 0;
+  long long fallback_picks_ = 0;
+  long long refreshes_ = 0;
+};
+
+}  // namespace numaio::fleet

@@ -1,0 +1,78 @@
+// Sharded admission state for the fleet request path (DESIGN.md §12).
+//
+// Per-tenant quota buckets and retry budgets live in N tenant-hash-keyed
+// shards, each a cache-line-aligned arena. A tenant's state exists in
+// exactly one shard, so draining a batched admission epoch shard-by-shard
+// — optionally fanned across the deterministic sim::ThreadPool — touches
+// disjoint memory per lane and yields verdicts that are bit-identical to
+// the serial per-request sequence: each shard processes its tenants'
+// arrivals in global arrival order, and per-tenant bucket math only
+// depends on that tenant's own history. Results are therefore invariant
+// to the shard count; shards exist to amortize and parallelize, never to
+// change outcomes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fleet/admission.h"
+#include "simcore/thread_pool.h"
+#include "simcore/units.h"
+
+namespace numaio::fleet {
+
+struct TenantSpec;
+
+/// Deterministic tenant -> shard map (splitmix64 finalizer, so adjacent
+/// tenant ids spread instead of clustering into one shard).
+int shard_of_tenant(int tenant, int num_shards);
+
+class ShardSet {
+ public:
+  /// One bucket + retry budget per tenant in `specs`, distributed across
+  /// `num_shards` arenas by shard_of_tenant. num_shards is clamped >= 1.
+  ShardSet(std::span<const TenantSpec> specs, int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(int tenant) const {
+    return shard_of_[static_cast<std::size_t>(tenant)];
+  }
+
+  /// The tenant's quota bucket / remaining retry budget, wherever its
+  /// shard put them. References stay valid for the ShardSet's lifetime.
+  TokenBucket& bucket(int tenant);
+  int& retry_budget(int tenant);
+
+  /// One admission-epoch arrival: `at` is the request's original submit
+  /// time (buckets refill to it, so batched verdicts match the
+  /// per-request path bit for bit; per-tenant submit times are monotone).
+  struct Arrival {
+    int tenant = 0;
+    sim::Ns at = 0.0;
+  };
+
+  /// Drains one epoch: verdicts[i] = 1 iff arrivals[i] passed its
+  /// tenant's quota bucket. Each shard handles its own tenants' arrivals
+  /// in order; with `pool` and more than one shard the shards run as one
+  /// deterministic fork-join batch (disjoint arenas, disjoint verdict
+  /// bytes — no synchronization needed beyond the pool's own barrier).
+  void admit_batch(std::span<const Arrival> arrivals,
+                   std::vector<unsigned char>& verdicts,
+                   sim::ThreadPool* pool);
+
+ private:
+  /// Arena for one shard's tenants. Aligned so two shards never share a
+  /// cache line when lanes drain them concurrently.
+  struct alignas(64) Shard {
+    std::vector<TokenBucket> buckets;   ///< Indexed by per-shard slot.
+    std::vector<int> retry_budgets;
+    std::vector<std::uint32_t> work;    ///< Scratch: arrival indices.
+  };
+
+  std::vector<Shard> shards_;
+  std::vector<int> shard_of_;  ///< tenant -> shard.
+  std::vector<int> slot_of_;   ///< tenant -> slot within its shard.
+};
+
+}  // namespace numaio::fleet

@@ -28,34 +28,24 @@ Classification classify_values(std::span<const sim::Gbps> bw, NodeId target,
   std::vector<bool> in_first(static_cast<std::size_t>(n), false);
   for (NodeId v : first) in_first[static_cast<std::size_t>(v)] = true;
 
-  // Remote nodes, sorted by descending model bandwidth (ties: lower id).
+  // Remote nodes cluster by the shared gap walk (ids ascend, so each
+  // class collects its members in sorted order directly).
   std::vector<NodeId> remote;
+  std::vector<double> remote_bw;
   for (NodeId v = 0; v < n; ++v) {
-    if (!in_first[static_cast<std::size_t>(v)]) remote.push_back(v);
+    if (in_first[static_cast<std::size_t>(v)]) continue;
+    remote.push_back(v);
+    remote_bw.push_back(bw[static_cast<std::size_t>(v)]);
   }
-  std::sort(remote.begin(), remote.end(), [&](NodeId a, NodeId b) {
-    const double ba = bw[static_cast<std::size_t>(a)];
-    const double bb = bw[static_cast<std::size_t>(b)];
-    if (ba != bb) return ba > bb;
-    return a < b;
-  });
+  const std::vector<int> remote_class = gap_classes(remote_bw, config.rel_gap);
 
   result.classes.push_back(std::move(first));
-  std::vector<NodeId> current;
-  double prev = std::numeric_limits<double>::infinity();
-  for (NodeId v : remote) {
-    const double value = bw[static_cast<std::size_t>(v)];
-    if (!current.empty() && value < prev * (1.0 - config.rel_gap)) {
-      std::sort(current.begin(), current.end());
-      result.classes.push_back(std::move(current));
-      current = {};
-    }
-    current.push_back(v);
-    prev = value;
-  }
-  if (!current.empty()) {
-    std::sort(current.begin(), current.end());
-    result.classes.push_back(std::move(current));
+  int remote_classes = 0;
+  for (const int c : remote_class) remote_classes = std::max(remote_classes, c + 1);
+  result.classes.resize(1 + static_cast<std::size_t>(remote_classes));
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    result.classes[1 + static_cast<std::size_t>(remote_class[i])].push_back(
+        remote[i]);
   }
 
   result.class_of.assign(static_cast<std::size_t>(n), 0);
@@ -76,6 +66,28 @@ Classification classify_values(std::span<const sim::Gbps> bw, NodeId target,
     result.class_range.emplace_back(lo, hi);
   }
   return result;
+}
+
+std::vector<int> gap_classes(std::span<const double> values, double rel_gap) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;
+  });
+  std::vector<int> class_of(n, 0);
+  int cls = 0;
+  double prev = std::numeric_limits<double>::infinity();
+  bool first = true;
+  for (const std::size_t pos : order) {
+    const double value = values[pos];
+    if (!first && value < prev * (1.0 - rel_gap)) ++cls;
+    class_of[pos] = cls;
+    prev = value;
+    first = false;
+  }
+  return class_of;
 }
 
 std::vector<NodeId> representative_nodes(const Classification& c) {

@@ -47,6 +47,15 @@ Classification classify_values(std::span<const sim::Gbps> bw, NodeId target,
                                const topo::Topology& topo,
                                const ClassifyConfig& config = {});
 
+/// The §V-A gap walk over an arbitrary value vector — the clustering
+/// core shared by classify_values (remote NUMA nodes) and the fleet's
+/// host-class placement (per-host capacity summaries). Positions are
+/// ranked by descending value (ties: lower index) and a new class opens
+/// whenever the next value falls more than `rel_gap` below the previous
+/// one. Returns class_of[i] for every input position; class 0 is the
+/// fastest band.
+std::vector<int> gap_classes(std::span<const double> values, double rel_gap);
+
 /// One representative node per class — the paper's characterization-cost
 /// reduction: probing just these bindings stands in for the full sweep
 /// ("the evaluation cost decreases by 50%" on the 8-node host).

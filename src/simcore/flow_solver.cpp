@@ -299,6 +299,23 @@ Status FlowSolver::remove_flow(FlowId id) {
     return Status{StatusCode::kUsage,
                   "remove_flow: no live flow #" + std::to_string(id)};
   }
+  remove_flow_impl(id);
+  bump_epoch();
+  return Status{};
+}
+
+std::size_t FlowSolver::remove_flows(std::span<const FlowId> ids) {
+  std::size_t removed = 0;
+  for (const FlowId id : ids) {
+    if (id >= flows_.size() || !flows_[id].alive) continue;
+    remove_flow_impl(id);
+    ++removed;
+  }
+  if (removed > 0) bump_epoch();
+  return removed;
+}
+
+void FlowSolver::remove_flow_impl(FlowId id) {
   FlowMeta& m = flows_[id];
   if (options_.partition) {
     if (m.count > 0) {
@@ -340,8 +357,6 @@ Status FlowSolver::remove_flow(FlowId id) {
   assert(live_flows_ > 0);
   --live_flows_;
   assert(live_flows_ + free_slots_.size() == flows_.size());
-  bump_epoch();
-  return Status{};
 }
 
 Status FlowSolver::set_flow_cap(FlowId id, Gbps rate_cap) {

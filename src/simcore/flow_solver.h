@@ -56,6 +56,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -161,6 +162,16 @@ class FlowSolver {
   /// debug builds and silently corrupted in release).
   Status remove_flow(FlowId id);
 
+  /// Bulk removal: detaches every live id in `ids` with a single epoch
+  /// bump, so a burst of same-instant completions invalidates the solve
+  /// cache once and the next solve pays one re-solve for the whole
+  /// batch (per-component when partitioned). Dead, out-of-range and
+  /// duplicate ids are skipped — batch callers may legitimately race a
+  /// completion sweep against an abort. Returns the number of flows
+  /// actually removed; rates after the bulk removal are bit-identical
+  /// to the equivalent remove_flow sequence.
+  std::size_t remove_flows(std::span<const FlowId> ids);
+
   /// Replaces a live flow's private rate cap. Returns StatusCode::kUsage
   /// (solver untouched) for an out-of-range or dead id, mirroring
   /// remove_flow; setting the current cap again keeps the solve cache
@@ -248,6 +259,9 @@ class FlowSolver {
   };
 
   void bump_epoch();
+  /// remove_flow minus validation and the epoch bump; shared by the
+  /// single and bulk removal paths.
+  void remove_flow_impl(FlowId id);
   void refresh_capacity(ResourceId id);
   template <class T>
   static void ensure_size(std::vector<T>& v, std::size_t n,

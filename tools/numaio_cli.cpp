@@ -93,7 +93,10 @@ int usage() {
       "  fio <jobfile>                    run a fio-format job file\n"
       "  fleet [--hosts N] [--tenants N] [--rate RPS] [--seed S]\n"
       "        [--duration SECONDS] [--queue-depth N] [--deadline-ms MS]\n"
-      "        [--plan FILE] [--print-plan]\n"
+      "        [--plan FILE] [--print-plan] [--scale]\n"
+      "        [--shards N] [--batch-window MS]\n"
+      "        [--service fluid|coarse]\n"
+      "        [--placement least-loaded|class-spread]\n"
       "        [--serve-port P] [--refresh-ms MS] [--linger-ms MS]\n"
       "                                   run the fleet serving core: a\n"
       "                                   multi-tenant storm over N hosts\n"
@@ -102,12 +105,26 @@ int usage() {
       "                                   host crashing mid-run; --plan\n"
       "                                   replaces the default fault plan\n"
       "                                   (docs/FORMATS.md section 6);\n"
+      "                                   --scale switches to the scale\n"
+      "                                   scenario (batched admission over\n"
+      "                                   sharded tenant state, coarse\n"
+      "                                   service, class-spread placement);\n"
       "                                   --serve-port exposes live\n"
       "                                   telemetry over HTTP during the\n"
       "                                   run (0 = ephemeral port)\n"
       "  faults [--seed S] [--events N] [--jobfile FILE]\n"
       "                                   run I/O under an injected fault plan\n"
-      "  replay <trace.csv>               replay a transfer trace\n"
+      "  replay <trace.csv> [--serve-port P] [--refresh-ms MS]\n"
+      "         [--linger-ms MS]           replay a transfer trace;\n"
+      "                                   --serve-port exposes live\n"
+      "                                   telemetry during the replay\n"
+      "  online [--policy all-local|round-robin|model-spread|model-adaptive]\n"
+      "         [--tasks N] [--seed S] [--mean-arrival SECONDS] [--reps N]\n"
+      "         [--serve-port P] [--refresh-ms MS] [--linger-ms MS]\n"
+      "                                   place a seeded open-loop workload\n"
+      "                                   with the online scheduler (paper\n"
+      "                                   section VI); --serve-port exposes\n"
+      "                                   live telemetry during the run\n"
       "  validate [--reps N]              check the methodology end to end\n"
       "  asymmetry [--target N] [--min-ratio R]\n"
       "                                   hunt directional asymmetries\n"
@@ -476,8 +493,73 @@ int cmd_validate(io::Testbed& tb, const std::vector<std::string>& args) {
   return report.all_passed() ? 0 : 1;
 }
 
+/// `--serve-port` wiring shared by the subcommands that can expose a live
+/// telemetry endpoint (fleet, replay, online). start() tees a refresh-
+/// cadenced tap (obs/serve.h) with whatever sink main() wired — file
+/// serializer, capture, or none — brings the HTTP server up and prints
+/// (and flushes) the endpoint line before the workload starts, so scripts
+/// can scrape mid-run. finish() flushes the final snapshot, optionally
+/// lingers so late scrapers still land, then stops the server and
+/// restores the previous sink. Both are no-ops when start() was never
+/// called (port < 0).
+class ServeTap {
+ public:
+  ~ServeTap() {
+    // Belt and braces: a StatusError thrown mid-run must not leave the
+    // context pointed at our dying tee.
+    if (active_) finish(0);
+  }
+
+  void start(obs::Context& ctx, int port, int refresh_ms) {
+    ctx_ = &ctx;
+    refresh_ms_ = refresh_ms;
+    tap_ = std::make_unique<obs::TelemetryTap>(hub_, &ctx.metrics,
+                                               refresh_ms);
+    tap_sink_ = std::make_unique<obs::VisitorSink>(*tap_);
+    prev_sink_ = ctx.trace.sink();
+    tee_.add(prev_sink_);  // add() ignores nullptr
+    tee_.add(tap_sink_.get());
+    ctx.trace.set_sink(&tee_);
+    server_.start(port);
+    std::printf("serving telemetry on http://127.0.0.1:%d"
+                " (GET /metrics /report /healthz), refresh %d ms\n",
+                server_.port(), refresh_ms_);
+    std::fflush(stdout);
+    active_ = true;
+  }
+
+  void finish(int linger_ms) {
+    if (!active_) return;
+    tap_->flush();  // final state stays scrapeable regardless of cadence
+    if (linger_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+    server_.stop();
+    ctx_->trace.set_sink(prev_sink_);
+    active_ = false;
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  obs::Context* ctx_ = nullptr;
+  obs::TelemetryHub hub_;
+  obs::TelemetryServer server_{hub_};
+  std::unique_ptr<obs::TelemetryTap> tap_;
+  std::unique_ptr<obs::VisitorSink> tap_sink_;
+  obs::TeeSink tee_;
+  obs::TraceSink* prev_sink_ = nullptr;
+  int refresh_ms_ = 250;
+  bool active_ = false;
+};
+
 int cmd_replay(io::Testbed& tb, obs::Context& ctx,
-               const std::vector<std::string>& args) {
+               std::vector<std::string>& args) {
+  const int serve_port = take_int(args, "--serve-port", -1);
+  const int refresh_ms = take_int(args, "--refresh-ms", 250);
+  const int linger_ms = take_int(args, "--linger-ms", 0);
+  if (serve_port > 65535) usage_error("--serve-port wants a port <= 65535");
+  if (linger_ms < 0) usage_error("--linger-ms wants >= 0");
   if (args.empty()) {
     std::fprintf(stderr, "replay: missing trace path\n");
     return kExitUsage;
@@ -486,7 +568,10 @@ int cmd_replay(io::Testbed& tb, obs::Context& ctx,
   const auto jobs = io::trace_to_jobs(entries, &tb.nic(), tb.ssds());
   io::FioRunner fio(tb.host());
   fio.set_observer(&ctx);
+  ServeTap serve;
+  if (serve_port >= 0) serve.start(ctx, serve_port, refresh_ms);
   const auto results = fio.run_timed(jobs);
+  serve.finish(linger_ms);
   double total_gib = 0.0;
   sim::Ns last_end = 0.0;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -503,6 +588,83 @@ int cmd_replay(io::Testbed& tb, obs::Context& ctx,
   }
   std::printf("replayed %zu requests, %.1f GiB in %.2f s\n",
               results.size(), total_gib, last_end / 1e9);
+  return 0;
+}
+
+/// `online`: the paper's §VI future-work direction as a subcommand — a
+/// seeded open-loop workload placed by model::OnlineScheduler under a
+/// chosen policy, with the same live telemetry tap `fleet` and `replay`
+/// offer. Strict flag parsing, like `fleet`.
+int cmd_online(io::Testbed& tb, obs::Context& ctx,
+               std::vector<std::string>& args) {
+  const std::string policy_name = take_flag(args, "--policy");
+  const int tasks_n = take_int(args, "--tasks", 24);
+  const std::uint64_t seed = take_u64(args, "--seed", 20130601);
+  const double mean_arrival_s = take_double(args, "--mean-arrival", 2.0);
+  const int reps = take_int(args, "--reps", 100);
+  const int serve_port = take_int(args, "--serve-port", -1);
+  const int refresh_ms = take_int(args, "--refresh-ms", 250);
+  const int linger_ms = take_int(args, "--linger-ms", 0);
+  if (!args.empty()) {
+    usage_error("online: unknown option '" + args.front() + "'");
+  }
+  if (tasks_n < 1) usage_error("--tasks wants a positive count");
+  if (mean_arrival_s <= 0.0) {
+    usage_error("--mean-arrival wants positive seconds");
+  }
+  if (reps < 1) usage_error("--reps wants a positive count");
+  if (serve_port > 65535) usage_error("--serve-port wants a port <= 65535");
+  if (linger_ms < 0) usage_error("--linger-ms wants >= 0");
+  model::OnlineConfig config;
+  if (policy_name.empty() || policy_name == "model-adaptive") {
+    config.policy = model::OnlinePolicy::kModelAdaptive;
+  } else if (policy_name == "all-local") {
+    config.policy = model::OnlinePolicy::kAllLocal;
+  } else if (policy_name == "round-robin") {
+    config.policy = model::OnlinePolicy::kRoundRobin;
+  } else if (policy_name == "model-spread") {
+    config.policy = model::OnlinePolicy::kModelSpread;
+  } else {
+    usage_error("--policy wants all-local|round-robin|model-spread|"
+                "model-adaptive");
+  }
+
+  // Boot-time characterization of the NIC's node, both directions — the
+  // model the placement policies consult (Algorithm 1).
+  const int target = tb.nic().attach_node();
+  model::IoModelConfig iomodel;
+  iomodel.repetitions = reps;
+  const auto wm = model::build_iomodel(
+      tb.host(), target, model::Direction::kDeviceWrite, iomodel);
+  const auto rm = model::build_iomodel(
+      tb.host(), target, model::Direction::kDeviceRead, iomodel);
+  const auto wc = model::classify(wm, tb.machine().topology());
+  const auto rc = model::classify(rm, tb.machine().topology());
+
+  model::WorkloadConfig wl;
+  wl.seed = seed;
+  wl.num_tasks = tasks_n;
+  wl.mean_interarrival = mean_arrival_s * 1e9;
+  wl.engine_mix = {io::kTcpSend, io::kTcpRecv, io::kRdmaWrite,
+                   io::kRdmaRead};
+  const auto tasks = model::generate_workload(wl);
+
+  model::OnlineScheduler scheduler(tb.host(), tb.nic(), wc, rc, config);
+  scheduler.set_observer(&ctx);
+
+  ServeTap serve;
+  if (serve_port >= 0) serve.start(ctx, serve_port, refresh_ms);
+  const model::OnlineReport report = scheduler.run(tasks);
+  serve.finish(linger_ms);
+
+  std::printf(
+      "online: %d tasks, policy %s, seed %llu\n"
+      "makespan %.2f s, aggregate %.2f Gbps, mean turnaround %.2f s, "
+      "%d migrations\n",
+      tasks_n, model::to_string(config.policy).c_str(),
+      static_cast<unsigned long long>(seed), report.makespan / 1e9,
+      report.aggregate, report.mean_turnaround / 1e9,
+      report.total_migrations);
   return 0;
 }
 
@@ -631,6 +793,11 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   const int serve_port = take_int(args, "--serve-port", -1);
   const int refresh_ms = take_int(args, "--refresh-ms", 250);
   const int linger_ms = take_int(args, "--linger-ms", 0);
+  const bool scale = take_switch(args, "--scale");
+  const int shards = take_int(args, "--shards", 0);
+  const double batch_window_ms = take_double(args, "--batch-window", -1.0);
+  const std::string service = take_flag(args, "--service");
+  const std::string placement = take_flag(args, "--placement");
   if (!args.empty()) {
     usage_error("fleet: unknown option '" + args.front() + "'");
   }
@@ -641,12 +808,40 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   if (deadline_ms < 0.0) usage_error("--deadline-ms wants >= 0");
   if (serve_port > 65535) usage_error("--serve-port wants a port <= 65535");
   if (linger_ms < 0) usage_error("--linger-ms wants >= 0");
+  if (shards < 0) usage_error("--shards wants a positive count");
+  if (!service.empty() && service != "fluid" && service != "coarse") {
+    usage_error("--service wants 'fluid' or 'coarse'");
+  }
+  if (!placement.empty() && placement != "least-loaded" &&
+      placement != "class-spread") {
+    usage_error("--placement wants 'least-loaded' or 'class-spread'");
+  }
 
+  // --scale swaps in the ISSUE 9 scale scenario (batched + sharded +
+  // coarse + class-spread); the individual flags then override either
+  // scenario's defaults.
   fleet::StormScenario storm =
-      fleet::make_storm(hosts, tenants, rate, seed, duration_s * 1e9);
+      scale ? fleet::make_scale_storm(hosts, tenants, rate, seed,
+                                      duration_s * 1e9)
+            : fleet::make_storm(hosts, tenants, rate, seed,
+                                duration_s * 1e9);
   storm.config.solve = solve;
   if (queue_depth > 0) storm.config.queue_depth = queue_depth;
   if (deadline_ms > 0.0) storm.config.deadline = deadline_ms * 1e6;
+  if (shards > 0) storm.config.shards = shards;
+  if (batch_window_ms >= 0.0) {
+    storm.config.batch_window = batch_window_ms * 1e6;
+  }
+  if (!service.empty()) {
+    storm.config.service_model = service == "coarse"
+                                     ? fleet::ServiceModel::kCoarse
+                                     : fleet::ServiceModel::kFluid;
+  }
+  if (!placement.empty()) {
+    storm.config.placement = placement == "class-spread"
+                                 ? fleet::PlacementPolicy::kClassSpread
+                                 : fleet::PlacementPolicy::kLeastLoaded;
+  }
   if (!plan_path.empty()) {
     // Replaces the built-in crash/recover schedule; exit 3 when the file
     // is unreadable, 4 when it does not parse (docs/FORMATS.md section 6).
@@ -660,40 +855,15 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   sim.set_fault_plan(std::move(storm.plan));
   sim.set_observer(&ctx);
 
-  // --serve-port: tee a live telemetry tap with whatever sink main()
-  // wired (file serializer, capture, or none) and expose the rolling
-  // snapshot over HTTP for the duration of the run (obs/serve.h). The
-  // port is printed (and flushed) before the storm starts so scripts can
-  // scrape mid-run; --linger-ms keeps the endpoint up after the drain.
-  obs::TelemetryHub hub;
-  obs::TelemetryServer server(hub);
-  std::unique_ptr<obs::TelemetryTap> tap;
-  std::unique_ptr<obs::VisitorSink> tap_sink;
-  obs::TeeSink serve_tee;
-  obs::TraceSink* const prev_sink = ctx.trace.sink();
-  if (serve_port >= 0) {
-    tap = std::make_unique<obs::TelemetryTap>(hub, &ctx.metrics, refresh_ms);
-    tap_sink = std::make_unique<obs::VisitorSink>(*tap);
-    serve_tee.add(prev_sink);  // add() ignores nullptr
-    serve_tee.add(tap_sink.get());
-    ctx.trace.set_sink(&serve_tee);
-    server.start(serve_port);
-    std::printf("serving telemetry on http://127.0.0.1:%d"
-                " (GET /metrics /report /healthz), refresh %d ms\n",
-                server.port(), refresh_ms);
-    std::fflush(stdout);
-  }
+  // --serve-port: expose the run's rolling telemetry snapshot over HTTP
+  // for the duration of the storm (ServeTap above); --linger-ms keeps the
+  // endpoint up after the drain.
+  ServeTap serve;
+  if (serve_port >= 0) serve.start(ctx, serve_port, refresh_ms);
 
   const fleet::FleetReport report = sim.run();
 
-  if (tap != nullptr) {
-    tap->flush();  // final state stays scrapeable regardless of cadence
-    if (linger_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
-    }
-    server.stop();
-    ctx.trace.set_sink(prev_sink);
-  }
+  serve.finish(linger_ms);
   std::printf(
       "fleet: %d hosts, %d tenants, %.0f req/s offered, seed %llu, "
       "%.1f s horizon\n\n%s",
@@ -1029,6 +1199,7 @@ int dispatch(const std::string& cmd, std::vector<std::string>& args,
   if (cmd == "faults") return cmd_faults(tb, ctx, args);
   if (cmd == "characterize") return cmd_characterize(tb, ctx, args);
   if (cmd == "replay") return cmd_replay(tb, ctx, args);
+  if (cmd == "online") return cmd_online(tb, ctx, args);
   if (cmd == "validate") return cmd_validate(tb, args);
   if (cmd == "asymmetry") return cmd_asymmetry(tb, args);
   return -1;
