@@ -33,11 +33,14 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 # host crashes that tear down in-flight state — exactly where a stale
 # pointer or double-detach would surface as a use-after-free. The scale
 # suites (FleetScale/ShardSet) add the batched admission path: per-shard
-# arenas drained by pool lanes and 2,000-tenant storm runs.
+# arenas drained by pool lanes and 2,000-tenant storm runs. ISSUE 10
+# adds the sharded queue (PriorityFifo/QueueSet: map-of-deque arenas
+# churned by a 20,000-op shed/steal property trace) and the sharded
+# event engine (per-lane heaps drained in fork-join rounds).
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   "$BUILD_DIR/tests/numaio_tests" \
-  --gtest_filter='TokenBucket*:BoundedQueue*:CircuitBreaker*:AdmissionStatus*:FleetSim*:FleetScale*:ShardSet*:FaultPlanFile*'
+  --gtest_filter='TokenBucket*:BoundedQueue*:PriorityFifo*:QueueSet*:CircuitBreaker*:AdmissionStatus*:FleetSim*:FleetScale*:ShardSet*:ShardedEventEngine*:FaultPlanFile*'
 
 # halt_on_error: the first sanitizer report fails the test run instead of
 # scrolling past; detect_leaks exercises the Host/Buffer ownership paths.
@@ -66,8 +69,12 @@ cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target numaio_tests
 # FleetScale/ShardSet join the TSan filter for the batched admission
 # fan-out: shard arenas and verdict bytes are written concurrently by
 # pool lanes, relying only on the fork-join barrier for publication.
+# ShardedEventEngine adds the lane-drain rounds: per-lane heaps and
+# accumulators mutated by concurrent workers, published to the serial
+# merge hook through the same barrier (worker-count invariance test
+# runs the identical script serial, 2-worker and 8-worker).
 TSAN_OPTIONS="halt_on_error=1" \
   "$TSAN_BUILD_DIR/tests/numaio_tests" \
-  --gtest_filter='ThreadPool.*:*ParallelSolverProperty*:FlowSolverParallel.*:FleetScale*:ShardSet*'
+  --gtest_filter='ThreadPool.*:*ParallelSolverProperty*:FlowSolverParallel.*:FleetScale*:ShardSet*:ShardedEventEngine*'
 
 echo "sanitize: parallel solver is clean under TSan"

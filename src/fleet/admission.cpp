@@ -23,61 +23,82 @@ double TokenBucket::tokens(sim::Ns now) {
   return tokens_;
 }
 
-BoundedQueue::PushResult BoundedQueue::push(QueueItem item) {
-  PushResult result;
-  if (depth() < max_depth_) {
-    entries_.push_back(Entry{item, next_seq_++});
-    result.accepted = true;
-    return result;
-  }
-  assert(!entries_.empty());
-  // Shed target: lowest priority present; among those, latest arrival.
-  std::size_t victim = 0;
-  for (std::size_t i = 1; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    const Entry& v = entries_[victim];
-    if (e.item.priority < v.item.priority ||
-        (e.item.priority == v.item.priority && e.seq > v.seq)) {
-      victim = i;
-    }
-  }
-  result.shed = true;
-  if (item.priority <= entries_[victim].item.priority) {
-    // The incoming item does not outrank the current minimum: it is the
-    // latest arrival at the lowest priority, so it is the one shed.
-    result.victim = item;
-    return result;
-  }
-  result.victim = entries_[victim].item;
-  entries_[victim] = Entry{item, next_seq_++};
-  result.accepted = true;
-  return result;
+void PriorityFifo::push(QueueItem item, std::uint64_t seq) {
+  std::deque<Entry>& level = levels_[item.priority];
+  assert(level.empty() || level.back().seq < seq);
+  level.push_back(Entry{item, seq});
+  ++size_;
 }
 
-QueueItem BoundedQueue::pop() {
-  assert(!entries_.empty());
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    const Entry& b = entries_[best];
-    if (e.item.priority > b.item.priority ||
-        (e.item.priority == b.item.priority && e.seq < b.seq)) {
-      best = i;
-    }
-  }
-  const QueueItem item = entries_[best].item;
-  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+const PriorityFifo::Entry& PriorityFifo::best() const {
+  assert(!empty());
+  // Highest priority level; FIFO order within it makes front the earliest.
+  return levels_.rbegin()->second.front();
+}
+
+const PriorityFifo::Entry& PriorityFifo::victim() const {
+  assert(!empty());
+  // Lowest priority level; its back is the latest arrival at that level.
+  return levels_.begin()->second.back();
+}
+
+QueueItem PriorityFifo::pop_best() {
+  assert(!empty());
+  auto it = std::prev(levels_.end());
+  const QueueItem item = it->second.front().item;
+  it->second.pop_front();
+  if (it->second.empty()) levels_.erase(it);
+  --size_;
   return item;
 }
 
-bool BoundedQueue::remove(int request) {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].item.request == request) {
-      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+QueueItem PriorityFifo::pop_victim() {
+  assert(!empty());
+  auto it = levels_.begin();
+  const QueueItem item = it->second.back().item;
+  it->second.pop_back();
+  if (it->second.empty()) levels_.erase(it);
+  --size_;
+  return item;
+}
+
+bool PriorityFifo::remove(int request) {
+  for (auto it = levels_.begin(); it != levels_.end(); ++it) {
+    std::deque<Entry>& level = it->second;
+    for (auto e = level.begin(); e != level.end(); ++e) {
+      if (e->item.request != request) continue;
+      level.erase(e);
+      if (level.empty()) levels_.erase(it);
+      --size_;
       return true;
     }
   }
   return false;
 }
+
+BoundedQueue::PushResult BoundedQueue::push(QueueItem item) {
+  PushResult result;
+  if (depth() < max_depth_) {
+    fifo_.push(item, next_seq_++);
+    result.accepted = true;
+    return result;
+  }
+  assert(!fifo_.empty());
+  result.shed = true;
+  if (item.priority <= fifo_.victim().item.priority) {
+    // The incoming item does not outrank the current minimum: it is the
+    // latest arrival at the lowest priority, so it is the one shed.
+    result.victim = item;
+    return result;
+  }
+  result.victim = fifo_.pop_victim();
+  fifo_.push(item, next_seq_++);
+  result.accepted = true;
+  return result;
+}
+
+QueueItem BoundedQueue::pop() { return fifo_.pop_best(); }
+
+bool BoundedQueue::remove(int request) { return fifo_.remove(request); }
 
 }  // namespace numaio::fleet

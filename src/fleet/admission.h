@@ -4,12 +4,17 @@
 //
 // The paper's Eq. 1 predicts what an accepted multi-user load will get;
 // admission control decides what gets accepted in the first place. Both
-// primitives are pure simulated-time state machines (no wall clock, no
-// allocation on the hot path beyond the queue vector), so fleet runs stay
-// deterministic.
+// primitives are pure simulated-time state machines (no wall clock), so
+// fleet runs stay deterministic. The queue keeps its entries indexed by
+// priority level (one FIFO per level), so push/pop/shed are O(log levels)
+// instead of the O(depth) scans the first fleet cut paid — at six-figure
+// offered rps with a full queue, those scans were the hottest loop in the
+// whole fleet (ISSUE 10).
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "simcore/units.h"
@@ -38,10 +43,53 @@ class TokenBucket {
   sim::Ns last_ = 0.0;
 };
 
-/// One queued admission ticket. `request` is an opaque caller-side id.
+/// One queued admission ticket. `request` is an opaque caller-side id;
+/// `tenant` keys the sharded QueueSet's shard choice (fleet/queue_set.h)
+/// and is ignored by the single BoundedQueue.
 struct QueueItem {
   int request = -1;
   int priority = 0;  ///< Higher survives longer; shedding starts lowest.
+  int tenant = 0;
+};
+
+/// Priority-indexed FIFO: one arrival-ordered level per distinct priority.
+/// The two ends the fleet cares about are both O(log levels): best() is
+/// the pop order (highest priority, earliest sequence) and victim() is the
+/// shed order (lowest priority, latest sequence). Sequence numbers are
+/// assigned by the caller, so a sharded queue can thread one *global*
+/// arrival order through many per-shard fifos and still recover the exact
+/// single-queue pop/shed sequence (fleet/queue_set.h).
+class PriorityFifo {
+ public:
+  struct Entry {
+    QueueItem item;
+    std::uint64_t seq = 0;
+  };
+
+  /// Appends `item` at its priority level. `seq` must be strictly greater
+  /// than every sequence previously pushed at that priority.
+  void push(QueueItem item, std::uint64_t seq);
+
+  bool empty() const { return size_ == 0; }
+  int size() const { return size_; }
+
+  /// Highest-priority, earliest-seq entry. Requires !empty().
+  const Entry& best() const;
+  /// Lowest-priority, latest-seq entry (the shed candidate). Requires
+  /// !empty().
+  const Entry& victim() const;
+
+  QueueItem pop_best();
+  QueueItem pop_victim();
+
+  /// Removes the entry for `request` (e.g. its deadline passed while
+  /// queued). O(depth) worst case — removal is the rare path. Returns
+  /// false when not present.
+  bool remove(int request);
+
+ private:
+  std::map<int, std::deque<Entry>> levels_;  ///< priority -> FIFO.
+  int size_ = 0;
 };
 
 /// Fixed-depth priority queue with lowest-priority-first eviction.
@@ -52,7 +100,8 @@ struct QueueItem {
 /// incoming item itself unless it outranks the current minimum. The
 /// invariant the fleet contract rests on: a shed item's priority is <=
 /// every priority still queued at that instant, and depth() never exceeds
-/// max_depth.
+/// max_depth. This single-queue form is the documented reference the
+/// sharded QueueSet is property-tested against.
 class BoundedQueue {
  public:
   explicit BoundedQueue(int max_depth) : max_depth_(max_depth) {}
@@ -71,19 +120,14 @@ class BoundedQueue {
   /// queued). Returns false when not present.
   bool remove(int request);
 
-  bool empty() const { return entries_.empty(); }
-  int depth() const { return static_cast<int>(entries_.size()); }
+  bool empty() const { return fifo_.empty(); }
+  int depth() const { return fifo_.size(); }
   int max_depth() const { return max_depth_; }
 
  private:
-  struct Entry {
-    QueueItem item;
-    std::uint64_t seq = 0;
-  };
-
   int max_depth_;
   std::uint64_t next_seq_ = 0;
-  std::vector<Entry> entries_;  ///< Unordered; scans are O(depth).
+  PriorityFifo fifo_;
 };
 
 }  // namespace numaio::fleet

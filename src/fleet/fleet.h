@@ -124,6 +124,40 @@ struct FleetConfig {
   /// (capacity head-room, breaker state, windowed p99) refresh at most
   /// once per this much simulated time, pulled lazily at placement.
   sim::Ns summary_refresh = 50.0e6;
+  /// Post-admission queue sharding (DESIGN.md §13): the bounded queue
+  /// splits into this many tenant-hash-keyed arenas (fleet/queue_set.h)
+  /// sharing one global depth bound and arrival order, with a two-level
+  /// shed (local candidate, then a cross-shard steal pass). Pop and shed
+  /// order — and therefore traces — are bit-identical to the single
+  /// queue for any value.
+  int queue_shards = 1;
+  /// Event-lane drain workers (DESIGN.md §13): per-host completion
+  /// alarms live on sim::ShardedEventEngine lanes (one per host) and
+  /// due lanes drain as deterministic fork-join rounds across this many
+  /// pool workers. 1 keeps every round serial — the reference path the
+  /// parallel drains are property-tested against. Traces, verdicts and
+  /// stats are invariant to this value by construction.
+  int event_lanes = 1;
+  /// 0 keeps the uniform DL585 fleet. k > 0 gives every k-th host
+  /// (h % k == k - 1) the lite SKU (io::Testbed::dl585_lite — a
+  /// previous-generation NIC with ~55% of the ConnectX-3's ceilings), so
+  /// model::gap_classes sees genuinely mixed hardware and kClassSpread
+  /// placement exercises >1 class.
+  int alt_sku_every = 0;
+  /// Completion-alarm quantization (DESIGN.md §13): > 0 rounds every
+  /// projected flow-completion alarm up to the next multiple of this
+  /// grid, so completions across hosts share instants and one fork-join
+  /// round drains many lanes at once. A request occupies its slot until
+  /// the grid instant (at most one grid step of added latency); 0 keeps
+  /// exact per-completion alarms. Results are identical for any
+  /// event_lanes value either way.
+  sim::Ns completion_grid = 0.0;
+
+  /// Typed validation of every knob above: ok() or kUsage with the
+  /// offending field named. FleetSim's constructor throws the same
+  /// Status via StatusError; callers wiring configs from flags can call
+  /// this directly instead of catching.
+  Status validate() const;
 };
 
 struct TenantStats {
@@ -154,7 +188,9 @@ struct FleetReport {
   long long dispatches = 0;     ///< Attempts started on a host.
   int breaker_trips = 0;
   int max_queue_depth = 0;
-  double attempts_per_s = 0.0;  ///< Scheduled request attempts per second.
+  double attempts_per_s = 0.0;  ///< Attempts over the active span (t = 0
+                                ///< through the last dispatch), not the
+                                ///< guard-event drain tail.
   double shed_fraction = 0.0;   ///< shed / submitted.
   sim::Ns accepted_p50 = 0.0;   ///< Latency percentiles over completions.
   sim::Ns accepted_p99 = 0.0;
@@ -164,6 +200,11 @@ struct FleetReport {
   sim::Ns placement_p50 = 0.0;
   sim::Ns placement_p99 = 0.0;
   sim::Ns makespan = 0.0;       ///< Simulated time when the run drained.
+  /// Sharded-path counters (DESIGN.md §13).
+  long long queue_steals = 0;   ///< Shed victims taken from another shard.
+  int max_shard_depth = 0;      ///< Deepest any single queue shard got.
+  long long lane_rounds = 0;    ///< Fork-join lane-drain rounds.
+  long long lane_parallel_batches = 0;  ///< Rounds fanned across workers.
 
   /// Human-readable table (the CLI's `fleet` output).
   std::string summary() const;

@@ -1,0 +1,90 @@
+#include "fleet/queue_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fleet/shard.h"
+
+namespace numaio::fleet {
+
+QueueSet::QueueSet(int max_depth, int num_shards)
+    : max_depth_(std::max(1, max_depth)),
+      shards_(static_cast<std::size_t>(std::max(1, num_shards))) {}
+
+QueueSet::PushResult QueueSet::push(QueueItem item) {
+  PushResult result;
+  const int home = shard_of_tenant(item.tenant, num_shards());
+  PriorityFifo& fifo = shards_[static_cast<std::size_t>(home)].fifo;
+  if (depth_ < max_depth_) {
+    fifo.push(item, next_seq_++);
+    ++depth_;
+    max_shard_depth_ = std::max(max_shard_depth_, fifo.size());
+    result.accepted = true;
+    return result;
+  }
+  // Two-level shed: each non-empty shard nominates its local
+  // lowest-priority latest-arrival entry; the steal pass then picks the
+  // global loser (min priority, max seq), matching BoundedQueue exactly.
+  int victim_shard = -1;
+  const PriorityFifo::Entry* worst = nullptr;
+  for (int s = 0; s < num_shards(); ++s) {
+    const PriorityFifo& f = shards_[static_cast<std::size_t>(s)].fifo;
+    if (f.empty()) continue;
+    const PriorityFifo::Entry& cand = f.victim();
+    if (worst == nullptr || cand.item.priority < worst->item.priority ||
+        (cand.item.priority == worst->item.priority &&
+         cand.seq > worst->seq)) {
+      worst = &cand;
+      victim_shard = s;
+    }
+  }
+  assert(worst != nullptr);
+  result.shed = true;
+  if (item.priority <= worst->item.priority) {
+    // The incoming item is the latest arrival at the lowest priority.
+    result.victim = item;
+    return result;
+  }
+  result.victim =
+      shards_[static_cast<std::size_t>(victim_shard)].fifo.pop_victim();
+  if (victim_shard != home) ++steals_;
+  fifo.push(item, next_seq_++);
+  result.accepted = true;
+  max_shard_depth_ = std::max(max_shard_depth_, fifo.size());
+  return result;
+}
+
+QueueItem QueueSet::pop() {
+  assert(depth_ > 0);
+  int best_shard = -1;
+  const PriorityFifo::Entry* best = nullptr;
+  for (int s = 0; s < num_shards(); ++s) {
+    const PriorityFifo& f = shards_[static_cast<std::size_t>(s)].fifo;
+    if (f.empty()) continue;
+    const PriorityFifo::Entry& cand = f.best();
+    if (best == nullptr || cand.item.priority > best->item.priority ||
+        (cand.item.priority == best->item.priority &&
+         cand.seq < best->seq)) {
+      best = &cand;
+      best_shard = s;
+    }
+  }
+  assert(best != nullptr);
+  --depth_;
+  return shards_[static_cast<std::size_t>(best_shard)].fifo.pop_best();
+}
+
+bool QueueSet::remove(int request, int tenant) {
+  const int home = shard_of_tenant(tenant, num_shards());
+  if (!shards_[static_cast<std::size_t>(home)].fifo.remove(request)) {
+    return false;
+  }
+  --depth_;
+  return true;
+}
+
+int QueueSet::shard_depth(int shard) const {
+  return shards_[static_cast<std::size_t>(shard)].fifo.size();
+}
+
+}  // namespace numaio::fleet

@@ -1,0 +1,72 @@
+// Sharded admission queue for the fleet request path (DESIGN.md §13).
+//
+// QueueSet splits the bounded queue into per-shard arenas keyed by the
+// same splitmix64 tenant hash the ShardSet uses, so a tenant's queued
+// work and its quota state land in the same shard. The *semantics* are
+// exactly the single BoundedQueue's: one global depth bound, one global
+// arrival sequence, pop = highest priority earliest arrival across all
+// shards, shed = lowest priority latest arrival across all shards. The
+// two-level shed policy realizes that: the full shard nominates its local
+// lowest-priority-latest-arrival candidate, every other shard does the
+// same, and a cross-shard steal pass picks the global loser — so the shed
+// order is bit-identical to the single-queue path for any shard count
+// (property-tested in tests/test_queue_set.cpp). Shards exist to keep
+// per-shard fifos short and cache-line-disjoint, never to change
+// outcomes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/admission.h"
+
+namespace numaio::fleet {
+
+class QueueSet {
+ public:
+  /// `num_shards` per-shard arenas sharing one `max_depth` global bound.
+  /// Both are clamped >= 1 (FleetConfig::validate rejects zeros upstream
+  /// with a typed Status; the clamp here is a defensive floor).
+  QueueSet(int max_depth, int num_shards);
+
+  using PushResult = BoundedQueue::PushResult;
+
+  /// Enqueues into shard_of_tenant(item.tenant). When the global depth is
+  /// at the bound, sheds the globally lowest-priority latest-arrival item
+  /// — the incoming one unless it outranks the current minimum — exactly
+  /// like BoundedQueue::push.
+  PushResult push(QueueItem item);
+
+  /// Globally highest-priority, earliest-arrival item. Must be non-empty.
+  QueueItem pop();
+
+  /// Removes the entry for `request`; `tenant` names its home shard.
+  bool remove(int request, int tenant);
+
+  bool empty() const { return depth_ == 0; }
+  int depth() const { return depth_; }
+  int max_depth() const { return max_depth_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  int shard_depth(int shard) const;
+  /// High-water mark of any single shard's depth over the queue's life.
+  int max_shard_depth() const { return max_shard_depth_; }
+  /// Shed victims stolen from a shard other than the incoming item's.
+  long long cross_shard_steals() const { return steals_; }
+
+ private:
+  /// One shard's fifo, aligned so concurrent readers of neighbouring
+  /// shards never share a cache line.
+  struct alignas(64) Shard {
+    PriorityFifo fifo;
+  };
+
+  int max_depth_;
+  int depth_ = 0;
+  int max_shard_depth_ = 0;
+  std::uint64_t next_seq_ = 0;  ///< Global arrival order across shards.
+  long long steals_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace numaio::fleet

@@ -10,9 +10,9 @@ const char* complementary_engine(const std::string& engine) {
   return nullptr;
 }
 
-std::unique_ptr<PcieDevice> make_connectx3(fabric::Machine& machine,
-                                           NodeId node,
-                                           NodeId residual_origin) {
+namespace {
+std::vector<EngineSpec> connectx3_engines(NodeId node,
+                                          NodeId residual_origin) {
   const NodeId shift = residual_origin - 7;
   std::vector<EngineSpec> engines;
 
@@ -93,7 +93,34 @@ std::unique_ptr<PcieDevice> make_connectx3(fabric::Machine& machine,
     engines.push_back(std::move(e));
   }
 
-  return std::make_unique<PcieDevice>(machine, "mlx4_0", node, PcieLink{},
+  return engines;
+}
+}  // namespace
+
+std::unique_ptr<PcieDevice> make_connectx3(fabric::Machine& machine,
+                                           NodeId node,
+                                           NodeId residual_origin) {
+  return std::make_unique<PcieDevice>(
+      machine, "mlx4_0", node, PcieLink{},
+      connectx3_engines(node, residual_origin));
+}
+
+std::unique_ptr<PcieDevice> make_connectx3_lite(fabric::Machine& machine,
+                                                NodeId node) {
+  // Borrow the ConnectX-3's engine shapes, then scale every rate-setting
+  // knob to the older part's ceilings. CPU cost per Gbps stays — protocol
+  // work does not get cheaper on a slower NIC — and the residuals go:
+  // they are measurements of the paper's specific rig.
+  constexpr double kScale = 0.55;
+  std::vector<EngineSpec> engines = connectx3_engines(node, /*origin*/ 7);
+  for (EngineSpec& e : engines) {
+    e.device_cap *= kScale;
+    e.window_bits *= kScale;
+    e.stream_window_bits *= kScale;
+    e.per_stream_cap *= kScale;
+    e.residual.clear();
+  }
+  return std::make_unique<PcieDevice>(machine, "mlx4_lite", node, PcieLink{},
                                       std::move(engines));
 }
 

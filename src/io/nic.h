@@ -35,6 +35,15 @@ std::unique_ptr<PcieDevice> make_connectx3(fabric::Machine& machine,
                                            NodeId node,
                                            NodeId residual_origin = 7);
 
+/// A previous-generation 25 GbE-class part with the ConnectX-3's
+/// personalities at ~55% of its ceilings and windows (and none of the
+/// testbed-specific residuals — those are measurements of one rig). This
+/// is the "lite" host SKU of mixed fleets (fleet::FleetConfig::
+/// alt_sku_every): far enough from the ConnectX-3 that the §VI gap
+/// classifier puts the two SKUs in different capacity classes.
+std::unique_ptr<PcieDevice> make_connectx3_lite(fabric::Machine& machine,
+                                                NodeId node);
+
 /// The personality the *other* end of a connection runs: our send is the
 /// peer's receive and vice versa. Returns nullptr for non-network engines.
 const char* complementary_engine(const std::string& engine);

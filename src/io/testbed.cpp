@@ -4,10 +4,12 @@
 
 namespace numaio::io {
 
-Testbed::Testbed(std::unique_ptr<fabric::Machine> machine, NodeId device_node)
+Testbed::Testbed(std::unique_ptr<fabric::Machine> machine, NodeId device_node,
+                 bool lite_nic)
     : machine_(std::move(machine)),
       host_(std::make_unique<nm::Host>(*machine_)),
-      nic_(make_connectx3(*machine_, device_node)),
+      nic_(lite_nic ? make_connectx3_lite(*machine_, device_node)
+                    : make_connectx3(*machine_, device_node)),
       ssds_(make_nytro_pair(*machine_, device_node)) {}
 
 Testbed Testbed::dl585(const sim::SolveOptions& solve) {
@@ -19,6 +21,12 @@ Testbed Testbed::dl585_with_devices_on(NodeId node,
   return Testbed(
       std::make_unique<fabric::Machine>(fabric::dl585_profile(), solve),
       node);
+}
+
+Testbed Testbed::dl585_lite(const sim::SolveOptions& solve) {
+  return Testbed(
+      std::make_unique<fabric::Machine>(fabric::dl585_profile(), solve),
+      /*device_node=*/7, /*lite_nic=*/true);
 }
 
 std::vector<const PcieDevice*> Testbed::ssds() const {

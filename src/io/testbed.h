@@ -28,6 +28,12 @@ class Testbed {
   static Testbed dl585_with_devices_on(NodeId node,
                                        const sim::SolveOptions& solve = {});
 
+  /// The mixed-fleet "lite" SKU: the same DL585 fabric but carrying the
+  /// previous-generation NIC (io::make_connectx3_lite, ~55% of the
+  /// ConnectX-3's ceilings). Distinct enough that fleet-level gap
+  /// classification separates the two SKUs into different classes.
+  static Testbed dl585_lite(const sim::SolveOptions& solve = {});
+
   fabric::Machine& machine() { return *machine_; }
   nm::Host& host() { return *host_; }
   PcieDevice& nic() { return *nic_; }
@@ -36,7 +42,8 @@ class Testbed {
   NodeId device_node() const { return nic_->attach_node(); }
 
  private:
-  Testbed(std::unique_ptr<fabric::Machine> machine, NodeId device_node);
+  Testbed(std::unique_ptr<fabric::Machine> machine, NodeId device_node,
+          bool lite_nic = false);
 
   std::unique_ptr<fabric::Machine> machine_;
   std::unique_ptr<nm::Host> host_;

@@ -1,0 +1,144 @@
+#include "simcore/sharded_event_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "simcore/thread_pool.h"
+
+namespace numaio::sim {
+
+namespace {
+// std::push_heap/pop_heap build a max-heap; invert the order for a min-heap.
+struct Later {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+ShardedEventEngine::ShardedEventEngine(int num_lanes, ThreadPool* pool)
+    : lanes_(static_cast<std::size_t>(std::max(1, num_lanes))),
+      pool_(pool) {}
+
+void ShardedEventEngine::set_lane_handler(LaneHandler handler) {
+  lane_handler_ = std::move(handler);
+}
+
+void ShardedEventEngine::set_merge_hook(MergeHook hook) {
+  merge_hook_ = std::move(hook);
+}
+
+void ShardedEventEngine::schedule_at(Ns at, Callback fn) {
+  assert(!in_lane_phase_ && "control scheduling is serial-phase only");
+  assert(at >= now_ && "cannot schedule into the past");
+  control_.push_back(ControlEvent{at, next_control_seq_++, std::move(fn)});
+  std::push_heap(control_.begin(), control_.end(), Later{});
+}
+
+void ShardedEventEngine::schedule_in(Ns delay, Callback fn) {
+  assert(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void ShardedEventEngine::schedule_lane(int lane, Ns at, int kind, int a,
+                                       int b, std::uint64_t gen) {
+  assert(lane >= 0 && lane < num_lanes());
+  // During a drain the lane's own handler appends follow-ups lane-locally;
+  // asserting at >= now_ still holds (handlers only look forward).
+  assert(at >= now_ && "cannot schedule into the past");
+  Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  l.heap.push_back(LaneEvent{at, l.next_seq++, kind, a, b, gen});
+  std::push_heap(l.heap.begin(), l.heap.end(), Later{});
+}
+
+Ns ShardedEventEngine::next_lane_time() const {
+  Ns t = kUnlimited;
+  for (const Lane& l : lanes_) {
+    if (!l.heap.empty()) t = std::min(t, l.heap.front().at);
+  }
+  return t;
+}
+
+std::size_t ShardedEventEngine::pending() const {
+  std::size_t n = control_.size();
+  for (const Lane& l : lanes_) n += l.heap.size();
+  return n;
+}
+
+Ns ShardedEventEngine::next_event_time() const {
+  const Ns tc = control_.empty() ? kUnlimited : control_.front().at;
+  return std::min(tc, next_lane_time());
+}
+
+long long ShardedEventEngine::lane_events_fired() const {
+  long long n = 0;
+  for (const Lane& l : lanes_) n += l.fired;
+  return n;
+}
+
+long long ShardedEventEngine::drain_lane(Lane& lane, int index, Ns t) {
+  long long fired = 0;
+  while (!lane.heap.empty() && lane.heap.front().at <= t) {
+    std::pop_heap(lane.heap.begin(), lane.heap.end(), Later{});
+    const LaneEvent ev = lane.heap.back();
+    lane.heap.pop_back();
+    ++fired;
+    lane_handler_(index, ev);
+  }
+  return fired;
+}
+
+void ShardedEventEngine::run_round(Ns t) {
+  assert(lane_handler_ && "lane events scheduled without a handler");
+  int due = 0;
+  for (const Lane& l : lanes_) {
+    if (!l.heap.empty() && l.heap.front().at <= t) ++due;
+  }
+  in_lane_phase_ = true;
+  if (pool_ != nullptr && pool_->threads() > 1 && due > 1) {
+    ++parallel_batches_;
+    pool_->run(lanes_.size(), /*deterministic=*/true,
+               [this, t](std::size_t index, int) {
+                 Lane& lane = lanes_[index];
+                 lane.fired +=
+                     drain_lane(lane, static_cast<int>(index), t);
+               });
+  } else {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      Lane& lane = lanes_[i];
+      lane.fired += drain_lane(lane, static_cast<int>(i), t);
+    }
+  }
+  in_lane_phase_ = false;
+  ++lane_rounds_;
+  if (merge_hook_) merge_hook_(t);
+}
+
+Ns ShardedEventEngine::run_until(Ns until) {
+  for (;;) {
+    const Ns tc = control_.empty() ? kUnlimited : control_.front().at;
+    const Ns tl = next_lane_time();
+    const Ns t = std::min(tc, tl);
+    if (t > until || t == kUnlimited) break;
+    now_ = std::max(now_, t);
+    if (tl <= tc) {
+      // Lanes first at every instant; the merge hook may schedule more
+      // work at `t`, picked up by the next iteration.
+      run_round(t);
+      continue;
+    }
+    std::pop_heap(control_.begin(), control_.end(), Later{});
+    ControlEvent ev = std::move(control_.back());
+    control_.pop_back();
+    ev.fn();
+  }
+  if (until != kUnlimited) now_ = std::max(now_, until);
+  return now_;
+}
+
+Ns ShardedEventEngine::run() { return run_until(kUnlimited); }
+
+}  // namespace numaio::sim

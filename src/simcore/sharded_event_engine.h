@@ -1,0 +1,139 @@
+// Sharded discrete-event engine: per-lane event heaps drained as
+// deterministic fork-join rounds, plus a serial control queue
+// (DESIGN.md §13).
+//
+// The serial EventEngine orders every event in one heap. That is exact
+// but means a fleet of independent host timelines funnels through one
+// comparator even though host events only interact at placement /
+// refresh / fault instants. This engine splits the schedule in two:
+//
+//  * Lane events — plain-data records on one binary heap per lane (the
+//    fleet maps lane == host). All lanes holding events at the current
+//    instant drain them in one fork-join round on a sim::ThreadPool;
+//    the handler runs lane-local (it may touch only that lane's state
+//    and may schedule follow-ups onto its *own* lane) and must not emit
+//    traces or metrics.
+//  * Control events — closures on a serial heap, exactly like
+//    EventEngine. One fires at a time.
+//
+// Per instant, lanes drain first, then a serial merge hook runs (the
+// only place lane results become globally visible — commit in lane
+// order there and the outcome is independent of worker count), then
+// control events fire in (at, seq) order. Scheduling into lanes or
+// control is serial-phase-only, so one global picture of the timeline
+// exists at every commit point. The result: traces, verdicts and stats
+// are bit-identical for any lane/worker count by construction — the
+// same contract DESIGN.md §11/§12 set for the solver and admission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simcore/units.h"
+
+namespace numaio::sim {
+
+class ThreadPool;
+
+class ShardedEventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// One plain-data lane event. `kind`/`a`/`b`/`gen` are caller-defined
+  /// payload (the fleet encodes projection alarms with a generation
+  /// guard); `at`/`seq` order the lane's heap.
+  struct LaneEvent {
+    Ns at = 0.0;
+    std::uint64_t seq = 0;
+    int kind = 0;
+    int a = 0;
+    int b = 0;
+    std::uint64_t gen = 0;
+  };
+
+  /// Runs lane-local for each drained event, possibly concurrently with
+  /// other lanes' handlers. Must not touch other lanes, the control
+  /// queue, traces, or metrics.
+  using LaneHandler = std::function<void(int lane, const LaneEvent&)>;
+
+  /// Serial barrier after each lane round, invoked at the round's
+  /// instant. The only place lane-drain results may be published.
+  using MergeHook = std::function<void(Ns at)>;
+
+  /// `num_lanes` independent heaps; `pool` (optional, not owned) fans
+  /// rounds with more than one due lane across workers. With a null
+  /// pool or a 1-thread pool every round drains serially — that is the
+  /// reference path the parallel drains are property-tested against.
+  ShardedEventEngine(int num_lanes, ThreadPool* pool);
+
+  void set_lane_handler(LaneHandler handler);
+  void set_merge_hook(MergeHook hook);
+
+  Ns now() const { return now_; }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Schedules a control closure at absolute time `at` (>= now()).
+  /// Serial phases only (control events, merge hook, before run()).
+  void schedule_at(Ns at, Callback fn);
+  void schedule_in(Ns delay, Callback fn);
+
+  /// Schedules a lane event. From serial phases any lane is fair game;
+  /// a lane handler may only schedule onto the lane it is draining.
+  void schedule_lane(int lane, Ns at, int kind, int a, int b,
+                     std::uint64_t gen);
+
+  /// Runs rounds and control events until both queues drain.
+  Ns run();
+
+  /// Runs everything with timestamp <= `until`, then advances the clock
+  /// to `until` if it has not passed it.
+  Ns run_until(Ns until);
+
+  std::size_t pending() const;
+  Ns next_event_time() const;
+
+  /// Lane events fired over the engine's life (all lanes).
+  long long lane_events_fired() const;
+  /// Fork-join lane rounds executed (each ends in one merge-hook call).
+  long long lane_rounds() const { return lane_rounds_; }
+  /// Rounds whose due lanes were fanned across >1 pool worker.
+  long long parallel_batches() const { return parallel_batches_; }
+
+ private:
+  /// One lane's heap, cache-line-aligned so concurrent drains of
+  /// neighbouring lanes never share a line.
+  struct alignas(64) Lane {
+    std::vector<LaneEvent> heap;  ///< Min-heap on (at, seq).
+    std::uint64_t next_seq = 0;
+    long long fired = 0;
+  };
+
+  struct ControlEvent {
+    Ns at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+
+  /// Earliest lane-event time across lanes; kUnlimited when none.
+  Ns next_lane_time() const;
+  /// Pops and runs every event with at <= `t` on `lane`, in (at, seq)
+  /// order. Returns the number fired.
+  long long drain_lane(Lane& lane, int index, Ns t);
+  /// One fork-join round at instant `t`: drains every due lane, then
+  /// runs the merge hook.
+  void run_round(Ns t);
+
+  Ns now_ = 0.0;
+  std::uint64_t next_control_seq_ = 0;
+  bool in_lane_phase_ = false;
+  long long lane_rounds_ = 0;
+  long long parallel_batches_ = 0;
+  std::vector<ControlEvent> control_;  ///< Min-heap on (at, seq).
+  std::vector<Lane> lanes_;
+  ThreadPool* pool_;  ///< Not owned; may be null.
+  LaneHandler lane_handler_;
+  MergeHook merge_hook_;
+};
+
+}  // namespace numaio::sim

@@ -1,0 +1,168 @@
+// Sharded admission-queue tests (DESIGN.md §13): the PriorityFifo's two
+// ends (pop order and shed order), the QueueSet's global depth bound,
+// and the property the sharded queue rests on — for ANY shard count,
+// push verdicts, shed victims and pop order are bit-identical to the
+// single BoundedQueue reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fleet/admission.h"
+#include "fleet/queue_set.h"
+#include "fleet/shard.h"
+#include "simcore/rng.h"
+
+namespace numaio::fleet {
+namespace {
+
+QueueItem item(int request, int priority, int tenant) {
+  QueueItem it;
+  it.request = request;
+  it.priority = priority;
+  it.tenant = tenant;
+  return it;
+}
+
+// --- PriorityFifo --------------------------------------------------------
+
+TEST(PriorityFifoTest, BestAndVictimAreOppositeEnds) {
+  PriorityFifo fifo;
+  fifo.push(item(0, 1, 0), 0);
+  fifo.push(item(1, 3, 0), 1);
+  fifo.push(item(2, 1, 0), 2);
+  fifo.push(item(3, 3, 0), 3);
+  ASSERT_EQ(fifo.size(), 4);
+  // best: highest priority, earliest seq. victim: lowest priority,
+  // latest seq.
+  EXPECT_EQ(fifo.best().item.request, 1);
+  EXPECT_EQ(fifo.victim().item.request, 2);
+  EXPECT_EQ(fifo.pop_best().request, 1);
+  EXPECT_EQ(fifo.pop_victim().request, 2);
+  EXPECT_EQ(fifo.pop_best().request, 3);
+  EXPECT_EQ(fifo.pop_best().request, 0);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(PriorityFifoTest, RemoveDropsExactlyTheNamedRequest) {
+  PriorityFifo fifo;
+  for (int i = 0; i < 6; ++i) {
+    fifo.push(item(i, i % 2, 0), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_TRUE(fifo.remove(3));
+  EXPECT_FALSE(fifo.remove(3));  // already gone
+  EXPECT_FALSE(fifo.remove(99));
+  EXPECT_EQ(fifo.size(), 5);
+  // Pop everything; 3 must not appear.
+  std::vector<int> popped;
+  while (!fifo.empty()) popped.push_back(fifo.pop_best().request);
+  EXPECT_EQ(popped, (std::vector<int>{1, 5, 0, 2, 4}));
+}
+
+// --- QueueSet ------------------------------------------------------------
+
+TEST(QueueSetTest, ShedsIncomingWhenItDoesNotOutrank) {
+  QueueSet set(/*max_depth=*/2, /*num_shards=*/4);
+  EXPECT_TRUE(set.push(item(0, 1, 0)).accepted);
+  EXPECT_TRUE(set.push(item(1, 1, 1)).accepted);
+  // Full; an equal-priority arrival is the latest lowest-priority item,
+  // so it sheds itself.
+  const auto r = set.push(item(2, 1, 2));
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.shed);
+  EXPECT_EQ(r.victim.request, 2);
+  EXPECT_EQ(set.depth(), 2);
+  // A higher-priority arrival evicts the latest of the lowest level.
+  const auto r2 = set.push(item(3, 2, 3));
+  EXPECT_TRUE(r2.accepted);
+  EXPECT_TRUE(r2.shed);
+  EXPECT_EQ(r2.victim.request, 1);
+  EXPECT_EQ(set.pop().request, 3);
+  EXPECT_EQ(set.pop().request, 0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(QueueSetTest, CrossShardStealsAreCountedAndBounded) {
+  // Two shards; pick tenants that land on different shards so the shed
+  // pass must steal the victim from the other shard's arena.
+  int tenant_a = -1, tenant_b = -1;
+  for (int t = 0; t < 64 && (tenant_a < 0 || tenant_b < 0); ++t) {
+    if (shard_of_tenant(t, 2) == 0 && tenant_a < 0) tenant_a = t;
+    if (shard_of_tenant(t, 2) == 1 && tenant_b < 0) tenant_b = t;
+  }
+  ASSERT_GE(tenant_a, 0);
+  ASSERT_GE(tenant_b, 0);
+
+  QueueSet set(/*max_depth=*/3, /*num_shards=*/2);
+  EXPECT_TRUE(set.push(item(0, 0, tenant_a)).accepted);
+  EXPECT_TRUE(set.push(item(1, 0, tenant_a)).accepted);
+  EXPECT_TRUE(set.push(item(2, 0, tenant_a)).accepted);
+  EXPECT_EQ(set.cross_shard_steals(), 0);
+  // Queue full, all victims live in shard 0; a high-priority arrival
+  // homed on shard 1 must steal its victim cross-shard.
+  const auto r = set.push(item(3, 5, tenant_b));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.shed);
+  EXPECT_EQ(r.victim.request, 2);  // latest arrival of the lowest level
+  EXPECT_EQ(set.cross_shard_steals(), 1);
+  EXPECT_EQ(set.depth(), 3);
+  EXPECT_LE(set.max_shard_depth(), 3);
+  EXPECT_EQ(set.shard_depth(0) + set.shard_depth(1), 3);
+}
+
+TEST(QueueSetTest, PropertyMatchesBoundedQueueForAnyShardCount) {
+  // The determinism contract of the sharded queue: replay one randomized
+  // push/pop/remove trace against the single-queue reference and every
+  // shard count; verdicts, victims, pop order and depths must be
+  // bit-identical throughout. The trace runs well past the depth bound
+  // so the two-level shed policy (local victim, then cross-shard steal)
+  // is exercised constantly.
+  for (const int shards : {1, 2, 8}) {
+    sim::Rng rng(1234);  // same seed per shard count -> same op stream
+    BoundedQueue reference(/*max_depth=*/24);
+    QueueSet set(/*max_depth=*/24, shards);
+    std::vector<int> tenant_of;  // request id -> tenant, for remove()
+    long long sheds = 0;
+    for (int op = 0; op < 20000; ++op) {
+      const std::uint64_t pick = rng.below(10);
+      if (pick < 6) {
+        const int request = static_cast<int>(tenant_of.size());
+        const int priority = static_cast<int>(rng.below(4));
+        const int tenant = static_cast<int>(rng.below(300));
+        tenant_of.push_back(tenant);
+        const auto a = reference.push(item(request, priority, tenant));
+        const auto b = set.push(item(request, priority, tenant));
+        ASSERT_EQ(a.accepted, b.accepted) << "op " << op;
+        ASSERT_EQ(a.shed, b.shed) << "op " << op;
+        ASSERT_EQ(a.victim.request, b.victim.request) << "op " << op;
+        if (b.shed) ++sheds;
+      } else if (pick < 9) {
+        ASSERT_EQ(reference.empty(), set.empty());
+        if (!reference.empty()) {
+          const QueueItem a = reference.pop();
+          const QueueItem b = set.pop();
+          ASSERT_EQ(a.request, b.request) << "op " << op;
+          ASSERT_EQ(a.priority, b.priority) << "op " << op;
+        }
+      } else if (!tenant_of.empty()) {
+        const int target =
+            static_cast<int>(rng.below(tenant_of.size()));
+        const bool a = reference.remove(target);
+        const bool b = set.remove(
+            target, tenant_of[static_cast<std::size_t>(target)]);
+        ASSERT_EQ(a, b) << "op " << op;
+      }
+      ASSERT_EQ(reference.depth(), set.depth()) << "op " << op;
+      ASSERT_LE(set.depth(), set.max_depth());
+      ASSERT_LE(set.max_shard_depth(), set.max_depth());
+    }
+    // The trace must have actually shed (otherwise the property above
+    // never touched the interesting path).
+    EXPECT_GT(sheds, 100) << shards << " shards";
+    if (shards > 1) {
+      EXPECT_GT(set.cross_shard_steals(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace numaio::fleet

@@ -95,6 +95,7 @@ int usage() {
       "        [--duration SECONDS] [--queue-depth N] [--deadline-ms MS]\n"
       "        [--plan FILE] [--print-plan] [--scale]\n"
       "        [--shards N] [--batch-window MS]\n"
+      "        [--queue-shards N] [--event-lanes N]\n"
       "        [--service fluid|coarse]\n"
       "        [--placement least-loaded|class-spread]\n"
       "        [--serve-port P] [--refresh-ms MS] [--linger-ms MS]\n"
@@ -108,7 +109,12 @@ int usage() {
       "                                   --scale switches to the scale\n"
       "                                   scenario (batched admission over\n"
       "                                   sharded tenant state, coarse\n"
-      "                                   service, class-spread placement);\n"
+      "                                   service, class-spread placement,\n"
+      "                                   a sharded post-admission queue\n"
+      "                                   and per-host event lanes —\n"
+      "                                   --queue-shards/--event-lanes\n"
+      "                                   override the partition counts,\n"
+      "                                   1 = serial reference);\n"
       "                                   --serve-port exposes live\n"
       "                                   telemetry over HTTP during the\n"
       "                                   run (0 = ephemeral port)\n"
@@ -795,6 +801,8 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   const int linger_ms = take_int(args, "--linger-ms", 0);
   const bool scale = take_switch(args, "--scale");
   const int shards = take_int(args, "--shards", 0);
+  const int queue_shards = take_int(args, "--queue-shards", 0);
+  const int event_lanes = take_int(args, "--event-lanes", 0);
   const double batch_window_ms = take_double(args, "--batch-window", -1.0);
   const std::string service = take_flag(args, "--service");
   const std::string placement = take_flag(args, "--placement");
@@ -809,6 +817,8 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   if (serve_port > 65535) usage_error("--serve-port wants a port <= 65535");
   if (linger_ms < 0) usage_error("--linger-ms wants >= 0");
   if (shards < 0) usage_error("--shards wants a positive count");
+  if (queue_shards < 0) usage_error("--queue-shards wants a positive count");
+  if (event_lanes < 0) usage_error("--event-lanes wants a positive count");
   if (!service.empty() && service != "fluid" && service != "coarse") {
     usage_error("--service wants 'fluid' or 'coarse'");
   }
@@ -829,6 +839,8 @@ int cmd_fleet(obs::Context& ctx, std::vector<std::string>& args,
   if (queue_depth > 0) storm.config.queue_depth = queue_depth;
   if (deadline_ms > 0.0) storm.config.deadline = deadline_ms * 1e6;
   if (shards > 0) storm.config.shards = shards;
+  if (queue_shards > 0) storm.config.queue_shards = queue_shards;
+  if (event_lanes > 0) storm.config.event_lanes = event_lanes;
   if (batch_window_ms >= 0.0) {
     storm.config.batch_window = batch_window_ms * 1e6;
   }
